@@ -1,0 +1,175 @@
+// Microbenchmarks of the core data structures (google-benchmark).
+//
+// Not a paper figure: these guard the hot paths of the simulator so the
+// paper-scale (--scale full) runs stay tractable.
+#include <benchmark/benchmark.h>
+
+#include "core/bandwidth.hpp"
+#include "core/markov_predictor.hpp"
+#include "core/routing_table.hpp"
+#include "net/buffer.hpp"
+#include "sim/event_queue.hpp"
+#include "core/dtn_flow_router.hpp"
+#include "net/network.hpp"
+#include "trace/campus_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_PredictorRecordVisit(benchmark::State& state) {
+  const auto order = static_cast<std::size_t>(state.range(0));
+  dtn::core::MarkovPredictor p(64, order);
+  dtn::Rng rng(1);
+  std::vector<dtn::trace::LandmarkId> seq;
+  for (int i = 0; i < 4096; ++i) {
+    seq.push_back(static_cast<dtn::trace::LandmarkId>(rng.uniform_index(64)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    p.record_visit(seq[i++ & 4095]);
+  }
+}
+BENCHMARK(BM_PredictorRecordVisit)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PredictorPredict(benchmark::State& state) {
+  dtn::core::MarkovPredictor p(64, 1);
+  dtn::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    p.record_visit(static_cast<dtn::trace::LandmarkId>(rng.uniform_index(64)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.predict());
+  }
+}
+BENCHMARK(BM_PredictorPredict);
+
+void BM_PredictorProbabilityOf(benchmark::State& state) {
+  dtn::core::MarkovPredictor p(64, 1);
+  dtn::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    p.record_visit(static_cast<dtn::trace::LandmarkId>(rng.uniform_index(64)));
+  }
+  dtn::trace::LandmarkId l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.probability_of(l));
+    l = (l + 1) % 64;
+  }
+}
+BENCHMARK(BM_PredictorProbabilityOf);
+
+void BM_RoutingTableMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dtn::core::RoutingTable table(0, n);
+  dtn::Rng rng(4);
+  for (std::size_t j = 1; j < n; ++j) {
+    table.set_link_delay(static_cast<dtn::trace::LandmarkId>(j),
+                         rng.uniform(1.0, 100.0));
+  }
+  dtn::core::DistanceVector dv;
+  dv.origin = 1;
+  dv.delay.resize(n);
+  for (auto& d : dv.delay) d = rng.uniform(1.0, 100.0);
+  dv.delay[1] = 0.0;
+  for (auto _ : state) {
+    ++dv.seq;
+    benchmark::DoNotOptimize(table.merge(dv));
+    benchmark::DoNotOptimize(table.route(static_cast<dtn::trace::LandmarkId>(
+        dv.seq % n)));
+  }
+}
+BENCHMARK(BM_RoutingTableMerge)->Arg(18)->Arg(159);
+
+void BM_RoutingTableSnapshot(benchmark::State& state) {
+  const std::size_t n = 159;
+  dtn::core::RoutingTable table(0, n);
+  dtn::Rng rng(5);
+  for (std::size_t j = 1; j < n; ++j) {
+    table.set_link_delay(static_cast<dtn::trace::LandmarkId>(j),
+                         rng.uniform(1.0, 100.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.snapshot());
+  }
+}
+BENCHMARK(BM_RoutingTableSnapshot);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    dtn::sim::EventQueue q;
+    dtn::Rng rng(6);
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      q.schedule(rng.uniform(0.0, 1e6), [&sink] { ++sink; });
+    }
+    while (!q.empty()) q.run_next();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_BufferAddRemove(benchmark::State& state) {
+  dtn::net::Buffer buffer(4096);
+  for (auto _ : state) {
+    for (dtn::net::PacketId p = 0; p < 256; ++p) {
+      benchmark::DoNotOptimize(buffer.add(p, 1));
+    }
+    for (dtn::net::PacketId p = 0; p < 256; ++p) {
+      buffer.remove(p, 1);
+    }
+  }
+}
+BENCHMARK(BM_BufferAddRemove);
+
+void BM_BandwidthCloseUnit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dtn::core::BandwidthEstimator bw(n, 0.5);
+  dtn::Rng rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      const auto a = static_cast<dtn::trace::LandmarkId>(rng.uniform_index(n));
+      auto b = static_cast<dtn::trace::LandmarkId>(rng.uniform_index(n - 1));
+      if (b >= a) ++b;
+      bw.record_transit(a, b);
+    }
+    bw.close_unit();
+  }
+}
+BENCHMARK(BM_BandwidthCloseUnit)->Arg(18)->Arg(159);
+
+void BM_CampusTraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    dtn::trace::CampusTraceConfig cfg;
+    cfg.num_nodes = 32;
+    cfg.num_landmarks = 16;
+    cfg.days = 8.0;
+    cfg.seed = 42;
+    benchmark::DoNotOptimize(dtn::trace::generate_campus_trace(cfg));
+  }
+}
+BENCHMARK(BM_CampusTraceGeneration);
+
+void BM_EndToEndCampusRun(benchmark::State& state) {
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_landmarks = 10;
+  cfg.num_communities = 4;
+  cfg.days = 6.0;
+  cfg.seed = 9;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  for (auto _ : state) {
+    dtn::core::DtnFlowRouter router;
+    dtn::net::WorkloadConfig wl;
+    wl.packets_per_landmark_per_day = 10.0;
+    wl.time_unit = 0.5 * dtn::trace::kDay;
+    wl.ttl = 2.0 * dtn::trace::kDay;
+    wl.node_memory_kb = 30;
+    dtn::net::Network net(trace, router, wl);
+    net.run();
+    benchmark::DoNotOptimize(net.counters().delivered);
+  }
+}
+BENCHMARK(BM_EndToEndCampusRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,632 @@
+#include "core/dtn_flow_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace dtn::core {
+
+using net::LandmarkId;
+using net::Network;
+using net::NodeId;
+using net::Packet;
+using net::PacketId;
+
+namespace {
+// Minimum raw transit probability for a node that is *not* predicted to
+// head to the next hop to still be usable as its carrier.
+constexpr double kCarrierProbabilityFloor = 0.30;
+}  // namespace
+
+DtnFlowRouter::DtnFlowRouter(DtnFlowConfig config) : cfg_(config) {
+  DTN_ASSERT(cfg_.predictor_order >= 1 && cfg_.predictor_order <= 3);
+  DTN_ASSERT(cfg_.bandwidth_rho > 0.0 && cfg_.bandwidth_rho <= 1.0);
+  DTN_ASSERT(cfg_.dead_end_theta >= 1.0);
+  DTN_ASSERT(cfg_.overload_lambda >= 1.0);
+  DTN_ASSERT(cfg_.dv_exchange_every >= 1);
+}
+
+void DtnFlowRouter::on_init(Network& net) {
+  const std::size_t n = net.num_nodes();
+  const std::size_t m = net.num_landmarks();
+  time_unit_ = net.config().time_unit;
+  bw_ = BandwidthEstimator(m, cfg_.bandwidth_rho);
+  if (cfg_.distributed_bandwidth) {
+    dbw_.emplace(m, cfg_.bandwidth_rho);
+  } else {
+    dbw_.reset();
+  }
+  nodes_.assign(n, NodeState{});
+  landmarks_.assign(m, LandmarkState{});
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_[i].predictor.emplace(m, cfg_.predictor_order);
+    nodes_[i].stay_sum.assign(m, 0.0);
+    nodes_[i].stay_count.assign(m, 0);
+    nodes_[i].departures_since_dv.assign(m, 0);
+  }
+  for (LandmarkId l = 0; l < m; ++l) {
+    landmarks_[l].table.emplace(l, m);
+    landmarks_[l].incoming.assign(m, 0.0);
+    landmarks_[l].outgoing.assign(m, 0.0);
+    landmarks_[l].prev_incoming.assign(m, 0.0);
+    landmarks_[l].prev_outgoing.assign(m, 0.0);
+    landmarks_[l].divert_toggle.assign(m, 0);
+  }
+  accuracy_ = FlatMatrix<double>(n, m, cfg_.accuracy_init);
+  diag_ = DtnFlowDiagnostics{};
+}
+
+const RoutingTable& DtnFlowRouter::routing_table(LandmarkId l) const {
+  DTN_ASSERT(l < landmarks_.size());
+  return *landmarks_[l].table;
+}
+
+RoutingTable& DtnFlowRouter::mutable_routing_table(LandmarkId l) {
+  DTN_ASSERT(l < landmarks_.size());
+  return *landmarks_[l].table;
+}
+
+const MarkovPredictor& DtnFlowRouter::predictor(NodeId n) const {
+  DTN_ASSERT(n < nodes_.size());
+  return *nodes_[n].predictor;
+}
+
+double DtnFlowRouter::accuracy(NodeId n, LandmarkId l) const {
+  return accuracy_.at(n, l);
+}
+
+double DtnFlowRouter::overall_transit_probability(const Network& net, NodeId n,
+                                                  LandmarkId to) const {
+  const NodeState& ns = nodes_[n];
+  const double p = ns.predictor->probability_of(to);
+  if (p <= 0.0) return 0.0;
+  if (!cfg_.refine_carrier_selection) return p;
+  const LandmarkId here = net.location(n);
+  if (here == kNoLandmark) return p;
+  return p * accuracy_.at(n, here);
+}
+
+
+double DtnFlowRouter::link_expected_delay(LandmarkId from,
+                                          LandmarkId to) const {
+  if (dbw_.has_value()) return dbw_->expected_delay(from, to, time_unit_);
+  return bw_.expected_delay(from, to, time_unit_);
+}
+
+bool DtnFlowRouter::link_overloaded(const LandmarkState& ls,
+                                    LandmarkId neighbor) const {
+  // The previous unit's outgoing rate is the link's demonstrated
+  // capacity; the *running* incoming count of the current unit is the
+  // demand so far.  Only once demand has already exceeded lambda x
+  // capacity within this unit is the link overloaded — the first
+  // capacity-worth of packets each unit always uses the primary route.
+  const double out = std::max(ls.prev_outgoing[neighbor], 1.0);
+  return ls.incoming[neighbor] > cfg_.overload_lambda * out;
+}
+
+bool DtnFlowRouter::choose_next_hop(LandmarkId l, LandmarkId dst,
+                                    LandmarkId& next, double& delay) {
+  LandmarkState& ls = landmarks_[l];
+  const Route r = ls.table->route(dst);
+  if (!r.reachable() || r.delay == kInfiniteDelay) return false;
+  next = r.next;
+  delay = r.delay;
+  // Load balancing (§IV-E.3): when the link's incoming rate exceeds
+  // lambda x its outgoing rate, offload the *excess* to the backup next
+  // hop.  Diverting everything would just overload the (usually slower)
+  // backup, so packets alternate between the two routes while the
+  // overload lasts, and only when the backup is not drastically worse.
+  if (cfg_.load_balancing && r.backup_next != kNoLandmark &&
+      r.backup_delay != kInfiniteDelay &&
+      r.backup_delay <= 3.0 * r.delay && link_overloaded(ls, r.next) &&
+      !link_overloaded(ls, r.backup_next)) {
+    if (++ls.divert_toggle[r.next] % 2 == 1) {
+      next = r.backup_next;
+      delay = r.backup_delay;
+      ++diag_.balancing_diversions;
+      // The diverted demand now loads the backup link; recording it
+      // keeps the backup's own overload check honest, which caps the
+      // diverted volume at the backup's demonstrated capacity.
+      ls.incoming[r.backup_next] += 1.0;
+    }
+  }
+  return true;
+}
+
+void DtnFlowRouter::note_station_ingress(Network& net, LandmarkId l,
+                                         PacketId pid) {
+  // Load-balancing incoming-rate monitor: which link would this packet
+  // take out of l (pre-diversion best route)?
+  const Packet& p = net.packet(pid);
+  const Route r = landmarks_[l].table->route(p.dst);
+  if (r.reachable() && r.delay != kInfiniteDelay) {
+    landmarks_[l].incoming[r.next] += 1.0;
+  }
+}
+
+void DtnFlowRouter::on_packet_generated(Network& net, PacketId pid) {
+  const Packet& p = net.packet(pid);
+  DTN_ASSERT(p.state == net::PacketState::kAtStation);
+  note_station_ingress(net, p.src, pid);
+  dispatch_packet(net, p.src, pid);
+}
+
+bool DtnFlowRouter::dispatch_packet(Network& net, LandmarkId l, PacketId pid) {
+  Packet& p = net.packet(pid);
+  DTN_ASSERT(p.state == net::PacketState::kAtStation && p.holder == l);
+  // A node-addressed packet that has reached its target landmark waits
+  // at the station for the destination node to show up (§IV-E.4).
+  if (p.dst == l && p.dst_node != trace::kNoNode) return false;
+  const auto present = net.nodes_at(l);
+  if (present.empty()) return false;
+
+  // Step 2: direct-delivery opportunity — a connected node predicted to
+  // transit straight to the destination landmark.
+  if (cfg_.direct_delivery) {
+    NodeId best = trace::kNoNode;
+    double best_p = 0.0;
+    for (const NodeId n : present) {
+      if (nodes_[n].predicted_next != p.dst) continue;
+      if (!net.node_buffer(n).has_space(p.size_kb)) continue;
+      const double prob = overall_transit_probability(net, n, p.dst);
+      if (prob > best_p) {
+        best_p = prob;
+        best = n;
+      }
+    }
+    if (best != trace::kNoNode) {
+      const double table_delay = landmarks_[l].table->delay_to(p.dst);
+      const double link_delay = link_expected_delay(l, p.dst);
+      if (net.station_to_node(l, best, pid)) {
+        p.next_hop = p.dst;
+        p.expected_delay = std::min(table_delay, link_delay);
+        landmarks_[l].outgoing[p.dst] += 1.0;
+        return true;
+      }
+    }
+  }
+
+  // Step 3/4: routing table lookup, then the carrier with the highest
+  // overall probability of transiting to the chosen next hop.
+  LandmarkId next = kNoLandmark;
+  double delay = kInfiniteDelay;
+  if (!choose_next_hop(l, p.dst, next, delay)) return false;
+
+  NodeId best = trace::kNoNode;
+  double best_p = 0.0;
+  for (const NodeId n : present) {
+    if (!net.node_buffer(n).has_space(p.size_kb)) continue;
+    // Only plausible carriers qualify: handing packets to visitors with
+    // a token transit probability toward the next hop just bounces them
+    // between stations and wandering nodes.
+    const double prob = overall_transit_probability(net, n, next);
+    if (nodes_[n].predicted_next != next &&
+        nodes_[n].predictor->probability_of(next) < kCarrierProbabilityFloor) {
+      continue;
+    }
+    if (prob > best_p) {
+      best_p = prob;
+      best = n;
+    }
+  }
+  if (best == trace::kNoNode) return false;
+  if (!net.station_to_node(l, best, pid)) return false;
+  p.next_hop = next;
+  p.expected_delay = delay;
+  landmarks_[l].outgoing[next] += 1.0;
+  return true;
+}
+
+void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
+                                          NodeId n) {
+  const auto span = net.station_packets(l);
+  if (span.empty()) return;
+  std::vector<PacketId> queue(span.begin(), span.end());
+  const double now = net.now();
+  // §IV-D.5 forwarding priority: packets whose expected delay fits the
+  // remaining TTL first, by smallest remaining TTL.
+  std::vector<double> route_delay(queue.size());
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    route_delay[i] = landmarks_[l].table->delay_to(net.packet(queue[i]).dst);
+  }
+  std::vector<std::size_t> order(queue.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Packet& pa = net.packet(queue[a]);
+    const Packet& pb = net.packet(queue[b]);
+    const bool ea = route_delay[a] <= pa.remaining_ttl(now);
+    const bool eb = route_delay[b] <= pb.remaining_ttl(now);
+    if (ea != eb) return ea;
+    return pa.remaining_ttl(now) < pb.remaining_ttl(now);
+  });
+
+  std::size_t handed = 0;
+  for (const std::size_t i : order) {
+    if (cfg_.max_downloads_per_arrival != 0 &&
+        handed >= cfg_.max_downloads_per_arrival) {
+      break;
+    }
+    const PacketId pid = queue[i];
+    Packet& p = net.packet(pid);
+    if (p.state != net::PacketState::kAtStation) continue;  // moved already
+    if (p.dst == l && p.dst_node != trace::kNoNode) continue;  // waiting here
+    if (!net.node_buffer(n).has_space(p.size_kb)) break;
+
+    if (cfg_.direct_delivery && nodes_[n].predicted_next == p.dst) {
+      const double table_delay = landmarks_[l].table->delay_to(p.dst);
+      const double link_delay = link_expected_delay(l, p.dst);
+      if (net.station_to_node(l, n, pid)) {
+        p.next_hop = p.dst;
+        p.expected_delay = std::min(table_delay, link_delay);
+        landmarks_[l].outgoing[p.dst] += 1.0;
+        ++handed;
+      }
+      continue;
+    }
+
+    LandmarkId next = kNoLandmark;
+    double delay = kInfiniteDelay;
+    if (!choose_next_hop(l, p.dst, next, delay)) continue;
+    if (nodes_[n].predicted_next != next &&
+        nodes_[n].predictor->probability_of(next) < kCarrierProbabilityFloor) {
+      continue;
+    }
+    if (overall_transit_probability(net, n, next) <= 0.0) continue;
+    if (net.station_to_node(l, n, pid)) {
+      p.next_hop = next;
+      p.expected_delay = delay;
+      landmarks_[l].outgoing[next] += 1.0;
+      ++handed;
+    }
+  }
+}
+
+std::vector<PacketId> DtnFlowRouter::upload_packets(Network& net, NodeId n,
+                                                    LandmarkId l,
+                                                    bool force_all,
+                                                    std::size_t max_count,
+                                                    bool only_reached_hop) {
+  std::vector<PacketId> uploaded;
+  const auto carried = net.node_packets(n);
+  std::vector<PacketId> to_check(carried.begin(), carried.end());
+  // Most-urgent-first upload order (§IV-D.5): smallest remaining TTL.
+  const double now = net.now();
+  std::sort(to_check.begin(), to_check.end(), [&](PacketId a, PacketId b) {
+    return net.packet(a).remaining_ttl(now) < net.packet(b).remaining_ttl(now);
+  });
+  for (const PacketId pid : to_check) {
+    if (max_count != 0 && uploaded.size() >= max_count) break;
+    Packet& p = net.packet(pid);
+    bool upload = force_all;
+    if (!upload && p.next_hop == l) upload = true;  // reached intended hop
+    if (!upload && !only_reached_hop) {
+      // Prediction-inaccuracy rule (§IV-D.1): hand over only when this
+      // (unexpected) landmark still reduces the expected delay.
+      const double here_delay = landmarks_[l].table->delay_to(p.dst);
+      if (here_delay < p.expected_delay) upload = true;
+    }
+    if (!upload) continue;
+    net.node_to_station(n, pid);
+    if (net.packet(pid).state == net::PacketState::kAtStation) {
+      uploaded.push_back(pid);
+      note_station_ingress(net, l, pid);
+      check_loop(net, l, pid);
+    }
+  }
+  return uploaded;
+}
+
+void DtnFlowRouter::update_channel_mode(const Network& net, LandmarkId l) {
+  LandmarkState& ls = landmarks_[l];
+  const double station =
+      static_cast<double>(net.station_packets(l).size());
+  double on_nodes = 0.0;
+  for (const NodeId n : net.nodes_at(l)) {
+    on_nodes += static_cast<double>(net.node_packets(n).size());
+  }
+  // gamma = station backlog / packets on connected nodes; empty-handed
+  // visitors push gamma to infinity (nothing to upload -> forward).
+  const double ratio = on_nodes > 0.0
+                           ? station / on_nodes
+                           : (station > 0.0 ? kInfiniteDelay : 0.0);
+  if (ratio < cfg_.upload_threshold) {
+    ls.uploading_mode = true;
+  } else if (ratio > cfg_.download_threshold) {
+    ls.uploading_mode = false;
+  }
+  // Between the thresholds the previous mode persists (hysteresis).
+}
+
+bool DtnFlowRouter::landmark_uploading_mode(LandmarkId l) const {
+  DTN_ASSERT(l < landmarks_.size());
+  return landmarks_[l].uploading_mode;
+}
+
+void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
+  NodeState& ns = nodes_[node];
+  const LandmarkId prev = net.previous_landmark(node);
+
+  if (prev != kNoLandmark && prev != l) {
+    // Transit observed: bandwidth measurement (arrival side).
+    bw_.record_transit(prev, l);
+    if (dbw_.has_value()) dbw_->record_arrival(prev, l);
+    ++diag_.transits_observed;
+    // Score the prediction made when the node sat at `prev`.
+    if (ns.predicted_from == prev && ns.predicted_next != kNoLandmark) {
+      ++diag_.predictions_scored;
+      double& acc = accuracy_.at(node, prev);
+      if (ns.predicted_next == l) {
+        ++diag_.predictions_correct;
+        acc = std::min(1.0, acc * cfg_.accuracy_gain);
+      } else {
+        acc = std::max(0.05, acc * cfg_.accuracy_loss);
+      }
+    }
+  }
+
+  // Deliver the distance vector carried from the previous landmark.
+  if (ns.carried_dv.has_value() && ns.carried_dv->origin != l) {
+    net.account_control(static_cast<double>(ns.carried_dv->entries()));
+    landmarks_[l].table->merge(*ns.carried_dv);
+  }
+  ns.carried_dv.reset();
+
+  // Deliver the §IV-C.1 reverse-notification token, if we are the
+  // landmark it was addressed to (mispredicted carriers discard it).
+  if (ns.carried_token.has_value()) {
+    if (dbw_.has_value()) {
+      net.account_control(1.0);
+      (void)dbw_->deliver_token(l, *ns.carried_token);
+    }
+    ns.carried_token.reset();
+  }
+
+  ns.arrived_at = net.now();
+  ns.predictor->record_visit(l);
+  ns.predicted_next = ns.predictor->predict();
+  ns.predicted_from = l;
+
+  // Step 5 uploads, then re-dispatch what landed at the station; with
+  // §IV-D.5 scheduling the serialized channel serves either the uplink
+  // (uploading mode: node uploads up to B_up most-urgent packets, no
+  // downloads this association) or the downlink (forwarding mode: only
+  // reached-next-hop uploads, then the station forwards).
+  if (cfg_.scheduled_communication) {
+    update_channel_mode(net, l);
+    const bool uploading = landmarks_[l].uploading_mode;
+    const auto uploaded = upload_packets(
+        net, node, l, /*force_all=*/false,
+        uploading ? cfg_.max_uploads_per_arrival : 0,
+        /*only_reached_hop=*/!uploading);
+    for (const PacketId pid : uploaded) {
+      if (net.packet(pid).state == net::PacketState::kAtStation) {
+        dispatch_packet(net, l, pid);
+      }
+    }
+    if (!uploading) {
+      offer_packets_to_node(net, l, node);
+    }
+  } else {
+    const auto uploaded = upload_packets(net, node, l, /*force_all=*/false);
+    for (const PacketId pid : uploaded) {
+      if (net.packet(pid).state == net::PacketState::kAtStation) {
+        dispatch_packet(net, l, pid);
+      }
+    }
+    // The landmark offers stored packets to the newcomer.
+    offer_packets_to_node(net, l, node);
+  }
+
+  // Dead-end extension: arrivals give parked co-located nodes a chance
+  // to be checked (a stuck node's stay keeps growing between events).
+  if (cfg_.dead_end_prevention) {
+    for (const NodeId other : net.nodes_at(l)) {
+      if (other != node) check_parked_dead_end(net, other);
+    }
+  }
+}
+
+void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
+  NodeState& ns = nodes_[node];
+  // Snapshot the table for carriage (accounted once per leg), thinned
+  // to every k-th departure *from this landmark* when the §IV-C.3
+  // maintenance saving is on.
+  ++ns.departures_since_dv[l];
+  if (ns.departures_since_dv[l] >= cfg_.dv_exchange_every) {
+    ns.departures_since_dv[l] = 0;
+    ns.carried_dv = landmarks_[l].table->snapshot();
+    net.account_control(static_cast<double>(ns.carried_dv->entries()));
+  } else {
+    ns.carried_dv.reset();
+  }
+
+  // Hand the departing node the bandwidth report for the link it is
+  // predicted to close (§IV-C.1).
+  if (dbw_.has_value() && ns.predicted_from == l &&
+      ns.predicted_next != kNoLandmark) {
+    ns.carried_token = dbw_->issue_token(l, ns.predicted_next);
+  }
+
+  // Stay-time statistics (completed stay).
+  const double stay = net.now() - ns.arrived_at;
+  if (stay > 0.0) {
+    ns.stay_sum[l] += stay;
+    ns.stay_count[l] += 1;
+    ns.total_stay += stay;
+    ns.total_stays += 1;
+  }
+}
+
+bool DtnFlowRouter::stay_is_dead_end(const NodeState& ns, LandmarkId l,
+                                     double stay) const {
+  if (ns.total_stays < cfg_.dead_end_min_records) return false;
+  const double avg_all =
+      ns.total_stay / static_cast<double>(ns.total_stays);
+  if (stay > cfg_.dead_end_theta * avg_all) return true;
+  if (ns.stay_count[l] > 0) {
+    const double avg_here =
+        ns.stay_sum[l] / static_cast<double>(ns.stay_count[l]);
+    if (stay > cfg_.dead_end_theta * avg_here) return true;
+  }
+  return false;
+}
+
+void DtnFlowRouter::check_parked_dead_end(Network& net, NodeId n) {
+  if (net.node_packets(n).empty()) return;
+  const LandmarkId here = net.location(n);
+  if (here == kNoLandmark) return;
+  NodeState& ns = nodes_[n];
+  const double stay = net.now() - ns.arrived_at;
+  if (!stay_is_dead_end(ns, here, stay)) return;
+  ++diag_.dead_ends_detected;
+  // Hand everything to the station; the landmark re-routes (§IV-E.1).
+  const auto uploaded = upload_packets(net, n, here, /*force_all=*/true);
+  for (const PacketId pid : uploaded) {
+    if (net.packet(pid).state == net::PacketState::kAtStation) {
+      dispatch_packet(net, here, pid);
+    }
+  }
+}
+
+void DtnFlowRouter::check_loop(Network& net, LandmarkId l, PacketId pid) {
+  Packet& p = net.packet(pid);
+  const auto& path = p.station_path;
+  DTN_ASSERT(!path.empty() && path.back() == l);
+  // Find a previous occurrence of l (excluding the entry just pushed).
+  std::ptrdiff_t prev_idx = -1;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(path.size()) - 2; i >= 0;
+       --i) {
+    if (path[static_cast<std::size_t>(i)] == l) {
+      prev_idx = i;
+      break;
+    }
+  }
+  if (prev_idx < 0) return;
+  ++diag_.loops_detected;
+  if (!cfg_.loop_correction) return;
+  const std::vector<LandmarkId> cycle(
+      path.begin() + prev_idx, path.end() - 1);  // the looped landmarks
+  correct_loop(net, p.dst, cycle);
+}
+
+void DtnFlowRouter::correct_loop(Network& net, LandmarkId dst,
+                                 std::span<const LandmarkId> cycle) {
+  ++diag_.loops_corrected;
+  // The loop-correction packet clears the poisoned state and makes the
+  // involved landmarks exchange their updated distance vectors
+  // repeatedly until the next hop for `dst` settles (§IV-E.2's T_stable
+  // is modelled as bounded synchronous rounds; each round is a real
+  // table transfer and is accounted as control traffic).
+  for (const LandmarkId lm : cycle) {
+    landmarks_[lm].table->unpin(dst);
+  }
+  for (std::size_t round = 0; round < cfg_.loop_correction_rounds; ++round) {
+    bool changed = false;
+    for (const LandmarkId from : cycle) {
+      const DistanceVector dv = landmarks_[from].table->snapshot();
+      for (const LandmarkId to : cycle) {
+        if (to == from) continue;
+        net.account_control(static_cast<double>(dv.entries()));
+        const auto before = landmarks_[to].table->route(dst).next;
+        landmarks_[to].table->merge(dv);
+        if (landmarks_[to].table->route(dst).next != before) changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+void DtnFlowRouter::inject_loop(LandmarkId dst,
+                                std::span<const LandmarkId> cycle) {
+  DTN_ASSERT(cycle.size() >= 2);
+  // Attractive fake delays make the pinned cycle the preferred route for
+  // `dst` at each involved landmark.
+  const double fake_delay = trace::kHour;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const LandmarkId from = cycle[i];
+    const LandmarkId to = cycle[(i + 1) % cycle.size()];
+    landmarks_[from].table->pin(dst, to, fake_delay);
+  }
+}
+
+void DtnFlowRouter::on_contact(Network& net, NodeId arriving, NodeId present,
+                               LandmarkId l) {
+  (void)l;
+  if (!cfg_.node_to_node_relay) return;
+  // Suitability vectors travel both ways (accounted like the baselines').
+  net.account_control(2.0 * static_cast<double>(net.num_landmarks()));
+  relay_between_nodes(net, arriving, present);
+  relay_between_nodes(net, present, arriving);
+}
+
+void DtnFlowRouter::relay_between_nodes(Network& net, NodeId from,
+                                        NodeId to) {
+  const auto carried = net.node_packets(from);
+  const std::vector<PacketId> pids(carried.begin(), carried.end());
+  for (const PacketId pid : pids) {
+    const Packet& p = net.packet(pid);
+    if (!net.node_buffer(to).has_space(p.size_kb)) continue;
+    // A peer predicted to transit straight to the destination is always
+    // an upgrade (§IV-D.2 applied between carriers)...
+    const bool direct_upgrade =
+        cfg_.direct_delivery && nodes_[to].predicted_next == p.dst &&
+        nodes_[from].predicted_next != p.dst;
+    // ...otherwise require a strictly better overall transit
+    // probability toward the packet's chosen next hop.
+    bool better = direct_upgrade;
+    if (!better && p.next_hop != kNoLandmark) {
+      better = overall_transit_probability(net, to, p.next_hop) >
+               overall_transit_probability(net, from, p.next_hop);
+    }
+    if (better) {
+      (void)net.node_to_node(from, to, pid);
+    }
+  }
+}
+
+void DtnFlowRouter::on_time_unit(Network& net, std::size_t unit_index) {
+  for (const auto& inj : cfg_.loop_injections) {
+    if (inj.at_unit == unit_index) inject_loop(inj.dst, inj.cycle);
+  }
+  bw_.close_unit();
+  if (dbw_.has_value()) dbw_->close_unit();
+  const std::size_t m = landmarks_.size();
+  for (LandmarkId l = 0; l < m; ++l) {
+    LandmarkState& ls = landmarks_[l];
+    for (LandmarkId j = 0; j < m; ++j) {
+      if (j == l) continue;
+      ls.table->set_link_delay(j, link_expected_delay(l, j));
+    }
+    // Roll the load-balancing monitors.
+    ls.prev_incoming.swap(ls.incoming);
+    ls.prev_outgoing.swap(ls.outgoing);
+    std::fill(ls.incoming.begin(), ls.incoming.end(), 0.0);
+    std::fill(ls.outgoing.begin(), ls.outgoing.end(), 0.0);
+  }
+  if (cfg_.dead_end_prevention) {
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (net.location(n) != kNoLandmark) check_parked_dead_end(net, n);
+    }
+  }
+}
+
+std::vector<LandmarkId> DtnFlowRouter::frequent_landmarks(const Network& net,
+                                                          NodeId node,
+                                                          std::size_t count) {
+  std::vector<std::uint32_t> visits(net.num_landmarks(), 0);
+  for (const auto& v : net.history(node)) ++visits[v.landmark];
+  std::vector<LandmarkId> order(net.num_landmarks());
+  for (LandmarkId l = 0; l < order.size(); ++l) order[l] = l;
+  std::stable_sort(order.begin(), order.end(), [&](LandmarkId a, LandmarkId b) {
+    return visits[a] > visits[b];
+  });
+  std::vector<LandmarkId> top;
+  for (const LandmarkId l : order) {
+    if (visits[l] == 0 || top.size() == count) break;
+    top.push_back(l);
+  }
+  return top;
+}
+
+}  // namespace dtn::core

@@ -1,0 +1,284 @@
+// DTN-FLOW: the paper's inter-landmark data-flow router (§IV).
+//
+// Responsibilities per event:
+//
+//  node arrives at landmark L (on_arrival):
+//   * record the transit prev->L in the bandwidth estimator and score
+//     the node's previous prediction (updating its per-landmark
+//     prediction accuracy, §IV-D.4);
+//   * merge the distance vector the node carried from its previous
+//     landmark into L's routing table (tables travel on mobile nodes,
+//     §IV-C.2);
+//   * update the node's order-k Markov predictor and predict its next
+//     transit (§IV-B);
+//   * the node uploads every packet that targets L, or whose chosen
+//     next hop is L, or for which L's table promises a smaller expected
+//     delay than the packet is carrying (prediction-inaccuracy rule,
+//     §IV-D.1) — each uploaded packet is immediately re-dispatched;
+//   * L offers its stored packets to the newcomer (most-urgent first,
+//     the §IV-D.5 forwarding priority).
+//
+//  node departs (on_departure): snapshot L's distance vector onto the
+//  node; run the dead-end check on the completed stay (§IV-E.1).
+//
+//  time-unit tick (on_time_unit): close the bandwidth unit, refresh
+//  every landmark's direct-link delays, roll the load-balancing rate
+//  monitors (§IV-E.3) and re-check parked nodes for dead ends.
+//
+// Routing loops are detected from the packet's station path and
+// corrected by re-converging the distance vectors of the looped
+// landmarks (§IV-E.2); `inject_loop` provides the experiment's fault
+// injection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/bandwidth.hpp"
+#include "core/distributed_bandwidth.hpp"
+#include "core/markov_predictor.hpp"
+#include "core/routing_table.hpp"
+#include "net/network.hpp"
+#include "net/router.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace dtn::core {
+
+struct DtnFlowConfig {
+  /// Markov predictor order k (paper: k = 1 is best on both traces).
+  std::size_t predictor_order = 1;
+  /// EWMA weight on the newest unit in the bandwidth update (eq. 4).
+  double bandwidth_rho = 0.2;
+  /// Learn outgoing link bandwidths through the faithful §IV-C.1
+  /// protocol (reverse-notification tokens carried by predicted movers
+  /// + O3 symmetry fallback) instead of the centralized shortcut.
+  bool distributed_bandwidth = false;
+  /// Routing-table exchange thinning (§IV-C.3's maintenance-cost
+  /// observation: stable tables allow a lower update frequency): a node
+  /// carries a distance vector only on every k-th departure.  1 = every
+  /// transit (the base protocol).
+  std::size_t dv_exchange_every = 1;
+  /// The paper's stated future work (§VI): combine node-to-node
+  /// communication with the inter-landmark flow.  When two carriers
+  /// meet, a packet moves to the peer if its overall transit
+  /// probability toward the packet's chosen next hop (or the peer's
+  /// predicted transit straight to the destination) strictly beats the
+  /// current carrier's.
+  bool node_to_node_relay = false;
+  /// Exploit nodes predicted to transit directly to a packet's
+  /// destination (§IV-D.2).
+  bool direct_delivery = true;
+  /// Multiply transit probability by the node's measured prediction
+  /// accuracy when ranking carriers (§IV-D.4).
+  bool refine_carrier_selection = true;
+  double accuracy_init = 0.5;
+  double accuracy_gain = 1.1;  ///< multiplier on a correct prediction
+  double accuracy_loss = 0.9;  ///< multiplier on an incorrect prediction
+
+  // -- extensions (§IV-E) ----------------------------------------------
+  bool dead_end_prevention = false;
+  /// Stay-time factor theta; a stay theta x longer than the node's
+  /// average (overall or at this landmark) flags a dead end.
+  double dead_end_theta = 2.0;
+  /// Completed stays required before dead-end detection engages
+  /// (prevents false positives on cold nodes).
+  std::size_t dead_end_min_records = 5;
+
+  bool loop_correction = false;
+  /// Bounded iterations of the post-detection re-convergence exchange.
+  std::size_t loop_correction_rounds = 8;
+
+  bool load_balancing = false;
+  /// Link overload factor lambda: incoming rate > lambda x outgoing
+  /// rate diverts to the backup next hop.
+  double overload_lambda = 2.0;
+
+  /// Packets handed to one arriving node per association
+  /// (§IV-D.5's B_up); 0 = unlimited.
+  std::size_t max_downloads_per_arrival = 0;
+
+  // -- communication scheduling (§IV-D.5) -------------------------------
+  /// Model the serialized landmark channel: each landmark is either in
+  /// packet-uploading or packet-forwarding mode depending on the ratio
+  /// of station-held packets to packets on connected nodes.
+  bool scheduled_communication = false;
+  /// Switch to uploading mode when station/(packets on nodes) < T_u.
+  double upload_threshold = 0.5;
+  /// Switch back to forwarding mode when the ratio > T_d.
+  double download_threshold = 2.0;
+  /// Packets a node may upload per association in uploading mode
+  /// (§IV-D.5's B_up); 0 = unlimited.
+  std::size_t max_uploads_per_arrival = 50;
+
+  /// Scheduled fault injection (Table VII): at time unit `at_unit`, pin
+  /// the routing cycle `cycle` for destination `dst`.
+  struct LoopInjection {
+    net::LandmarkId dst = 0;
+    std::vector<net::LandmarkId> cycle;
+    std::size_t at_unit = 1;
+  };
+  std::vector<LoopInjection> loop_injections;
+};
+
+/// Extension/diagnostic counters exposed for the Table VI/VII benches.
+struct DtnFlowDiagnostics {
+  std::uint64_t transits_observed = 0;
+  std::uint64_t predictions_scored = 0;
+  std::uint64_t predictions_correct = 0;
+  std::uint64_t dead_ends_detected = 0;
+  std::uint64_t loops_detected = 0;
+  std::uint64_t loops_corrected = 0;
+  std::uint64_t balancing_diversions = 0;
+};
+
+class DtnFlowRouter final : public net::Router {
+ public:
+  explicit DtnFlowRouter(DtnFlowConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "DTN-FLOW"; }
+  [[nodiscard]] bool uses_stations() const override { return true; }
+
+  void on_init(net::Network& net) override;
+  void on_arrival(net::Network& net, net::NodeId node,
+                  net::LandmarkId l) override;
+  void on_departure(net::Network& net, net::NodeId node,
+                    net::LandmarkId l) override;
+  void on_contact(net::Network& net, net::NodeId arriving,
+                  net::NodeId present, net::LandmarkId l) override;
+  void on_packet_generated(net::Network& net, net::PacketId pid) override;
+  void on_time_unit(net::Network& net, std::size_t unit_index) override;
+
+  // -- introspection (tests / benches / figures) ------------------------
+  [[nodiscard]] const DtnFlowConfig& config() const { return cfg_; }
+  [[nodiscard]] const BandwidthEstimator& bandwidth() const { return bw_; }
+  /// Distributed estimator (only when cfg.distributed_bandwidth).
+  [[nodiscard]] const DistributedBandwidth& distributed_bandwidth() const {
+    DTN_ASSERT(dbw_.has_value());
+    return *dbw_;
+  }
+  [[nodiscard]] const RoutingTable& routing_table(net::LandmarkId l) const;
+  [[nodiscard]] RoutingTable& mutable_routing_table(net::LandmarkId l);
+  [[nodiscard]] const MarkovPredictor& predictor(net::NodeId n) const;
+  [[nodiscard]] double accuracy(net::NodeId n, net::LandmarkId l) const;
+  [[nodiscard]] const DtnFlowDiagnostics& diagnostics() const { return diag_; }
+
+  /// Fault injection for the Table VII experiment: pin a routing cycle
+  /// for `dst` through `cycle` (cycle[i] -> cycle[i+1], wrapping).
+  void inject_loop(net::LandmarkId dst,
+                   std::span<const net::LandmarkId> cycle);
+
+  /// §IV-E.4 helper: the destination node's most frequently visited
+  /// landmarks (up to `count`), the places to address node-bound packets
+  /// to.
+  [[nodiscard]] static std::vector<net::LandmarkId> frequent_landmarks(
+      const net::Network& net, net::NodeId node, std::size_t count);
+
+ private:
+  struct NodeState {
+    std::optional<MarkovPredictor> predictor;
+    LandmarkId predicted_next = kNoLandmark;
+    LandmarkId predicted_from = kNoLandmark;
+    double arrived_at = 0.0;
+    std::optional<DistanceVector> carried_dv;
+    /// §IV-C.1 reverse-notification token picked up at departure.
+    std::optional<BandwidthToken> carried_token;
+    /// Departures from each landmark since this node last couriered
+    /// that landmark's distance vector (§IV-C.3 exchange thinning).
+    /// Per-landmark so alternating shuttles still serve both
+    /// directions.
+    std::vector<std::uint32_t> departures_since_dv;
+    // Stay-time statistics for dead-end detection.
+    std::vector<double> stay_sum;
+    std::vector<std::uint32_t> stay_count;
+    double total_stay = 0.0;
+    std::uint32_t total_stays = 0;
+  };
+
+  struct LandmarkState {
+    std::optional<RoutingTable> table;
+    // Per-neighbor packet rates for load balancing (current open unit
+    // and previous closed unit).
+    std::vector<double> incoming;
+    std::vector<double> outgoing;
+    std::vector<double> prev_incoming;
+    std::vector<double> prev_outgoing;
+    /// Alternation counter per overloaded link (diverts every other
+    /// packet to the backup next hop).
+    std::vector<std::uint32_t> divert_toggle;
+    /// §IV-D.5 channel mode (meaningful when scheduled_communication):
+    /// true = uplink serves node uploads, false = downlink forwards.
+    bool uploading_mode = true;
+  };
+
+  /// The node's overall probability of transiting to `to` from its
+  /// current landmark (transit probability, optionally x accuracy).
+  [[nodiscard]] double overall_transit_probability(const net::Network& net,
+                                                   net::NodeId n,
+                                                   net::LandmarkId to) const;
+
+  /// Choose the next hop (and expected delay) for `dst` at landmark `l`,
+  /// applying load balancing.  Returns false when unreachable.
+  bool choose_next_hop(net::LandmarkId l, net::LandmarkId dst,
+                       net::LandmarkId& next, double& delay);
+
+  [[nodiscard]] bool link_overloaded(const LandmarkState& ls,
+                                     net::LandmarkId neighbor) const;
+
+  /// Try to hand one station packet to the best connected carrier.
+  bool dispatch_packet(net::Network& net, net::LandmarkId l,
+                       net::PacketId pid);
+
+  /// Offer station packets to one (newly arrived) node.
+  void offer_packets_to_node(net::Network& net, net::LandmarkId l,
+                             net::NodeId n);
+
+  /// Upload from node to station per the step-5 rules; returns uploaded
+  /// packet ids.  `max_count` 0 = unlimited; `only_reached_hop`
+  /// restricts to packets whose chosen next hop is this landmark
+  /// (forwarding-mode uplink restriction, §IV-D.5).
+  std::vector<net::PacketId> upload_packets(net::Network& net, net::NodeId n,
+                                            net::LandmarkId l, bool force_all,
+                                            std::size_t max_count = 0,
+                                            bool only_reached_hop = false);
+
+  /// Recompute the §IV-D.5 channel mode of landmark `l` with hysteresis.
+  void update_channel_mode(const net::Network& net, net::LandmarkId l);
+
+  /// Hybrid node-to-node relay (§VI future work): move `from`'s packets
+  /// to `to` where `to` is the strictly better carrier.
+  void relay_between_nodes(net::Network& net, net::NodeId from,
+                           net::NodeId to);
+
+ public:
+  /// Current channel mode (uploading = true); only meaningful with
+  /// scheduled_communication enabled.  Exposed for tests/benches.
+  [[nodiscard]] bool landmark_uploading_mode(net::LandmarkId l) const;
+
+ private:
+
+  void note_station_ingress(net::Network& net, net::LandmarkId l,
+                            net::PacketId pid);
+  void check_loop(net::Network& net, net::LandmarkId l, net::PacketId pid);
+  void correct_loop(net::Network& net, net::LandmarkId dst,
+                    std::span<const net::LandmarkId> cycle);
+  bool stay_is_dead_end(const NodeState& ns, net::LandmarkId l,
+                        double stay) const;
+  void check_parked_dead_end(net::Network& net, net::NodeId n);
+
+  /// Expected link delay from whichever estimator is active.
+  [[nodiscard]] double link_expected_delay(net::LandmarkId from,
+                                           net::LandmarkId to) const;
+
+  DtnFlowConfig cfg_;
+  BandwidthEstimator bw_{1, 0.5};  // re-initialized in on_init
+  std::optional<DistributedBandwidth> dbw_;
+  std::vector<NodeState> nodes_;
+  std::vector<LandmarkState> landmarks_;
+  FlatMatrix<double> accuracy_;
+  DtnFlowDiagnostics diag_;
+  double time_unit_ = trace::kDay;
+};
+
+}  // namespace dtn::core

@@ -1,0 +1,62 @@
+#include "core/landmark_select.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace dtn::core {
+
+double squared_distance(const trace::Point& a, const trace::Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+std::vector<std::size_t> select_landmarks(
+    std::span<const CandidatePlace> candidates, double min_distance,
+    std::size_t max_landmarks) {
+  DTN_ASSERT(min_distance >= 0.0);
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Most-visited first; stable on ties by index for determinism.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].visit_count > candidates[b].visit_count;
+  });
+  const double d2 = min_distance * min_distance;
+  std::vector<std::size_t> selected;
+  for (const std::size_t idx : order) {
+    const bool clear = std::none_of(
+        selected.begin(), selected.end(), [&](std::size_t s) {
+          return squared_distance(candidates[idx].position,
+                                  candidates[s].position) < d2;
+        });
+    if (!clear) continue;
+    selected.push_back(idx);
+    if (max_landmarks != 0 && selected.size() == max_landmarks) break;
+  }
+  return selected;
+}
+
+std::vector<trace::LandmarkId> assign_subareas(
+    std::span<const trace::Point> points,
+    std::span<const trace::Point> landmark_positions) {
+  DTN_ASSERT(!landmark_positions.empty());
+  std::vector<trace::LandmarkId> assignment;
+  assignment.reserve(points.size());
+  for (const auto& p : points) {
+    trace::LandmarkId best = 0;
+    double best_d2 = squared_distance(p, landmark_positions[0]);
+    for (std::size_t l = 1; l < landmark_positions.size(); ++l) {
+      const double d2 = squared_distance(p, landmark_positions[l]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = static_cast<trace::LandmarkId>(l);
+      }
+    }
+    assignment.push_back(best);
+  }
+  return assignment;
+}
+
+}  // namespace dtn::core

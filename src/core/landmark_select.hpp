@@ -1,0 +1,41 @@
+// Landmark selection and subarea division (§IV-A).
+//
+// Landmark selection takes candidate popular places (position + visit
+// frequency) and greedily keeps the most-visited places subject to the
+// paper's spacing rule: of every two candidates closer than
+// `min_distance`, the less-visited one is removed.  Subarea division
+// assigns every point of the field to its nearest landmark (the area
+// between two landmarks is split evenly), which yields exactly the
+// paper's three rules: one landmark per subarea, even split, no overlap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/preprocess.hpp"  // trace::Point
+#include "trace/trace.hpp"
+
+namespace dtn::core {
+
+struct CandidatePlace {
+  trace::Point position;
+  double visit_count = 0.0;
+};
+
+/// Indices (into `candidates`) of the selected landmarks, ordered by
+/// decreasing visit count.  `max_landmarks == 0` means unlimited.
+[[nodiscard]] std::vector<std::size_t> select_landmarks(
+    std::span<const CandidatePlace> candidates, double min_distance,
+    std::size_t max_landmarks = 0);
+
+/// Nearest-landmark (Voronoi) subarea assignment: for each query point,
+/// the id of the closest landmark (ties break to the lower id).
+[[nodiscard]] std::vector<trace::LandmarkId> assign_subareas(
+    std::span<const trace::Point> points,
+    std::span<const trace::Point> landmark_positions);
+
+/// Squared Euclidean distance helper shared by the selection pipeline.
+[[nodiscard]] double squared_distance(const trace::Point& a,
+                                      const trace::Point& b);
+
+}  // namespace dtn::core

@@ -1,0 +1,139 @@
+#include "core/markov_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dtn::core {
+
+namespace {
+// 20 bits per landmark id allows 3 context slots + length tag in 64 bits.
+constexpr std::uint64_t kSlotBits = 20;
+constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+}  // namespace
+
+MarkovPredictor::MarkovPredictor(std::size_t num_landmarks, std::size_t order)
+    : num_landmarks_(num_landmarks), order_(order) {
+  DTN_ASSERT(order_ >= 1 && order_ <= 3);
+  DTN_ASSERT(num_landmarks_ > 0 && num_landmarks_ < (1ULL << kSlotBits));
+}
+
+std::uint64_t MarkovPredictor::context_key() const {
+  // Key = [len tag | l_{-k} ... l_{-1}]; the tag distinguishes short
+  // histories (fewer than `order` landmarks seen yet) from real contexts.
+  std::uint64_t key = static_cast<std::uint64_t>(context_.size()) << 62;
+  for (const LandmarkId l : context_) {
+    key = (key << kSlotBits) | (static_cast<std::uint64_t>(l) & kSlotMask);
+  }
+  return key;
+}
+
+std::uint64_t MarkovPredictor::extended_key(LandmarkId next) const {
+  // (k+1)-gram key: context key mixed with the successor in the low bits
+  // of a second multiplier — avoid collisions by hashing pairwise.
+  const std::uint64_t c = context_key();
+  return c * 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(next) + 1);
+}
+
+void MarkovPredictor::record_visit(LandmarkId l) {
+  DTN_ASSERT(l < num_landmarks_);
+  if (!context_.empty() && context_.back() == l) return;  // not a transit
+  if (context_.size() == order_) {
+    // A full context precedes l: count the (k+1)-gram c.l.
+    ++gram_counts_[extended_key(l)];
+    auto& succ = successors_[context_key()];
+    if (std::find(succ.begin(), succ.end(), l) == succ.end()) {
+      succ.push_back(l);
+    }
+  }
+  context_.push_back(l);
+  if (context_.size() > order_) context_.erase(context_.begin());
+  ++history_len_;
+  // Count the context as a substring occurrence the moment it forms —
+  // eqs. (2)-(3) count *all* occurrences of the k-subsequence in L,
+  // including the trailing one (so conditional probabilities over a
+  // just-formed context sum to (N(c)-1)/N(c), as in the Song et al.
+  // predictor the paper adopts).
+  if (context_.size() == order_) {
+    ++context_counts_[context_key()];
+  }
+}
+
+LandmarkId MarkovPredictor::current() const {
+  return context_.empty() ? kNoLandmark : context_.back();
+}
+
+bool MarkovPredictor::can_predict() const {
+  if (context_.size() < order_) return false;
+  const auto it = successors_.find(context_key());
+  return it != successors_.end() && !it->second.empty();
+}
+
+LandmarkId MarkovPredictor::predict() const {
+  if (context_.size() < order_) return kNoLandmark;
+  const auto it = successors_.find(context_key());
+  if (it == successors_.end()) return kNoLandmark;
+  LandmarkId best = kNoLandmark;
+  std::uint32_t best_count = 0;
+  for (const LandmarkId l : it->second) {
+    const auto g = gram_counts_.find(extended_key(l));
+    DTN_ASSERT(g != gram_counts_.end());
+    if (g->second > best_count ||
+        (g->second == best_count && best != kNoLandmark && l < best)) {
+      best_count = g->second;
+      best = l;
+    }
+  }
+  return best;
+}
+
+double MarkovPredictor::probability_of(LandmarkId l) const {
+  DTN_ASSERT(l < num_landmarks_);
+  if (context_.size() < order_) return 0.0;
+  const auto c = context_counts_.find(context_key());
+  if (c == context_counts_.end() || c->second == 0) return 0.0;
+  const auto g = gram_counts_.find(extended_key(l));
+  if (g == gram_counts_.end()) return 0.0;
+  return static_cast<double>(g->second) / static_cast<double>(c->second);
+}
+
+std::vector<double> MarkovPredictor::next_distribution() const {
+  std::vector<double> dist(num_landmarks_, 0.0);
+  if (context_.size() < order_) return dist;
+  const auto it = successors_.find(context_key());
+  if (it == successors_.end()) return dist;
+  const auto c = context_counts_.find(context_key());
+  DTN_ASSERT(c != context_counts_.end());
+  for (const LandmarkId l : it->second) {
+    const auto g = gram_counts_.find(extended_key(l));
+    dist[l] = static_cast<double>(g->second) / static_cast<double>(c->second);
+  }
+  return dist;
+}
+
+PredictionScore score_sequence(std::size_t num_landmarks, std::size_t order,
+                               const std::vector<LandmarkId>& sequence) {
+  MarkovPredictor predictor(num_landmarks, order);
+  PredictionScore score;
+  for (const LandmarkId l : sequence) {
+    if (predictor.current() == l) continue;
+    const LandmarkId guess = predictor.predict();
+    if (guess != kNoLandmark) {
+      ++score.predictions;
+      if (guess == l) ++score.correct;
+    }
+    predictor.record_visit(l);
+  }
+  return score;
+}
+
+std::vector<LandmarkId> visiting_sequence(std::span<const trace::Visit> visits) {
+  std::vector<LandmarkId> seq;
+  seq.reserve(visits.size());
+  for (const auto& v : visits) {
+    if (seq.empty() || seq.back() != v.landmark) seq.push_back(v.landmark);
+  }
+  return seq;
+}
+
+}  // namespace dtn::core

@@ -1,0 +1,102 @@
+// Order-k Markov predictor over landmark visiting sequences (§IV-B).
+//
+// A node's movement is the sequence of landmarks it visits,
+// L = l(1) l(2) ... (consecutive duplicates collapse — revisiting the
+// same landmark is not a transit).  The order-k predictor estimates
+//
+//   P(next = l | context c) = N(c . l) / N(c)            (eqs. 1-3)
+//
+// where c is the last k landmarks and N counts occurrences of the
+// subsequence in the history so far.  `predict()` returns the argmax;
+// when the context has never been seen there is no prediction, which is
+// how the paper's accuracy metric treats it (predictions / correct
+// predictions are only counted when a prediction is made).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dtn::core {
+
+using trace::LandmarkId;
+using trace::kNoLandmark;
+
+class MarkovPredictor {
+ public:
+  /// `order` in [1, 3] (the paper evaluates k = 1..3); `num_landmarks`
+  /// bounds the id space so contexts pack into 64 bits.
+  MarkovPredictor(std::size_t num_landmarks, std::size_t order);
+
+  /// Record the next visited landmark.  Consecutive duplicates are
+  /// ignored (same-landmark re-association is not a transit).
+  void record_visit(LandmarkId l);
+
+  [[nodiscard]] std::size_t order() const { return order_; }
+  [[nodiscard]] std::size_t num_landmarks() const { return num_landmarks_; }
+  /// Length of the collapsed visiting sequence so far.
+  [[nodiscard]] std::size_t history_length() const { return history_len_; }
+
+  /// True when the current context has been seen before (a prediction
+  /// can be made).
+  [[nodiscard]] bool can_predict() const;
+
+  /// Most probable next landmark, or kNoLandmark when no prediction can
+  /// be made.  Ties break toward the smaller landmark id (determinism).
+  [[nodiscard]] LandmarkId predict() const;
+
+  /// P(next = l | current context); 0 when no prediction can be made.
+  [[nodiscard]] double probability_of(LandmarkId l) const;
+
+  /// Full conditional distribution over landmarks (all zeros when the
+  /// context is unseen).
+  [[nodiscard]] std::vector<double> next_distribution() const;
+
+  /// The landmark of the most recent visit (kNoLandmark before any).
+  [[nodiscard]] LandmarkId current() const;
+
+ private:
+  /// Pack the last `n` context landmarks (n <= order) plus a length tag
+  /// into a 64-bit key.
+  [[nodiscard]] std::uint64_t context_key() const;
+  [[nodiscard]] std::uint64_t extended_key(LandmarkId next) const;
+
+  std::size_t num_landmarks_;
+  std::size_t order_;
+  std::size_t history_len_ = 0;
+  /// Last `order` landmarks, oldest first.
+  std::vector<LandmarkId> context_;
+  /// N(c): occurrences of each k-context.
+  std::unordered_map<std::uint64_t, std::uint32_t> context_counts_;
+  /// N(c . l): occurrences of each (k+1)-gram.
+  std::unordered_map<std::uint64_t, std::uint32_t> gram_counts_;
+  /// Successors observed per context (for argmax/distribution without
+  /// scanning all landmarks).
+  std::unordered_map<std::uint64_t, std::vector<LandmarkId>> successors_;
+};
+
+/// Measured per-node prediction accuracy over a visiting sequence:
+/// feeds each visit in turn, comparing the predictor's output with the
+/// realized next landmark.  Returns (correct, predicted) counts —
+/// the paper's Fig. 6 accuracy is correct/predicted.
+struct PredictionScore {
+  std::size_t correct = 0;
+  std::size_t predictions = 0;
+  [[nodiscard]] double accuracy() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(correct) /
+                                  static_cast<double>(predictions);
+  }
+};
+
+[[nodiscard]] PredictionScore score_sequence(
+    std::size_t num_landmarks, std::size_t order,
+    const std::vector<LandmarkId>& sequence);
+
+/// Collapse a node's visit records into its landmark visiting sequence.
+[[nodiscard]] std::vector<LandmarkId> visiting_sequence(
+    std::span<const trace::Visit> visits);
+
+}  // namespace dtn::core

@@ -1,0 +1,165 @@
+#include "core/routing_table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dtn::core {
+
+RoutingTable::RoutingTable(LandmarkId self, std::size_t num_landmarks)
+    : self_(self),
+      link_delay_(num_landmarks, kInfiniteDelay),
+      advertised_(num_landmarks, num_landmarks, kInfiniteDelay),
+      last_seq_(num_landmarks, 0),
+      pinned_(num_landmarks, 0),
+      pin_route_(num_landmarks),
+      routes_(num_landmarks) {
+  DTN_ASSERT(self < num_landmarks);
+  // A neighbor always advertises delay 0 to itself even before we have
+  // merged anything from it (direct links are usable immediately).
+  for (std::size_t v = 0; v < num_landmarks; ++v) {
+    advertised_.at(v, v) = 0.0;
+  }
+}
+
+void RoutingTable::set_link_delay(LandmarkId neighbor, double delay) {
+  DTN_ASSERT(neighbor < link_delay_.size());
+  DTN_ASSERT(neighbor != self_);
+  DTN_ASSERT(delay >= 0.0);
+  if (link_delay_[neighbor] != delay) {
+    link_delay_[neighbor] = delay;
+    dirty_ = true;
+  }
+}
+
+double RoutingTable::link_delay(LandmarkId neighbor) const {
+  DTN_ASSERT(neighbor < link_delay_.size());
+  return link_delay_[neighbor];
+}
+
+bool RoutingTable::merge(const DistanceVector& dv) {
+  DTN_ASSERT(dv.origin < link_delay_.size());
+  DTN_ASSERT(dv.delay.size() == link_delay_.size());
+  if (dv.origin == self_) return false;
+  if (dv.seq + 1 <= last_seq_[dv.origin]) return false;  // stale
+  last_seq_[dv.origin] = dv.seq + 1;
+  for (std::size_t d = 0; d < dv.delay.size(); ++d) {
+    advertised_.at(dv.origin, d) = dv.delay[d];
+  }
+  advertised_.at(dv.origin, dv.origin) = 0.0;
+  dirty_ = true;
+  return true;
+}
+
+void RoutingTable::recompute() const {
+  if (!dirty_) return;
+  const std::size_t n = link_delay_.size();
+  for (std::size_t d = 0; d < n; ++d) {
+    Route r;
+    if (d == self_) {
+      r.next = self_;
+      r.delay = 0.0;
+      routes_[d] = r;
+      continue;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == self_) continue;
+      const double ld = link_delay_[v];
+      if (ld == kInfiniteDelay) continue;
+      const double adv = advertised_.at(v, d);
+      if (adv == kInfiniteDelay) continue;
+      const double cost = ld + adv;
+      if (cost < r.delay) {
+        r.backup_next = r.next;
+        r.backup_delay = r.delay;
+        r.next = static_cast<LandmarkId>(v);
+        r.delay = cost;
+      } else if (cost < r.backup_delay) {
+        r.backup_next = static_cast<LandmarkId>(v);
+        r.backup_delay = cost;
+      }
+    }
+    if (pinned_[d] != 0) {
+      // The pinned (injected) route replaces the best; the organically
+      // computed best becomes the backup so load balancing still works.
+      Route pr = pin_route_[d];
+      pr.backup_next = r.next;
+      pr.backup_delay = r.delay;
+      routes_[d] = pr;
+    } else {
+      routes_[d] = r;
+    }
+  }
+  dirty_ = false;
+}
+
+Route RoutingTable::route(LandmarkId dst) const {
+  DTN_ASSERT(dst < link_delay_.size());
+  recompute();
+  return routes_[dst];
+}
+
+double RoutingTable::delay_to(LandmarkId dst) const { return route(dst).delay; }
+
+DistanceVector RoutingTable::snapshot() {
+  recompute();
+  DistanceVector dv;
+  dv.origin = self_;
+  dv.seq = seq_++;
+  dv.delay.resize(link_delay_.size());
+  for (std::size_t d = 0; d < dv.delay.size(); ++d) {
+    dv.delay[d] = routes_[d].delay;
+  }
+  dv.delay[self_] = 0.0;
+  return dv;
+}
+
+double RoutingTable::coverage() const {
+  recompute();
+  const std::size_t n = link_delay_.size();
+  if (n <= 1) return 1.0;
+  std::size_t reachable = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (d == self_) continue;
+    if (routes_[d].reachable() && routes_[d].delay != kInfiniteDelay) {
+      ++reachable;
+    }
+  }
+  return static_cast<double>(reachable) / static_cast<double>(n - 1);
+}
+
+std::vector<LandmarkId> RoutingTable::next_hops() const {
+  recompute();
+  std::vector<LandmarkId> out(link_delay_.size(), kNoLandmark);
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    out[d] = routes_[d].next;
+  }
+  return out;
+}
+
+void RoutingTable::pin(LandmarkId dst, LandmarkId next, double fake_delay) {
+  DTN_ASSERT(dst < link_delay_.size());
+  DTN_ASSERT(next < link_delay_.size());
+  DTN_ASSERT(dst != self_);
+  pinned_[dst] = 1;
+  Route r;
+  r.next = next;
+  r.delay = fake_delay;
+  pin_route_[dst] = r;
+  dirty_ = true;
+}
+
+void RoutingTable::unpin(LandmarkId dst) {
+  DTN_ASSERT(dst < link_delay_.size());
+  if (pinned_[dst] != 0) {
+    pinned_[dst] = 0;
+    dirty_ = true;
+  }
+}
+
+bool RoutingTable::is_pinned(LandmarkId dst) const {
+  DTN_ASSERT(dst < link_delay_.size());
+  return pinned_[dst] != 0;
+}
+
+}  // namespace dtn::core

@@ -1,0 +1,109 @@
+// Distance-vector routing tables on landmarks (§IV-C.2, Table IV/V).
+//
+// Each landmark keeps, per destination landmark, the next-hop landmark
+// minimizing the expected overall delay, plus the *backup* next hop
+// (second-lowest delay through a different neighbor, §IV-E.3) used by
+// load balancing.  The table is driven by two inputs:
+//
+//  * direct-link expected delays from the bandwidth estimator
+//    (refreshed every measurement unit), and
+//  * distance vectors received from neighbor landmarks, carried by
+//    mobile nodes.  Each vector carries a sequence number; stale
+//    vectors (not newer than the last merged from that origin) are
+//    discarded, exactly as §IV-C.1 discards out-of-date tokens.
+//
+// Routes are recomputed lazily as min over neighbors of
+// link_delay(self->v) + advertised_v(dst).
+//
+// `pin` force-overrides the next hop of one destination until `unpin`;
+// this is the controlled fault-injection hook used by the routing-loop
+// experiment (Table VII) to model the paper's "untimely routing table
+// update" without racing the repair against the periodic exchange.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace dtn::core {
+
+using trace::LandmarkId;
+using trace::kNoLandmark;
+
+inline constexpr double kInfiniteDelay = std::numeric_limits<double>::infinity();
+
+/// The vector a landmark advertises to its neighbors: its own best
+/// expected delay to every destination.
+struct DistanceVector {
+  LandmarkId origin = kNoLandmark;
+  std::uint64_t seq = 0;
+  std::vector<double> delay;  // per destination; delay[origin] == 0
+
+  [[nodiscard]] std::size_t entries() const { return delay.size(); }
+};
+
+struct Route {
+  LandmarkId next = kNoLandmark;
+  double delay = kInfiniteDelay;
+  LandmarkId backup_next = kNoLandmark;
+  double backup_delay = kInfiniteDelay;
+
+  [[nodiscard]] bool reachable() const { return next != kNoLandmark; }
+};
+
+class RoutingTable {
+ public:
+  RoutingTable(LandmarkId self, std::size_t num_landmarks);
+
+  [[nodiscard]] LandmarkId self() const { return self_; }
+  [[nodiscard]] std::size_t num_landmarks() const { return link_delay_.size(); }
+
+  /// Update the expected delay of the direct link self -> neighbor
+  /// (kInfiniteDelay removes the link).
+  void set_link_delay(LandmarkId neighbor, double delay);
+  [[nodiscard]] double link_delay(LandmarkId neighbor) const;
+
+  /// Merge a neighbor's advertised vector; returns false when the
+  /// vector is stale (or self-originated) and was discarded.
+  bool merge(const DistanceVector& dv);
+
+  /// Best/backup route toward `dst` (self -> {self, 0}).
+  [[nodiscard]] Route route(LandmarkId dst) const;
+  [[nodiscard]] double delay_to(LandmarkId dst) const;
+
+  /// Produce the vector to advertise; each call increments the sequence
+  /// number (one snapshot per carrying node).
+  [[nodiscard]] DistanceVector snapshot();
+
+  /// Fraction of other landmarks with a finite-delay route (Fig. 8
+  /// coverage metric).
+  [[nodiscard]] double coverage() const;
+
+  /// Current next hop per destination (kNoLandmark when unreachable);
+  /// the Fig. 8 stability metric diffs successive calls.
+  [[nodiscard]] std::vector<LandmarkId> next_hops() const;
+
+  // -- fault injection for the loop experiment -------------------------
+  void pin(LandmarkId dst, LandmarkId next, double fake_delay);
+  void unpin(LandmarkId dst);
+  [[nodiscard]] bool is_pinned(LandmarkId dst) const;
+
+ private:
+  void recompute() const;
+
+  LandmarkId self_;
+  std::vector<double> link_delay_;
+  FlatMatrix<double> advertised_;        // [origin][dst]
+  std::vector<std::uint64_t> last_seq_;  // last merged seq + 1 per origin
+  std::vector<std::uint8_t> pinned_;
+  std::vector<Route> pin_route_;
+  std::uint64_t seq_ = 0;
+
+  mutable std::vector<Route> routes_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace dtn::core

@@ -1,0 +1,97 @@
+#include "metrics/experiment.hpp"
+
+#include <span>
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dtn::metrics {
+
+namespace {
+
+Aggregate aggregate_metric(std::span<const RunResult> runs,
+                           double (*pick)(const RunResult&),
+                           double confidence) {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& r : runs) xs.push_back(pick(r));
+  Aggregate a;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  a.mean = rs.mean();
+  a.ci_half_width = confidence_half_width(xs, confidence);
+  return a;
+}
+
+}  // namespace
+
+std::vector<CellResult> run_sweep(
+    const trace::Trace& trace, const net::WorkloadConfig& base_workload,
+    const std::vector<std::pair<std::string, RouterFactory>>& factories,
+    const SweepConfig& sweep, const CostModel& cost) {
+  DTN_ASSERT(!sweep.values.empty());
+  DTN_ASSERT(sweep.replicates >= 1);
+
+  struct Job {
+    std::size_t cell;
+    std::size_t replicate;
+    std::string router;
+    double value;
+    const RouterFactory* factory;
+  };
+  std::vector<Job> jobs;
+  std::vector<CellResult> cells;
+  for (std::size_t f = 0; f < factories.size(); ++f) {
+    for (std::size_t v = 0; v < sweep.values.size(); ++v) {
+      CellResult cell;
+      cell.router = factories[f].first;
+      cell.sweep_value = sweep.values[v];
+      cell.replicates.resize(sweep.replicates);
+      const std::size_t cell_index = cells.size();
+      cells.push_back(std::move(cell));
+      for (std::size_t r = 0; r < sweep.replicates; ++r) {
+        jobs.push_back(Job{cell_index, r, factories[f].first, sweep.values[v],
+                           &factories[f].second});
+      }
+    }
+  }
+
+  auto run_job = [&](std::size_t j) {
+    const Job& job = jobs[j];
+    net::WorkloadConfig workload = base_workload;
+    if (sweep.apply) sweep.apply(workload, job.value);
+    // Replicates differ only in workload seed; the trace is fixed.
+    workload.seed = base_workload.seed + 0x9e37 * (job.replicate + 1);
+    auto router = (*job.factory)();
+    cells[job.cell].replicates[job.replicate] =
+        run_experiment(trace, *router, workload, cost);
+  };
+
+  if (sweep.threads == 1 || jobs.size() == 1) {
+    serial_for(jobs.size(), run_job);
+  } else {
+    ThreadPool pool(sweep.threads);
+    parallel_for(pool, jobs.size(), run_job);
+  }
+
+  for (auto& cell : cells) {
+    const auto runs = std::span<const RunResult>(cell.replicates);
+    cell.success_rate = aggregate_metric(
+        runs, [](const RunResult& r) { return r.success_rate; },
+        sweep.confidence);
+    cell.avg_delay = aggregate_metric(
+        runs, [](const RunResult& r) { return r.avg_delay; }, sweep.confidence);
+    cell.overall_delay = aggregate_metric(
+        runs, [](const RunResult& r) { return r.overall_delay; },
+        sweep.confidence);
+    cell.forwarding_cost = aggregate_metric(
+        runs, [](const RunResult& r) { return r.forwarding_cost; },
+        sweep.confidence);
+    cell.total_cost = aggregate_metric(
+        runs, [](const RunResult& r) { return r.total_cost; },
+        sweep.confidence);
+  }
+  return cells;
+}
+
+}  // namespace dtn::metrics

@@ -1,0 +1,58 @@
+// Experiment runner: router x sweep-parameter grids with replicates,
+// parallelized over a thread pool, aggregated with Student-t confidence
+// intervals (the paper reports 95% CIs).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "net/router.hpp"
+#include "trace/trace.hpp"
+
+namespace dtn::metrics {
+
+/// Fresh-router factory: every run needs its own router instance
+/// (routers accumulate learned state).
+using RouterFactory = std::function<std::unique_ptr<net::Router>()>;
+
+/// One aggregated metric: mean over replicates with a CI half-width.
+struct Aggregate {
+  double mean = 0.0;
+  double ci_half_width = 0.0;
+};
+
+/// Aggregated metrics for one (router, sweep value) cell.
+struct CellResult {
+  std::string router;
+  double sweep_value = 0.0;
+  Aggregate success_rate;
+  Aggregate avg_delay;
+  Aggregate overall_delay;
+  Aggregate forwarding_cost;
+  Aggregate total_cost;
+  std::vector<RunResult> replicates;
+};
+
+struct SweepConfig {
+  /// Values of the swept parameter (e.g. memory sizes in kB).
+  std::vector<double> values;
+  /// Applies one sweep value to the workload template.
+  std::function<void(net::WorkloadConfig&, double)> apply;
+  std::size_t replicates = 1;
+  double confidence = 0.95;
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Run every router over every sweep value, `replicates` times each with
+/// distinct workload seeds; results keep router-major order matching
+/// `factories`.
+[[nodiscard]] std::vector<CellResult> run_sweep(
+    const trace::Trace& trace, const net::WorkloadConfig& base_workload,
+    const std::vector<std::pair<std::string, RouterFactory>>& factories,
+    const SweepConfig& sweep, const CostModel& cost = {});
+
+}  // namespace dtn::metrics

@@ -1,0 +1,57 @@
+// Derived metrics (§V-A.1) and the single-run harness.
+//
+//  * success rate  — delivered / generated;
+//  * average delay — mean delay of delivered packets;
+//  * overall delay — mean over all packets, an undelivered packet
+//    counting as the experiment duration (used by the Table VII bench);
+//  * forwarding cost — packet forwarding operations;
+//  * total cost — forwarding cost + control-information cost, where
+//    transferring a table of m entries counts as m / alpha operations
+//    (the paper's alpha is unreadable in the source text; we default to
+//    50, roughly one packet's worth of entries, see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "trace/trace.hpp"
+
+namespace dtn::metrics {
+
+struct CostModel {
+  /// Table entries per forwarding-operation equivalent.
+  double entries_per_op = 50.0;
+};
+
+struct RunResult {
+  std::string router;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_ttl = 0;
+  double success_rate = 0.0;
+  double avg_delay = 0.0;      ///< seconds, delivered packets only
+  double overall_delay = 0.0;  ///< seconds, failures count as `failure_delay`
+  double forwarding_cost = 0.0;
+  double control_cost = 0.0;
+  double total_cost = 0.0;
+  /// The delay each failure contributes to `overall_delay` (experiment
+  /// duration, per the paper's Table VII methodology).
+  double failure_delay = 0.0;
+  std::vector<double> delivery_delays;  ///< seconds, for quantile figures
+  /// Mean forwarding operations per delivered packet (path length).
+  double mean_hops = 0.0;
+};
+
+/// Derive a RunResult from a finished network.
+[[nodiscard]] RunResult summarize(const net::Network& network,
+                                  const std::string& router_name,
+                                  const CostModel& cost = {});
+
+/// Convenience: build a network over `trace`, run `router`, summarize.
+[[nodiscard]] RunResult run_experiment(const trace::Trace& trace,
+                                       net::Router& router,
+                                       const net::WorkloadConfig& workload,
+                                       const CostModel& cost = {});
+
+}  // namespace dtn::metrics

@@ -1,0 +1,59 @@
+#include "metrics/observer.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dtn::metrics {
+
+ObservedRouter::ObservedRouter(std::unique_ptr<net::Router> inner)
+    : inner_(std::move(inner)) {
+  DTN_ASSERT(inner_ != nullptr);
+}
+
+void ObservedRouter::on_init(net::Network& net) {
+  samples_.clear();
+  inner_->on_init(net);
+}
+
+void ObservedRouter::on_arrival(net::Network& net, net::NodeId node,
+                                net::LandmarkId l) {
+  inner_->on_arrival(net, node, l);
+}
+
+void ObservedRouter::on_departure(net::Network& net, net::NodeId node,
+                                  net::LandmarkId l) {
+  inner_->on_departure(net, node, l);
+}
+
+void ObservedRouter::on_contact(net::Network& net, net::NodeId arriving,
+                                net::NodeId present, net::LandmarkId l) {
+  inner_->on_contact(net, arriving, present, l);
+}
+
+void ObservedRouter::on_packet_generated(net::Network& net,
+                                         net::PacketId pid) {
+  inner_->on_packet_generated(net, pid);
+}
+
+void ObservedRouter::on_time_unit(net::Network& net, std::size_t unit_index) {
+  inner_->on_time_unit(net, unit_index);
+  TimeSample s;
+  s.time = net.now();
+  s.unit = unit_index;
+  s.generated = net.counters().generated;
+  s.delivered = net.counters().delivered;
+  s.dropped_ttl = net.counters().dropped_ttl;
+  for (net::LandmarkId l = 0; l < net.num_landmarks(); ++l) {
+    const std::size_t backlog = net.station_packets(l).size();
+    s.station_backlog_total += backlog;
+    s.station_backlog_max = std::max(s.station_backlog_max, backlog);
+    s.origin_backlog_total += net.origin_packets(l).size();
+  }
+  for (net::NodeId n = 0; n < net.num_nodes(); ++n) {
+    s.node_buffered_total += net.node_packets(n).size();
+  }
+  samples_.push_back(s);
+}
+
+}  // namespace dtn::metrics

@@ -1,0 +1,30 @@
+#include "net/buffer.hpp"
+
+#include <algorithm>
+
+namespace dtn::net {
+
+bool Buffer::contains(PacketId pid) const {
+  return std::find(packets_.begin(), packets_.end(), pid) != packets_.end();
+}
+
+bool Buffer::add(PacketId pid, std::uint32_t size_kb) {
+  if (!has_space(size_kb)) return false;
+  DTN_ASSERT(!contains(pid));
+  packets_.push_back(pid);
+  used_kb_ += size_kb;
+  return true;
+}
+
+void Buffer::remove(PacketId pid, std::uint32_t size_kb) {
+  const auto it = std::find(packets_.begin(), packets_.end(), pid);
+  DTN_ASSERT(it != packets_.end());
+  // Swap-erase: buffer order is not meaningful; routers that need a
+  // priority order sort a copy.
+  *it = packets_.back();
+  packets_.pop_back();
+  DTN_ASSERT(used_kb_ >= size_kb);
+  used_kb_ -= size_kb;
+}
+
+}  // namespace dtn::net

@@ -1,0 +1,42 @@
+// Finite packet buffer of a mobile node (landmark stations are
+// modelled as unbounded per §V-A.1: "the memory of the landmark was not
+// limited").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dtn::net {
+
+class Buffer {
+ public:
+  /// capacity_kb == 0 means unbounded.
+  explicit Buffer(std::uint64_t capacity_kb = 0) : capacity_kb_(capacity_kb) {}
+
+  [[nodiscard]] std::uint64_t capacity_kb() const { return capacity_kb_; }
+  [[nodiscard]] std::uint64_t used_kb() const { return used_kb_; }
+  [[nodiscard]] bool unbounded() const { return capacity_kb_ == 0; }
+  [[nodiscard]] bool has_space(std::uint32_t size_kb) const {
+    return unbounded() || used_kb_ + size_kb <= capacity_kb_;
+  }
+  [[nodiscard]] std::size_t count() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+  [[nodiscard]] std::span<const PacketId> packets() const { return packets_; }
+  [[nodiscard]] bool contains(PacketId pid) const;
+
+  /// Insert; returns false (and leaves the buffer unchanged) on overflow.
+  [[nodiscard]] bool add(PacketId pid, std::uint32_t size_kb);
+
+  /// Remove a packet that must be present.
+  void remove(PacketId pid, std::uint32_t size_kb);
+
+ private:
+  std::uint64_t capacity_kb_;
+  std::uint64_t used_kb_ = 0;
+  std::vector<PacketId> packets_;
+};
+
+}  // namespace dtn::net

@@ -1,0 +1,582 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace dtn::net {
+
+Network::Network(const trace::Trace& trace, Router& router,
+                 WorkloadConfig config)
+    : trace_(trace), router_(router), cfg_(config), rng_(config.seed) {
+  DTN_ASSERT(trace.finalized());
+  DTN_ASSERT(cfg_.warmup_fraction >= 0.0 && cfg_.warmup_fraction < 1.0);
+  DTN_ASSERT(cfg_.time_unit > 0.0);
+  nodes_.reserve(trace.num_nodes());
+  for (std::size_t n = 0; n < trace.num_nodes(); ++n) {
+    nodes_.emplace_back(cfg_.node_memory_kb);
+  }
+  stations_.resize(trace.num_landmarks());
+  trace_begin_ = trace.begin_time();
+  trace_end_ = trace.end_time();
+  workload_start_ =
+      trace_begin_ + cfg_.warmup_fraction * (trace_end_ - trace_begin_);
+}
+
+void Network::run() {
+  DTN_ASSERT(!ran_);
+  ran_ = true;
+
+  router_.on_init(*this);
+
+  // Replay the trace: one arrival and one departure event per visit.
+  for (NodeId n = 0; n < trace_.num_nodes(); ++n) {
+    for (const auto& v : trace_.visits(n)) {
+      sim_.at(v.start, [this, v] { handle_arrival(v); });
+      sim_.at(v.end, [this, v] { handle_departure(v); });
+    }
+  }
+
+  // Packet workload: independent Poisson process per landmark, starting
+  // after the initialization phase (paper: first 1/4 of the trace).
+  if (cfg_.packets_per_landmark_per_day > 0.0 && trace_.num_landmarks() > 1) {
+    for (LandmarkId l = 0; l < trace_.num_landmarks(); ++l) {
+      schedule_generation(l, workload_start_);
+    }
+  }
+
+  // Deterministic extra workload.
+  for (const auto& mp : cfg_.manual_packets) {
+    DTN_ASSERT(mp.src < trace_.num_landmarks());
+    DTN_ASSERT(mp.dst < trace_.num_landmarks());
+    DTN_ASSERT(mp.src != mp.dst || mp.dst_node != trace::kNoNode);
+    const double ttl = mp.ttl > 0.0 ? mp.ttl : cfg_.ttl;
+    sim_.at(mp.time, [this, mp, ttl] {
+      generate_packet(mp.src, mp.dst, ttl, mp.dst_node);
+    });
+  }
+
+  // Measurement time-unit ticks for bandwidth / routing-table updates,
+  // plus TTL expiry sweeps.
+  const auto units = static_cast<std::size_t>(
+      std::ceil((trace_end_ - trace_begin_) / cfg_.time_unit));
+  for (std::size_t u = 1; u <= units; ++u) {
+    const double t = trace_begin_ + static_cast<double>(u) * cfg_.time_unit;
+    if (t > trace_end_) break;
+    sim_.at(t, [this, u] {
+      drop_expired();
+      router_.on_time_unit(*this, u);
+    });
+  }
+
+  sim_.run_until(trace_end_);
+  drop_expired();
+}
+
+std::span<const NodeId> Network::nodes_at(LandmarkId l) const {
+  DTN_ASSERT(l < stations_.size());
+  return stations_[l].present;
+}
+
+LandmarkId Network::location(NodeId node) const {
+  DTN_ASSERT(node < nodes_.size());
+  return nodes_[node].location;
+}
+
+LandmarkId Network::previous_landmark(NodeId node) const {
+  DTN_ASSERT(node < nodes_.size());
+  return nodes_[node].previous;
+}
+
+std::span<const trace::Visit> Network::history(NodeId node) const {
+  DTN_ASSERT(node < nodes_.size());
+  return nodes_[node].history;
+}
+
+Packet& Network::packet(PacketId pid) {
+  DTN_ASSERT(pid < packets_.size());
+  return packets_[pid];
+}
+
+const Packet& Network::packet(PacketId pid) const {
+  DTN_ASSERT(pid < packets_.size());
+  return packets_[pid];
+}
+
+std::span<const PacketId> Network::origin_packets(LandmarkId l) const {
+  DTN_ASSERT(l < stations_.size());
+  return stations_[l].origin;
+}
+
+std::span<const PacketId> Network::station_packets(LandmarkId l) const {
+  DTN_ASSERT(l < stations_.size());
+  return stations_[l].storage.packets();
+}
+
+std::span<const PacketId> Network::node_packets(NodeId node) const {
+  DTN_ASSERT(node < nodes_.size());
+  return nodes_[node].buffer.packets();
+}
+
+const Buffer& Network::node_buffer(NodeId node) const {
+  DTN_ASSERT(node < nodes_.size());
+  return nodes_[node].buffer;
+}
+
+void Network::detach_from_holder(Packet& p) {
+  switch (p.state) {
+    case PacketState::kAtOrigin: {
+      auto& origin = stations_[p.holder].origin;
+      const auto it = std::find(origin.begin(), origin.end(), p.id);
+      DTN_ASSERT(it != origin.end());
+      origin.erase(it);
+      break;
+    }
+    case PacketState::kAtStation:
+      stations_[p.holder].storage.remove(p.id, p.size_kb);
+      break;
+    case PacketState::kOnNode:
+      nodes_[p.holder].buffer.remove(p.id, p.size_kb);
+      break;
+    default:
+      DTN_ASSERT(false);
+  }
+}
+
+bool Network::drop_if_expired(PacketId pid) {
+  Packet& p = packet(pid);
+  DTN_ASSERT(!is_terminal(p.state));
+  if (!p.expired(sim_.now())) return false;
+  detach_from_holder(p);
+  if (logical_delivered_[p.logical] != 0) {
+    p.state = PacketState::kObsoleteCopy;
+  } else {
+    p.state = PacketState::kDroppedTtl;
+    ++counters_.dropped_ttl;
+  }
+  return true;
+}
+
+bool Network::pickup_from_origin(NodeId node, PacketId pid) {
+  Packet& p = packet(pid);
+  DTN_ASSERT(p.state == PacketState::kAtOrigin);
+  DTN_ASSERT(nodes_[node].location == p.holder);
+  if (drop_if_expired(pid)) return false;
+  if (p.dst_node == node) {
+    // Picked up by its destination: delivered on the spot.
+    detach_from_holder(p);
+    ++p.hops;
+    ++counters_.packet_forwards;
+    deliver(pid);
+    return true;
+  }
+  auto& origin = stations_[p.holder].origin;
+  if (!nodes_[node].buffer.add(pid, p.size_kb)) {
+    ++counters_.refused_buffer;
+    return false;
+  }
+  const auto it = std::find(origin.begin(), origin.end(), pid);
+  DTN_ASSERT(it != origin.end());
+  origin.erase(it);
+  p.state = PacketState::kOnNode;
+  p.holder = node;
+  ++p.hops;
+  ++counters_.packet_forwards;
+  return true;
+}
+
+bool Network::station_to_node(LandmarkId l, NodeId node, PacketId pid) {
+  Packet& p = packet(pid);
+  DTN_ASSERT(p.state == PacketState::kAtStation);
+  DTN_ASSERT(p.holder == l);
+  DTN_ASSERT(nodes_[node].location == l);
+  if (drop_if_expired(pid)) return false;
+  if (p.dst_node == node) {
+    detach_from_holder(p);
+    ++p.hops;
+    ++counters_.packet_forwards;
+    deliver(pid);
+    return true;
+  }
+  if (!nodes_[node].buffer.add(pid, p.size_kb)) {
+    ++counters_.refused_buffer;
+    return false;
+  }
+  stations_[l].storage.remove(pid, p.size_kb);
+  p.state = PacketState::kOnNode;
+  p.holder = node;
+  ++p.hops;
+  ++counters_.packet_forwards;
+  return true;
+}
+
+void Network::node_to_station(NodeId node, PacketId pid) {
+  Packet& p = packet(pid);
+  DTN_ASSERT(p.state == PacketState::kOnNode);
+  DTN_ASSERT(p.holder == node);
+  const LandmarkId l = nodes_[node].location;
+  DTN_ASSERT(l != kNoLandmark);
+  if (drop_if_expired(pid)) return;
+  nodes_[node].buffer.remove(pid, p.size_kb);
+  ++p.hops;
+  ++counters_.packet_forwards;
+  if (p.dst == l && p.dst_node == trace::kNoNode) {
+    deliver(pid);
+    return;
+  }
+  if (p.dst_node != trace::kNoNode &&
+      nodes_[p.dst_node].location == l) {
+    // The destination node is connected right here: hand over.
+    deliver(pid);
+    return;
+  }
+  const bool ok = stations_[l].storage.add(pid, p.size_kb);
+  DTN_ASSERT(ok);  // stations are unbounded
+  p.state = PacketState::kAtStation;
+  p.holder = l;
+  p.station_path.push_back(l);
+}
+
+bool Network::node_to_node(NodeId from, NodeId to, PacketId pid) {
+  Packet& p = packet(pid);
+  DTN_ASSERT(p.state == PacketState::kOnNode);
+  DTN_ASSERT(p.holder == from);
+  DTN_ASSERT(from != to);
+  DTN_ASSERT(nodes_[from].location != kNoLandmark);
+  DTN_ASSERT(nodes_[from].location == nodes_[to].location);
+  if (drop_if_expired(pid)) return false;
+  if (p.dst_node == to) {
+    detach_from_holder(p);
+    ++p.hops;
+    ++counters_.packet_forwards;
+    deliver(pid);
+    return true;
+  }
+  if (!nodes_[to].buffer.add(pid, p.size_kb)) {
+    ++counters_.refused_buffer;
+    return false;
+  }
+  nodes_[from].buffer.remove(pid, p.size_kb);
+  p.holder = to;
+  ++p.hops;
+  ++counters_.packet_forwards;
+  return true;
+}
+
+PacketId Network::replicate_node_to_node(NodeId from, NodeId to,
+                                         PacketId pid) {
+  const Packet& src = packet(pid);
+  DTN_ASSERT(src.state == PacketState::kOnNode);
+  DTN_ASSERT(src.holder == from);
+  DTN_ASSERT(from != to);
+  DTN_ASSERT(nodes_[from].location != kNoLandmark);
+  DTN_ASSERT(nodes_[from].location == nodes_[to].location);
+  if (logical_delivered_[src.logical] != 0) return kNoPacket;
+  if (drop_if_expired(pid)) return kNoPacket;
+  if (!nodes_[to].buffer.has_space(src.size_kb)) {
+    ++counters_.refused_buffer;
+    return kNoPacket;
+  }
+  Packet copy = src;  // inherits deadline, routing state, path record
+  copy.id = static_cast<PacketId>(packets_.size());
+  copy.state = PacketState::kOnNode;
+  copy.holder = to;
+  ++copy.hops;
+  const bool ok = nodes_[to].buffer.add(copy.id, copy.size_kb);
+  DTN_ASSERT(ok);
+  packets_.push_back(std::move(copy));
+  logical_delivered_.push_back(0);  // indexed per packet row; unused for copies
+  ++counters_.packet_forwards;
+  ++counters_.replications;
+  return packets_.back().id;
+}
+
+bool Network::node_holds_logical(NodeId node, PacketId logical) const {
+  DTN_ASSERT(node < nodes_.size());
+  for (const PacketId pid : nodes_[node].buffer.packets()) {
+    if (packets_[pid].logical == logical) return true;
+  }
+  return false;
+}
+
+bool Network::logical_delivered(PacketId logical) const {
+  DTN_ASSERT(logical < logical_delivered_.size());
+  return logical_delivered_[logical] != 0;
+}
+
+void Network::account_control(double entries) {
+  DTN_ASSERT(entries >= 0.0);
+  counters_.control_entries += entries;
+}
+
+void Network::validate_invariants() const {
+  std::uint64_t active = 0;
+  for (const Packet& p : packets_) {
+    if (is_terminal(p.state)) continue;
+    ++active;
+    switch (p.state) {
+      case PacketState::kAtOrigin: {
+        const auto& origin = stations_[p.holder].origin;
+        DTN_ASSERT(std::find(origin.begin(), origin.end(), p.id) !=
+                   origin.end());
+        break;
+      }
+      case PacketState::kAtStation:
+        DTN_ASSERT(stations_[p.holder].storage.contains(p.id));
+        break;
+      case PacketState::kOnNode:
+        DTN_ASSERT(nodes_[p.holder].buffer.contains(p.id));
+        break;
+      default:
+        DTN_ASSERT(false);
+    }
+  }
+  // Every buffered id points back to a packet naming that buffer.
+  std::uint64_t buffered = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (const PacketId pid : nodes_[n].buffer.packets()) {
+      DTN_ASSERT(packets_[pid].state == PacketState::kOnNode);
+      DTN_ASSERT(packets_[pid].holder == n);
+      ++buffered;
+    }
+  }
+  for (std::size_t l = 0; l < stations_.size(); ++l) {
+    for (const PacketId pid : stations_[l].storage.packets()) {
+      DTN_ASSERT(packets_[pid].state == PacketState::kAtStation);
+      DTN_ASSERT(packets_[pid].holder == l);
+      ++buffered;
+    }
+    for (const PacketId pid : stations_[l].origin) {
+      DTN_ASSERT(packets_[pid].state == PacketState::kAtOrigin);
+      DTN_ASSERT(packets_[pid].holder == l);
+      ++buffered;
+    }
+  }
+  DTN_ASSERT(buffered == active);
+  // Terminal accounting: originals are generated; every delivered
+  // logical was counted exactly once.
+  DTN_ASSERT(counters_.delivered == counters_.delivery_delays.size());
+  DTN_ASSERT(counters_.delivered <= counters_.generated);
+}
+
+void Network::schedule_generation(LandmarkId l, double from_time) {
+  const double mean_gap = trace::kDay / cfg_.packets_per_landmark_per_day;
+  const double t = from_time + rng_.exponential(mean_gap);
+  if (t > trace_end_) return;
+  sim_.at(t, [this, l, t] {
+    generate_random_packet(l);
+    schedule_generation(l, t);
+  });
+}
+
+void Network::generate_random_packet(LandmarkId src) {
+  LandmarkId dst;
+  if (cfg_.destination_weights.empty()) {
+    // Uniformly random destination among the other landmarks (§V-A.1).
+    dst = static_cast<LandmarkId>(rng_.uniform_index(trace_.num_landmarks() - 1));
+    if (dst >= src) ++dst;
+  } else {
+    DTN_ASSERT(cfg_.destination_weights.size() == trace_.num_landmarks());
+    std::vector<double> weights = cfg_.destination_weights;
+    weights[src] = 0.0;
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    // All demand from this landmark targets itself (e.g. the collection
+    // sink): nothing to send.
+    if (total <= 0.0) return;
+    dst = static_cast<LandmarkId>(rng_.discrete(weights));
+  }
+  generate_packet(src, dst, cfg_.ttl);
+}
+
+PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
+                                  NodeId dst_node) {
+  Packet p;
+  p.id = static_cast<PacketId>(packets_.size());
+  p.logical = p.id;
+  p.src = src;
+  p.dst = dst;
+  p.dst_node = dst_node;
+  p.created = sim_.now();
+  p.ttl = ttl;
+  p.size_kb = cfg_.packet_size_kb;
+  p.holder = src;
+  if (router_.uses_stations()) {
+    p.state = PacketState::kAtStation;
+    p.station_path.push_back(src);
+    const bool ok = stations_[src].storage.add(p.id, p.size_kb);
+    DTN_ASSERT(ok);
+  } else {
+    p.state = PacketState::kAtOrigin;
+    stations_[src].origin.push_back(p.id);
+  }
+  packets_.push_back(std::move(p));
+  logical_delivered_.push_back(0);
+  ++counters_.generated;
+  const PacketId pid = packets_.back().id;
+  // A node-addressed packet whose destination node is connected at the
+  // source right now is handed over on the spot.
+  Packet& placed = packets_.back();
+  if (placed.dst_node != trace::kNoNode &&
+      placed.dst_node < nodes_.size() &&
+      nodes_[placed.dst_node].location == src) {
+    if (placed.state == PacketState::kAtStation) {
+      stations_[src].storage.remove(pid, placed.size_kb);
+    } else {
+      auto& origin = stations_[src].origin;
+      origin.erase(std::find(origin.begin(), origin.end(), pid));
+    }
+    ++placed.hops;
+    ++counters_.packet_forwards;
+    deliver(pid);
+    return pid;
+  }
+  router_.on_packet_generated(*this, pid);
+  return pid;
+}
+
+void Network::deliver(PacketId pid) {
+  Packet& p = packet(pid);
+  DTN_ASSERT(!is_terminal(p.state));
+  p.delivered_at = sim_.now();
+  if (logical_delivered_[p.logical] != 0) {
+    // Another copy got there first: retire silently.
+    p.state = PacketState::kObsoleteCopy;
+    return;
+  }
+  logical_delivered_[p.logical] = 1;
+  p.state = PacketState::kDelivered;
+  ++counters_.delivered;
+  const double delay = p.delivered_at - p.created;
+  counters_.total_delay += delay;
+  counters_.delivery_delays.push_back(delay);
+  counters_.delivery_hops.push_back(p.hops);
+}
+
+void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
+  const double now = sim_.now();
+  // Station packets addressed to the arriving node.
+  std::vector<PacketId> ready;
+  for (const PacketId pid : stations_[l].storage.packets()) {
+    if (packets_[pid].dst_node == arriving) ready.push_back(pid);
+  }
+  for (const PacketId pid : ready) {
+    Packet& p = packets_[pid];
+    if (p.expired(now)) continue;
+    stations_[l].storage.remove(pid, p.size_kb);
+    ++p.hops;
+    ++counters_.packet_forwards;
+    deliver(pid);
+  }
+  // Packets carried by co-located nodes and addressed to the arriving
+  // node, plus packets carried by the arriving node addressed to a
+  // co-located node.
+  for (const NodeId other : stations_[l].present) {
+    for (const NodeId holder : {other, arriving}) {
+      const NodeId target = holder == arriving ? other : arriving;
+      if (holder == target) continue;
+      std::vector<PacketId> handover;
+      for (const PacketId pid : nodes_[holder].buffer.packets()) {
+        if (packets_[pid].dst_node == target) handover.push_back(pid);
+      }
+      for (const PacketId pid : handover) {
+        Packet& p = packets_[pid];
+        if (p.expired(now)) continue;
+        nodes_[holder].buffer.remove(pid, p.size_kb);
+        ++p.hops;
+        ++counters_.packet_forwards;
+        deliver(pid);
+      }
+    }
+  }
+}
+
+void Network::drop_expired() {
+  const double now = sim_.now();
+  for (Packet& p : packets_) {
+    if (is_terminal(p.state)) continue;
+    const bool obsolete = logical_delivered_[p.logical] != 0;
+    if (!obsolete && !p.expired(now)) continue;
+    switch (p.state) {
+      case PacketState::kAtOrigin: {
+        auto& origin = stations_[p.holder].origin;
+        const auto it = std::find(origin.begin(), origin.end(), p.id);
+        DTN_ASSERT(it != origin.end());
+        origin.erase(it);
+        break;
+      }
+      case PacketState::kAtStation:
+        stations_[p.holder].storage.remove(p.id, p.size_kb);
+        break;
+      case PacketState::kOnNode:
+        nodes_[p.holder].buffer.remove(p.id, p.size_kb);
+        break;
+      default:
+        break;
+    }
+    if (obsolete) {
+      p.state = PacketState::kObsoleteCopy;
+    } else {
+      p.state = PacketState::kDroppedTtl;
+      ++counters_.dropped_ttl;
+    }
+  }
+}
+
+void Network::handle_arrival(const trace::Visit& visit) {
+  NodeState& node = nodes_[visit.node];
+  StationState& station = stations_[visit.landmark];
+  DTN_ASSERT(node.location == kNoLandmark);
+  node.location = visit.landmark;
+  station.present.push_back(visit.node);
+
+  // Automatic delivery: every router hands over packets destined to the
+  // landmark the carrier just reached (DTN-FLOW step 5; for baselines
+  // this *is* delivery — the carrier reached the destination area).
+  std::vector<PacketId> arrived;
+  for (PacketId pid : node.buffer.packets()) {
+    if (packets_[pid].dst == visit.landmark &&
+        packets_[pid].dst_node == trace::kNoNode) {
+      arrived.push_back(pid);
+    }
+  }
+  for (PacketId pid : arrived) {
+    Packet& p = packets_[pid];
+    if (p.expired(sim_.now())) continue;  // swept later
+    node.buffer.remove(pid, p.size_kb);
+    ++p.hops;
+    ++counters_.packet_forwards;
+    deliver(pid);
+  }
+
+  // Node-addressed packets (§IV-E.4) waiting anywhere at this landmark
+  // for the arriving node, or carried by it toward a co-located node.
+  deliver_node_addressed(visit.node, visit.landmark);
+
+  router_.on_arrival(*this, visit.node, visit.landmark);
+
+  // Node-node contacts with everyone already present.
+  for (NodeId other : station.present) {
+    if (other == visit.node) continue;
+    router_.on_contact(*this, visit.node, other, visit.landmark);
+  }
+}
+
+void Network::handle_departure(const trace::Visit& visit) {
+  NodeState& node = nodes_[visit.node];
+  StationState& station = stations_[visit.landmark];
+  DTN_ASSERT(node.location == visit.landmark);
+
+  router_.on_departure(*this, visit.node, visit.landmark);
+
+  const auto it =
+      std::find(station.present.begin(), station.present.end(), visit.node);
+  DTN_ASSERT(it != station.present.end());
+  station.present.erase(it);
+  node.location = kNoLandmark;
+  node.previous = visit.landmark;
+  node.history.push_back(visit);
+}
+
+}  // namespace dtn::net

@@ -1,0 +1,202 @@
+// Trace-driven DTN network engine.
+//
+// Replays a mobility trace as discrete events (node arrivals/departures
+// at landmarks), generates the packet workload, maintains ground truth
+// (locations, buffers, packet states), performs transfers on behalf of
+// the active `Router`, and accounts the paper's four metrics' raw
+// counters (§V-A.1): delivery, delay, packet-forwarding operations and
+// control-information transfer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/packet.hpp"
+#include "net/router.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dtn::net {
+
+struct WorkloadConfig {
+  /// Packets generated per landmark per day (Poisson arrivals);
+  /// destinations uniform over the other landmarks.
+  double packets_per_landmark_per_day = 20.0;
+  double ttl = 20.0 * trace::kDay;
+  std::uint32_t packet_size_kb = 1;
+  /// Per-node memory in kB (0 = unbounded).
+  std::uint64_t node_memory_kb = 2000;
+  /// Fraction of the trace used as an initialization phase before any
+  /// packet is generated (paper: first 1/4, routers warm up on it).
+  double warmup_fraction = 0.25;
+  /// Measurement time unit for bandwidth/routing-table updates
+  /// (paper: 3 days for DART, 0.5 day for DNET).
+  double time_unit = 3.0 * trace::kDay;
+  std::uint64_t seed = 7;
+
+  /// Optional per-landmark destination weights for the Poisson
+  /// workload; empty = uniform over the other landmarks.  Skewed
+  /// weights create hot-spot traffic (overloaded links, §IV-E.3).
+  std::vector<double> destination_weights;
+
+  /// Deterministic extra workload: packets injected at exact times
+  /// (used by tests, examples and the deployment bench in addition to —
+  /// or instead of — the Poisson workload).
+  struct ManualPacket {
+    trace::LandmarkId src = 0;
+    trace::LandmarkId dst = 0;
+    double time = 0.0;
+    double ttl = 0.0;  ///< 0 = use the config TTL
+    /// Node-addressed packet (§IV-E.4): delivery requires reaching this
+    /// node; `dst` is only the routing target landmark.
+    trace::NodeId dst_node = trace::kNoNode;
+  };
+  std::vector<ManualPacket> manual_packets;
+};
+
+/// Raw counters produced by a run; `metrics::` derives the paper's
+/// success rate / average delay / forwarding cost / total cost.
+struct RunCounters {
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_ttl = 0;
+  /// Transfers refused because the receiving node's buffer was full.
+  std::uint64_t refused_buffer = 0;
+  /// Packet forwarding operations (origin->node, node->node,
+  /// node->station, station->node, arrival auto-delivery, replication).
+  std::uint64_t packet_forwards = 0;
+  /// Copies created by multi-copy routers.
+  std::uint64_t replications = 0;
+  /// Control-information entries transferred (routing tables,
+  /// meeting-probability vectors); converted to operations by the cost
+  /// model (entries / alpha).
+  double control_entries = 0.0;
+  /// Sum of delays of delivered packets (seconds).
+  double total_delay = 0.0;
+  /// Per-packet delays of delivered packets (for quantile figures).
+  std::vector<double> delivery_delays;
+  /// Forwarding operations each delivered packet took (path length).
+  std::vector<std::uint32_t> delivery_hops;
+};
+
+class Network {
+ public:
+  Network(const trace::Trace& trace, Router& router, WorkloadConfig config);
+
+  /// Replay the whole trace.  Call exactly once.
+  void run();
+
+  // -- introspection ----------------------------------------------------
+  [[nodiscard]] double now() const { return sim_.now(); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_landmarks() const { return stations_.size(); }
+  [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
+  [[nodiscard]] const RunCounters& counters() const { return counters_; }
+  [[nodiscard]] double trace_begin() const { return trace_begin_; }
+  [[nodiscard]] double trace_end() const { return trace_end_; }
+  /// Time packet generation starts (end of warmup).
+  [[nodiscard]] double workload_start() const { return workload_start_; }
+
+  /// Nodes currently associated with landmark `l`.
+  [[nodiscard]] std::span<const NodeId> nodes_at(LandmarkId l) const;
+  /// Current landmark of `node` (kNoLandmark while in transit).
+  [[nodiscard]] LandmarkId location(NodeId node) const;
+  /// Landmark of the node's previous (completed) visit.
+  [[nodiscard]] LandmarkId previous_landmark(NodeId node) const;
+  /// Completed visits of `node` so far (online history; grows as the
+  /// replay progresses — routers must only read, never assume future).
+  [[nodiscard]] std::span<const trace::Visit> history(NodeId node) const;
+
+  [[nodiscard]] Packet& packet(PacketId pid);
+  [[nodiscard]] const Packet& packet(PacketId pid) const;
+  [[nodiscard]] std::span<const Packet> all_packets() const { return packets_; }
+
+  [[nodiscard]] std::span<const PacketId> origin_packets(LandmarkId l) const;
+  [[nodiscard]] std::span<const PacketId> station_packets(LandmarkId l) const;
+  [[nodiscard]] std::span<const PacketId> node_packets(NodeId node) const;
+  [[nodiscard]] const Buffer& node_buffer(NodeId node) const;
+
+  // -- transfers (routers call these; all enforce state/buffers) --------
+  /// Origin queue -> node at the same landmark.  False if no space.
+  bool pickup_from_origin(NodeId node, PacketId pid);
+  /// Station -> node at the same landmark.  False if no space.
+  bool station_to_node(LandmarkId l, NodeId node, PacketId pid);
+  /// Node -> station of the landmark the node is at; delivers if it is
+  /// the destination.  Always succeeds (stations are unbounded).
+  void node_to_station(NodeId node, PacketId pid);
+  /// Node -> node, both at the same landmark.  False if no space.
+  bool node_to_node(NodeId from, NodeId to, PacketId pid);
+
+  /// Multi-copy support: duplicate `pid` (held by `from`) into `to`'s
+  /// buffer as a new copy of the same logical packet.  Returns the new
+  /// copy's id, or kNoPacket when `to` lacks space / already delivered.
+  PacketId replicate_node_to_node(NodeId from, NodeId to, PacketId pid);
+
+  /// Does `node` carry any copy of the logical packet `logical`?
+  [[nodiscard]] bool node_holds_logical(NodeId node, PacketId logical) const;
+
+  /// Has the logical packet been delivered (by any copy)?
+  [[nodiscard]] bool logical_delivered(PacketId logical) const;
+
+  /// Record control-information transfer of `entries` table entries.
+  void account_control(double entries);
+
+  /// Audit internal invariants (every active packet in exactly the
+  /// buffer its holder field names; counters consistent).  Aborts via
+  /// DTN_ASSERT on violation; cheap enough for tests after every run.
+  void validate_invariants() const;
+
+ private:
+  /// Drop `pid` now if its TTL has lapsed (removing it from its holder);
+  /// returns true when dropped.  Transfers call this first so expired
+  /// packets never keep moving between sweep ticks.
+  bool drop_if_expired(PacketId pid);
+  /// Remove `pid` from whatever currently holds it (non-terminal states).
+  void detach_from_holder(Packet& p);
+  PacketId generate_packet(LandmarkId src, LandmarkId dst, double ttl,
+                           NodeId dst_node = trace::kNoNode);
+  void generate_random_packet(LandmarkId src);
+  void schedule_generation(LandmarkId l, double from_time);
+  void deliver_node_addressed(NodeId arriving, LandmarkId l);
+  void deliver(PacketId pid);
+  void drop_expired();
+  void handle_arrival(const trace::Visit& visit);
+  void handle_departure(const trace::Visit& visit);
+
+  struct NodeState {
+    Buffer buffer;
+    LandmarkId location = kNoLandmark;
+    LandmarkId previous = kNoLandmark;
+    std::vector<trace::Visit> history;  // completed visits
+
+    explicit NodeState(std::uint64_t capacity_kb) : buffer(capacity_kb) {}
+  };
+
+  struct StationState {
+    Buffer storage{0};               // unbounded central station
+    std::vector<PacketId> origin;    // passive origin queue (baselines)
+    std::vector<NodeId> present;
+  };
+
+  const trace::Trace& trace_;
+  Router& router_;
+  WorkloadConfig cfg_;
+  sim::Simulator sim_;
+  Rng rng_;
+
+  std::vector<NodeState> nodes_;
+  std::vector<StationState> stations_;
+  std::vector<Packet> packets_;
+  std::vector<std::uint8_t> logical_delivered_;
+  RunCounters counters_;
+
+  double trace_begin_ = 0.0;
+  double trace_end_ = 0.0;
+  double workload_start_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace dtn::net

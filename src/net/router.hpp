@@ -1,0 +1,63 @@
+// Router interface.
+//
+// A router owns all routing state (predictors, probability tables,
+// distance vectors) and reacts to network events; the `Network` owns the
+// ground truth (who is where, who holds which packet) and performs the
+// actual transfers so that buffer limits, delivery and cost accounting
+// are uniform across every algorithm.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace dtn::net {
+
+class Network;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True for architectures with landmark central stations (DTN-FLOW):
+  /// generated packets enter the station buffer and stations relay.
+  /// False for node-only baselines: generated packets wait in a passive
+  /// origin queue until a carrier picks them up.
+  [[nodiscard]] virtual bool uses_stations() const { return false; }
+
+  /// Called once before the first event.
+  virtual void on_init(Network& net) { (void)net; }
+
+  /// `node` associated with landmark `l` (after presence update and
+  /// automatic delivery of packets destined to `l`).
+  virtual void on_arrival(Network& net, NodeId node, LandmarkId l) {
+    (void)net; (void)node; (void)l;
+  }
+
+  /// `node` is about to leave `l` (still present).
+  virtual void on_departure(Network& net, NodeId node, LandmarkId l) {
+    (void)net; (void)node; (void)l;
+  }
+
+  /// `arriving` just arrived at `l` where `present` already is.  Called
+  /// once per (arriving, present) pair; routers handle both directions.
+  virtual void on_contact(Network& net, NodeId arriving, NodeId present,
+                          LandmarkId l) {
+    (void)net; (void)arriving; (void)present; (void)l;
+  }
+
+  /// A packet was generated (already placed at origin/station of its
+  /// source landmark).
+  virtual void on_packet_generated(Network& net, PacketId pid) {
+    (void)net; (void)pid;
+  }
+
+  /// Periodic tick at each measurement time-unit boundary (§IV-C.1).
+  virtual void on_time_unit(Network& net, std::size_t unit_index) {
+    (void)net; (void)unit_index;
+  }
+};
+
+}  // namespace dtn::net

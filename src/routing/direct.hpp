@@ -1,0 +1,30 @@
+// Direct-delivery reference router: the first node visiting the source
+// landmark picks a packet up and keeps it until it happens to visit the
+// destination landmark.  Not part of the paper's comparison — included
+// as the natural lower bound on forwarding cost (one pickup, zero
+// relays) for sanity checks and ablation baselines.
+#pragma once
+
+#include "routing/utility_router.hpp"
+
+namespace dtn::routing {
+
+class DirectDeliveryRouter final : public UtilityRouter {
+ public:
+  [[nodiscard]] std::string name() const override { return "Direct"; }
+
+ protected:
+  void update_on_arrival(Network& net, NodeId node, LandmarkId l) override {
+    (void)net; (void)node; (void)l;
+  }
+  [[nodiscard]] double utility(Network& net, NodeId node,
+                               const Packet& p) override {
+    (void)net; (void)node; (void)p;
+    return 0.0;  // never strictly better: no node-to-node forwarding
+  }
+  [[nodiscard]] double contact_control_entries(const Network&) const override {
+    return 0.0;  // nothing to exchange
+  }
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,29 @@
+// Epidemic routing (Vahdat & Becker) adapted to landmark destinations.
+//
+// Not part of the paper's comparison (DTN-FLOW is evaluated single-copy)
+// — included as the classic delivery-probability *upper bound* at
+// maximal cost: every contact replicates every packet the peer lacks,
+// subject to buffer space.  Useful to calibrate how close DTN-FLOW gets
+// to the flooding ceiling at a fraction of the forwarding cost.
+#pragma once
+
+#include "net/network.hpp"
+#include "net/router.hpp"
+
+namespace dtn::routing {
+
+class EpidemicRouter final : public net::Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "Epidemic"; }
+
+  void on_arrival(net::Network& net, net::NodeId node,
+                  net::LandmarkId l) override;
+  void on_packet_generated(net::Network& net, net::PacketId pid) override;
+  void on_contact(net::Network& net, net::NodeId arriving,
+                  net::NodeId present, net::LandmarkId l) override;
+
+ private:
+  void infect_one_way(net::Network& net, net::NodeId from, net::NodeId to);
+};
+
+}  // namespace dtn::routing

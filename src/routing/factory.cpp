@@ -1,0 +1,35 @@
+#include "routing/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/dtn_flow_router.hpp"
+#include "routing/direct.hpp"
+#include "routing/epidemic.hpp"
+#include "routing/geocomm.hpp"
+#include "routing/pgr.hpp"
+#include "routing/prophet.hpp"
+#include "routing/per.hpp"
+#include "routing/simbet.hpp"
+#include "routing/spray_wait.hpp"
+
+namespace dtn::routing {
+
+std::vector<std::string> standard_router_names() {
+  return {"DTN-FLOW", "SimBet", "PROPHET", "PGR", "GeoComm", "PER"};
+}
+
+std::unique_ptr<net::Router> make_router(const std::string& name) {
+  if (name == "DTN-FLOW") return std::make_unique<core::DtnFlowRouter>();
+  if (name == "SimBet") return std::make_unique<SimBetRouter>();
+  if (name == "PROPHET") return std::make_unique<ProphetRouter>();
+  if (name == "PGR") return std::make_unique<PgrRouter>();
+  if (name == "GeoComm") return std::make_unique<GeoCommRouter>();
+  if (name == "PER") return std::make_unique<PerRouter>();
+  if (name == "Direct") return std::make_unique<DirectDeliveryRouter>();
+  // Extra-paper multi-copy references (see routing/epidemic.hpp).
+  if (name == "Epidemic") return std::make_unique<EpidemicRouter>();
+  if (name == "SprayWait") return std::make_unique<SprayAndWaitRouter>();
+  throw std::invalid_argument("unknown router: " + name);
+}
+
+}  // namespace dtn::routing

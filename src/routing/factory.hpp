@@ -1,0 +1,20 @@
+// Factory for the paper's six compared routers, by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/router.hpp"
+
+namespace dtn::routing {
+
+/// Names accepted by `make_router`, in the paper's comparison order.
+[[nodiscard]] std::vector<std::string> standard_router_names();
+
+/// Construct a fresh router by name ("DTN-FLOW", "SimBet", "PROPHET",
+/// "PGR", "GeoComm", "PER", "Direct").  Throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] std::unique_ptr<net::Router> make_router(const std::string& name);
+
+}  // namespace dtn::routing

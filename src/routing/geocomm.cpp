@@ -1,0 +1,43 @@
+#include "routing/geocomm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtn::routing {
+
+void GeoCommRouter::ensure_init(const Network& net) {
+  if (initialized_) return;
+  units_contacted_ =
+      FlatMatrix<std::uint32_t>(net.num_nodes(), net.num_landmarks(), 0);
+  last_unit_ = FlatMatrix<std::uint32_t>(net.num_nodes(), net.num_landmarks(), 0);
+  initialized_ = true;
+}
+
+std::uint32_t GeoCommRouter::unit_index(const Network& net) const {
+  const double elapsed = net.now() - net.trace_begin();
+  return static_cast<std::uint32_t>(
+      std::max(0.0, elapsed / net.config().time_unit));
+}
+
+void GeoCommRouter::update_on_arrival(Network& net, NodeId node, LandmarkId l) {
+  ensure_init(net);
+  const std::uint32_t unit = unit_index(net) + 1;  // stored offset by one
+  if (last_unit_.at(node, l) != unit) {
+    last_unit_.at(node, l) = unit;
+    ++units_contacted_.at(node, l);
+  }
+}
+
+double GeoCommRouter::contact_probability(const Network& net, NodeId node,
+                                          LandmarkId l) const {
+  if (!initialized_) return 0.0;
+  const double units = std::max<double>(1.0, unit_index(net) + 1);
+  return static_cast<double>(units_contacted_.at(node, l)) / units;
+}
+
+double GeoCommRouter::utility(Network& net, NodeId node, const Packet& p) {
+  ensure_init(net);
+  return contact_probability(net, node, p.dst);
+}
+
+}  // namespace dtn::routing

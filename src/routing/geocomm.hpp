@@ -1,0 +1,40 @@
+// GeoComm adapted to landmark destinations (§II-C / §V-A.1).
+//
+// GeoComm ranks carriers by their *contact probability per unit time*
+// with each geocommunity (landmark): the fraction of elapsed measurement
+// units in which the node contacted the landmark at least once.  Unlike
+// PROPHET there is no recency reinforcement or aging — a bus that stops
+// at every stop of its route once per unit has the *same* contact
+// probability for all of them, which is exactly the weakness the paper
+// observes on the DNET trace.
+#pragma once
+
+#include "routing/utility_router.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace dtn::routing {
+
+class GeoCommRouter final : public UtilityRouter {
+ public:
+  [[nodiscard]] std::string name() const override { return "GeoComm"; }
+
+  /// Fraction of elapsed units in which `node` contacted `l`.
+  [[nodiscard]] double contact_probability(const Network& net, NodeId node,
+                                           LandmarkId l) const;
+
+ protected:
+  void update_on_arrival(Network& net, NodeId node, LandmarkId l) override;
+  [[nodiscard]] double utility(Network& net, NodeId node,
+                               const Packet& p) override;
+
+ private:
+  [[nodiscard]] std::uint32_t unit_index(const Network& net) const;
+
+  FlatMatrix<std::uint32_t> units_contacted_;  // node x landmark
+  FlatMatrix<std::uint32_t> last_unit_;        // last unit counted (+1)
+  bool initialized_ = false;
+
+  void ensure_init(const Network& net);
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,97 @@
+#include "routing/per.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtn::routing {
+
+PerRouter::PerRouter(PerConfig config) : cfg_(config) {
+  DTN_ASSERT(cfg_.max_steps >= 1);
+}
+
+void PerRouter::ensure_init(const Network& net) {
+  if (initialized_) return;
+  models_.resize(net.num_nodes());
+  for (auto& m : models_) m.rows.resize(net.num_landmarks());
+  initialized_ = true;
+}
+
+void PerRouter::update_on_arrival(Network& net, NodeId node, LandmarkId l) {
+  ensure_init(net);
+  NodeModel& m = models_[node];
+  if (m.last != kNoLandmark && m.last != l) {
+    Row& row = m.rows[m.last];
+    auto it = std::find_if(row.successors.begin(), row.successors.end(),
+                           [&](const auto& s) { return s.first == l; });
+    if (it == row.successors.end()) {
+      row.successors.emplace_back(l, 1);
+    } else {
+      ++it->second;
+    }
+    ++row.total;
+    m.step_time_sum += net.now() - m.last_arrival;
+    ++m.step_count;
+  }
+  if (m.last != l) {
+    m.last_arrival = net.now();
+    m.last = l;
+    m.memo.clear();  // the state (current landmark) changed
+  }
+}
+
+double PerRouter::first_passage(const NodeModel& m, LandmarkId from,
+                                LandmarkId dst, std::size_t steps) const {
+  // v[j] = P(reach dst within s steps | currently at j), built up from
+  // s = 0 (all zeros).  Sparse rows keep each sweep cheap.
+  const std::size_t n = m.rows.size();
+  std::vector<double> v(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == dst) {
+        next[j] = 0.0;  // absorbing; "reach within s" from dst is trivial
+        continue;
+      }
+      const Row& row = m.rows[j];
+      if (row.total == 0) {
+        next[j] = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      for (const auto& [to, count] : row.successors) {
+        const double p =
+            static_cast<double>(count) / static_cast<double>(row.total);
+        acc += to == dst ? p : p * v[to];
+      }
+      next[j] = acc;
+    }
+    v.swap(next);
+  }
+  return from == dst ? 1.0 : v[from];
+}
+
+double PerRouter::visit_probability(const Network& net, NodeId node,
+                                    LandmarkId dst, double deadline) {
+  ensure_init(net);
+  NodeModel& m = models_[node];
+  if (m.last == kNoLandmark || deadline <= 0.0) return 0.0;
+  const double mean_step =
+      m.step_count > 0 ? m.step_time_sum / static_cast<double>(m.step_count)
+                       : net.config().time_unit;
+  const auto steps = static_cast<std::size_t>(std::clamp(
+      deadline / std::max(mean_step, 1.0), 1.0,
+      static_cast<double>(cfg_.max_steps)));
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(dst) * (cfg_.max_steps + 1) + steps;
+  const auto it = m.memo.find(key);
+  if (it != m.memo.end()) return it->second;
+  const double prob = first_passage(m, m.last, dst, steps);
+  m.memo.emplace(key, prob);
+  return prob;
+}
+
+double PerRouter::utility(Network& net, NodeId node, const Packet& p) {
+  return visit_probability(net, node, p.dst, p.remaining_ttl(net.now()));
+}
+
+}  // namespace dtn::routing

@@ -1,0 +1,70 @@
+// PER — Predict and Relay (§II-C / §V-A.1).
+//
+// PER models each node's mobility as a time-homogeneous semi-Markov
+// process over landmarks: a first-order transition matrix plus the mean
+// sojourn-plus-travel time per step.  Its utility for a packet is the
+// probability that the node visits the destination landmark before the
+// packet's remaining TTL elapses, computed by the first-passage dynamic
+// program
+//
+//   P_reach(i, s) = T(i, dst) + sum_{j != dst} T(i, j) P_reach(j, s-1)
+//
+// over s = ceil(remaining_ttl / mean_step_time) steps (capped).  The
+// probability changes every time the node moves, so packets are
+// re-ranked constantly — the source of PER's highest forwarding cost in
+// the paper.  Results are memoized per (node, current landmark,
+// destination, step budget) and invalidated on each arrival.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "routing/utility_router.hpp"
+
+namespace dtn::routing {
+
+struct PerConfig {
+  /// Cap on the first-passage step budget (the DP depth).
+  std::size_t max_steps = 10;
+};
+
+class PerRouter final : public UtilityRouter {
+ public:
+  explicit PerRouter(PerConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "PER"; }
+
+  /// P(node visits `dst` within `deadline` seconds from now).
+  [[nodiscard]] double visit_probability(const Network& net, NodeId node,
+                                         LandmarkId dst, double deadline);
+
+ protected:
+  void update_on_arrival(Network& net, NodeId node, LandmarkId l) override;
+  [[nodiscard]] double utility(Network& net, NodeId node,
+                               const Packet& p) override;
+
+ private:
+  struct Row {
+    std::vector<std::pair<LandmarkId, std::uint32_t>> successors;
+    std::uint32_t total = 0;
+  };
+  struct NodeModel {
+    std::vector<Row> rows;
+    LandmarkId last = kNoLandmark;
+    double last_arrival = 0.0;
+    double step_time_sum = 0.0;  // arrival-to-arrival gaps
+    std::uint32_t step_count = 0;
+    std::unordered_map<std::uint64_t, double> memo;  // (dst, steps) -> prob
+  };
+
+  [[nodiscard]] double first_passage(const NodeModel& m, LandmarkId from,
+                                     LandmarkId dst, std::size_t steps) const;
+
+  PerConfig cfg_;
+  std::vector<NodeModel> models_;
+  bool initialized_ = false;
+
+  void ensure_init(const Network& net);
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,79 @@
+#include "routing/pgr.hpp"
+
+#include <algorithm>
+
+namespace dtn::routing {
+
+PgrRouter::PgrRouter(PgrConfig config) : cfg_(config) {
+  DTN_ASSERT(cfg_.horizon >= 1);
+}
+
+void PgrRouter::ensure_init(const Network& net) {
+  if (initialized_) return;
+  models_.resize(net.num_nodes());
+  for (auto& m : models_) m.rows.resize(net.num_landmarks());
+  initialized_ = true;
+}
+
+void PgrRouter::update_on_arrival(Network& net, NodeId node, LandmarkId l) {
+  ensure_init(net);
+  NodeModel& m = models_[node];
+  if (m.last != kNoLandmark && m.last != l) {
+    Row& row = m.rows[m.last];
+    auto it = std::find_if(row.successors.begin(), row.successors.end(),
+                           [&](const auto& s) { return s.first == l; });
+    if (it == row.successors.end()) {
+      row.successors.emplace_back(l, 1);
+    } else {
+      ++it->second;
+    }
+    ++row.total;
+  }
+  m.last = l;
+}
+
+LandmarkId PgrRouter::most_likely_next(const NodeModel& m,
+                                       LandmarkId from) const {
+  const Row& row = m.rows[from];
+  LandmarkId best = kNoLandmark;
+  std::uint32_t best_count = 0;
+  for (const auto& [to, count] : row.successors) {
+    if (count > best_count || (count == best_count && best != kNoLandmark && to < best)) {
+      best_count = count;
+      best = to;
+    }
+  }
+  return best;
+}
+
+std::vector<LandmarkId> PgrRouter::predicted_route(NodeId node) const {
+  std::vector<LandmarkId> route;
+  if (!initialized_) return route;
+  const NodeModel& m = models_[node];
+  LandmarkId cur = m.last;
+  if (cur == kNoLandmark) return route;
+  for (std::size_t step = 0; step < cfg_.horizon; ++step) {
+    const LandmarkId next = most_likely_next(m, cur);
+    if (next == kNoLandmark) break;
+    if (std::find(route.begin(), route.end(), next) != route.end()) break;
+    route.push_back(next);
+    cur = next;
+  }
+  return route;
+}
+
+double PgrRouter::utility(Network& net, NodeId node, const Packet& p) {
+  ensure_init(net);
+  (void)net;
+  const auto route = predicted_route(node);
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    if (route[i] == p.dst) {
+      // Earlier on the route is better; a hit at position i scores
+      // 1/(i+1) so any hit beats any miss (miss = 0).
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dtn::routing

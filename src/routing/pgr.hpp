@@ -1,0 +1,59 @@
+// PGR — geographical routing by predicted mobility routes
+// (§II-C / §V-A.1).
+//
+// PGR predicts a node's *entire upcoming route* — a chain of landmarks
+// obtained by repeatedly taking the most likely next landmark from the
+// node's observed first-order transition counts — and forwards a packet
+// to an encountered node whose predicted route reaches the destination
+// landmark (sooner than the current carrier's, if both do).  Chaining
+// per-step predictions multiplies their errors, which is why the paper
+// measures PGR's lowest success rate and lowest forwarding cost.
+#pragma once
+
+#include <vector>
+
+#include "routing/utility_router.hpp"
+
+namespace dtn::routing {
+
+struct PgrConfig {
+  /// Predicted route length (chained most-likely transitions).
+  std::size_t horizon = 6;
+};
+
+class PgrRouter final : public UtilityRouter {
+ public:
+  explicit PgrRouter(PgrConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "PGR"; }
+
+  /// The node's predicted route from its last known landmark (may be
+  /// shorter than the horizon when prediction dries up; cycle-free).
+  [[nodiscard]] std::vector<LandmarkId> predicted_route(NodeId node) const;
+
+ protected:
+  void update_on_arrival(Network& net, NodeId node, LandmarkId l) override;
+  [[nodiscard]] double utility(Network& net, NodeId node,
+                               const Packet& p) override;
+
+ private:
+  struct Row {
+    std::vector<std::pair<LandmarkId, std::uint32_t>> successors;
+    std::uint32_t total = 0;
+  };
+  struct NodeModel {
+    std::vector<Row> rows;  // per landmark
+    LandmarkId last = kNoLandmark;
+  };
+
+  [[nodiscard]] LandmarkId most_likely_next(const NodeModel& m,
+                                            LandmarkId from) const;
+
+  PgrConfig cfg_;
+  std::vector<NodeModel> models_;
+  bool initialized_ = false;
+
+  void ensure_init(const Network& net);
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,42 @@
+#include "routing/prophet.hpp"
+
+#include <cmath>
+
+namespace dtn::routing {
+
+ProphetRouter::ProphetRouter(ProphetConfig config) : cfg_(config) {
+  DTN_ASSERT(cfg_.p_init > 0.0 && cfg_.p_init <= 1.0);
+  DTN_ASSERT(cfg_.gamma > 0.0 && cfg_.gamma < 1.0);
+  DTN_ASSERT(cfg_.aging_unit > 0.0);
+}
+
+void ProphetRouter::ensure_init(const Network& net) {
+  if (initialized_) return;
+  p_ = FlatMatrix<double>(net.num_nodes(), net.num_landmarks(), 0.0);
+  touched_at_ = FlatMatrix<double>(net.num_nodes(), net.num_landmarks(), 0.0);
+  initialized_ = true;
+}
+
+double ProphetRouter::predictability(const Network& net, NodeId node,
+                                     LandmarkId l) const {
+  if (!initialized_) return 0.0;
+  const double base = p_.at(node, l);
+  if (base <= 0.0) return 0.0;
+  const double dt = net.now() - touched_at_.at(node, l);
+  return base * std::pow(cfg_.gamma, dt / cfg_.aging_unit);
+}
+
+void ProphetRouter::update_on_arrival(Network& net, NodeId node,
+                                      LandmarkId l) {
+  ensure_init(net);
+  const double aged = predictability(net, node, l);
+  p_.at(node, l) = aged + (1.0 - aged) * cfg_.p_init;
+  touched_at_.at(node, l) = net.now();
+}
+
+double ProphetRouter::utility(Network& net, NodeId node, const Packet& p) {
+  ensure_init(net);
+  return predictability(net, node, p.dst);
+}
+
+}  // namespace dtn::routing

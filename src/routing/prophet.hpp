@@ -1,0 +1,48 @@
+// PROPHET adapted to landmark destinations (§II-A / §V-A.1).
+//
+// Each node keeps a delivery predictability P(node, landmark), bumped on
+// every visit with the standard PROPHET reinforcement
+//     P <- P + (1 - P) * P_init
+// and aged multiplicatively with elapsed time
+//     P <- P * gamma^(dt / aging_unit).
+// Transitivity is not applicable: landmarks do not encounter each other.
+// A packet is forwarded to an encountered node with a strictly higher
+// predictability for its destination landmark.
+#pragma once
+
+#include "routing/utility_router.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace dtn::routing {
+
+struct ProphetConfig {
+  double p_init = 0.75;
+  double gamma = 0.98;
+  double aging_unit = trace::kHour;
+};
+
+class ProphetRouter final : public UtilityRouter {
+ public:
+  explicit ProphetRouter(ProphetConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "PROPHET"; }
+
+  /// Aged delivery predictability of `node` for landmark `l`.
+  [[nodiscard]] double predictability(const Network& net, NodeId node,
+                                      LandmarkId l) const;
+
+ protected:
+  void update_on_arrival(Network& net, NodeId node, LandmarkId l) override;
+  [[nodiscard]] double utility(Network& net, NodeId node,
+                               const Packet& p) override;
+
+ private:
+  ProphetConfig cfg_;
+  FlatMatrix<double> p_;           // predictability at last touch
+  FlatMatrix<double> touched_at_;  // time of last touch
+  bool initialized_ = false;
+
+  void ensure_init(const Network& net);
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,69 @@
+#include "routing/simbet.hpp"
+
+#include <algorithm>
+
+namespace dtn::routing {
+
+SimBetRouter::SimBetRouter(SimBetConfig config) : cfg_(config) {
+  DTN_ASSERT(cfg_.alpha >= 0.0 && cfg_.alpha <= 1.0);
+}
+
+void SimBetRouter::ensure_init(const Network& net) {
+  if (initialized_) return;
+  visits_ = FlatMatrix<std::uint32_t>(net.num_nodes(), net.num_landmarks(), 0);
+  pair_count_.assign(net.num_nodes(), 0);
+  last_landmark_.assign(net.num_nodes(), kNoLandmark);
+  seen_pairs_.assign(net.num_nodes(), {});
+  initialized_ = true;
+}
+
+double SimBetRouter::similarity(NodeId node, LandmarkId dst) const {
+  if (!initialized_) return 0.0;
+  return static_cast<double>(visits_.at(node, dst));
+}
+
+double SimBetRouter::centrality(NodeId node) const {
+  if (!initialized_) return 0.0;
+  return static_cast<double>(pair_count_[node]);
+}
+
+void SimBetRouter::update_on_arrival(Network& net, NodeId node, LandmarkId l) {
+  ensure_init(net);
+  ++visits_.at(node, l);
+  const LandmarkId prev = last_landmark_[node];
+  if (prev != kNoLandmark && prev != l) {
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(prev) * net.num_landmarks() + l;
+    auto& seen = seen_pairs_[node];
+    if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+      seen.push_back(key);
+      ++pair_count_[node];
+    }
+  }
+  last_landmark_[node] = l;
+}
+
+double SimBetRouter::utility(Network& net, NodeId node, const Packet& p) {
+  // Standalone (non-pairwise) utility used only for introspection: the
+  // forwarding decision itself goes through should_forward.
+  (void)net;
+  return similarity(node, p.dst) + cfg_.alpha * centrality(node);
+}
+
+bool SimBetRouter::should_forward(Network& net, NodeId from, NodeId to,
+                                  const Packet& p) {
+  ensure_init(net);
+  const double sim_f = similarity(from, p.dst);
+  const double sim_t = similarity(to, p.dst);
+  const double bet_f = centrality(from);
+  const double bet_t = centrality(to);
+  const double sim_total = sim_f + sim_t;
+  const double bet_total = bet_f + bet_t;
+  const double sim_util_t = sim_total > 0.0 ? sim_t / sim_total : 0.5;
+  const double bet_util_t = bet_total > 0.0 ? bet_t / bet_total : 0.5;
+  const double util_t = cfg_.alpha * sim_util_t + (1.0 - cfg_.alpha) * bet_util_t;
+  // util_from = 1 - util_to by construction of the pairwise normalization.
+  return util_t > 0.5;
+}
+
+}  // namespace dtn::routing

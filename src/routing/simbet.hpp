@@ -1,0 +1,52 @@
+// SimBet adapted to landmark destinations (§II-B / §V-A.1).
+//
+// Similarity of a node for a destination landmark is its visit
+// frequency to that landmark; (betweenness-style) centrality is how many
+// distinct landmarks the node connects, i.e. the number of distinct
+// directed landmark pairs it has transited.  During a contact the
+// pairwise-normalized SimBet utility decides the forwarding:
+//
+//   SimBetUtil(a | b, d) = alpha * sim_a/(sim_a + sim_b)
+//                        + (1-alpha) * bet_a/(bet_a + bet_b)
+//
+// and a packet moves from a to b when SimBetUtil(b) > SimBetUtil(a).
+#pragma once
+
+#include "routing/utility_router.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace dtn::routing {
+
+struct SimBetConfig {
+  double alpha = 0.5;  ///< weight of similarity vs centrality
+};
+
+class SimBetRouter final : public UtilityRouter {
+ public:
+  explicit SimBetRouter(SimBetConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "SimBet"; }
+
+  [[nodiscard]] double similarity(NodeId node, LandmarkId dst) const;
+  [[nodiscard]] double centrality(NodeId node) const;
+
+ protected:
+  void update_on_arrival(Network& net, NodeId node, LandmarkId l) override;
+  [[nodiscard]] double utility(Network& net, NodeId node,
+                               const Packet& p) override;
+  [[nodiscard]] bool should_forward(Network& net, NodeId from, NodeId to,
+                                    const Packet& p) override;
+
+ private:
+  SimBetConfig cfg_;
+  FlatMatrix<std::uint32_t> visits_;        // node x landmark visit counts
+  std::vector<std::uint32_t> pair_count_;   // distinct transit pairs per node
+  std::vector<LandmarkId> last_landmark_;   // previous landmark per node
+  // Per-node set of seen (from,to) pairs, hashed compactly.
+  std::vector<std::vector<std::uint64_t>> seen_pairs_;
+  bool initialized_ = false;
+
+  void ensure_init(const Network& net);
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,45 @@
+// Binary Spray-and-Wait (Spyropoulos et al.) adapted to landmark
+// destinations.
+//
+// Not part of the paper's comparison — included as the standard bounded
+// multi-copy reference between Direct (1 copy) and Epidemic (unbounded):
+// each packet starts with L logical copies; a carrier holding t > 1
+// tickets hands floor(t/2) to an encountered node that lacks the packet
+// (binary spray); with one ticket it waits for the destination landmark.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "net/router.hpp"
+
+namespace dtn::routing {
+
+struct SprayWaitConfig {
+  std::uint32_t initial_copies = 8;  ///< L
+  bool binary = true;                ///< binary vs source spray
+};
+
+class SprayAndWaitRouter final : public net::Router {
+ public:
+  explicit SprayAndWaitRouter(SprayWaitConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "SprayWait"; }
+
+  void on_arrival(net::Network& net, net::NodeId node,
+                  net::LandmarkId l) override;
+  void on_packet_generated(net::Network& net, net::PacketId pid) override;
+  void on_contact(net::Network& net, net::NodeId arriving,
+                  net::NodeId present, net::LandmarkId l) override;
+
+  /// Remaining spray tickets of a carried copy (tests/diagnostics).
+  [[nodiscard]] std::uint32_t tickets(net::PacketId pid) const;
+
+ private:
+  void spray_one_way(net::Network& net, net::NodeId from, net::NodeId to);
+
+  SprayWaitConfig cfg_;
+  std::unordered_map<net::PacketId, std::uint32_t> tickets_;
+};
+
+}  // namespace dtn::routing

@@ -1,0 +1,63 @@
+// Shared machinery for the landmark-adapted baseline routers (§V-A.1).
+//
+// All five baselines share one architecture: packets wait at their
+// source landmark until a node picks them up; thereafter they move only
+// node-to-node, to nodes with a higher suitability ("utility") of
+// reaching the destination landmark; delivery happens when a carrier
+// arrives at the destination.  Encountering nodes exchange their
+// utility vectors (counted as control traffic) before forwarding.
+//
+// Subclasses provide the utility function and its state updates;
+// SimBet overrides the pairwise comparison because its utility is a
+// pairwise-normalized combination.
+#pragma once
+
+#include "net/network.hpp"
+#include "net/router.hpp"
+
+namespace dtn::routing {
+
+using net::LandmarkId;
+using net::Network;
+using net::NodeId;
+using net::Packet;
+using net::PacketId;
+using trace::kNoLandmark;
+using trace::kNoNode;
+
+class UtilityRouter : public net::Router {
+ public:
+  [[nodiscard]] bool uses_stations() const override { return false; }
+
+  void on_init(Network& net) final;
+  void on_arrival(Network& net, NodeId node, LandmarkId l) final;
+  void on_contact(Network& net, NodeId arriving, NodeId present,
+                  LandmarkId l) final;
+  void on_packet_generated(Network& net, PacketId pid) final;
+
+ protected:
+  /// Update algorithm state for a visit of `node` at `l` (called before
+  /// packet pickup).
+  virtual void update_on_arrival(Network& net, NodeId node, LandmarkId l) = 0;
+
+  /// Suitability of `node` to deliver `p` to its destination landmark.
+  [[nodiscard]] virtual double utility(Network& net, NodeId node,
+                                       const Packet& p) = 0;
+
+  /// Forward `p` from `from` to `to`?  Default: strict utility gain.
+  [[nodiscard]] virtual bool should_forward(Network& net, NodeId from,
+                                            NodeId to, const Packet& p) {
+    return utility(net, to, p) > utility(net, from, p);
+  }
+
+  /// Table entries a node sends during one contact (control cost);
+  /// default: one utility entry per landmark.
+  [[nodiscard]] virtual double contact_control_entries(const Network& net) const {
+    return static_cast<double>(net.num_landmarks());
+  }
+
+ private:
+  void exchange_one_way(Network& net, NodeId from, NodeId to);
+};
+
+}  // namespace dtn::routing

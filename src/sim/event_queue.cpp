@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace dtn::sim {
+
+void EventQueue::schedule(double t, EventFn fn) {
+  DTN_ASSERT(fn);
+  DTN_ASSERT(t >= last_popped_);
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+double EventQueue::next_time() const {
+  DTN_ASSERT(!heap_.empty());
+  return heap_.top().time;
+}
+
+double EventQueue::run_next() {
+  DTN_ASSERT(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is the
+  // standard idiom but we copy the small Entry header and move the
+  // callable explicitly for clarity.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  last_popped_ = entry.time;
+  ++executed_;
+  entry.fn();
+  return entry.time;
+}
+
+}  // namespace dtn::sim

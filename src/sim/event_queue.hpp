@@ -1,0 +1,58 @@
+// Discrete-event queue.
+//
+// A min-heap of (time, sequence, callback).  The monotonically
+// increasing sequence number breaks time ties in insertion order, which
+// makes simulations fully deterministic — heaps alone are not stable,
+// and tie order matters (e.g. a node arrival and a packet-generation
+// event at the same instant).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dtn::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t` (must be >= the time of the last
+  /// popped event; scheduling in the past is a logic error).
+  void schedule(double t, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  [[nodiscard]] double next_time() const;
+
+  /// Pop and run the earliest event; returns its time.
+  double run_next();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  double last_popped_ = -1e300;
+};
+
+}  // namespace dtn::sim

@@ -1,0 +1,20 @@
+#include "sim/simulator.hpp"
+
+namespace dtn::sim {
+
+void Simulator::run_until(double end_time) {
+  while (!queue_.empty() && queue_.next_time() <= end_time) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+  now_ = end_time;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+}
+
+}  // namespace dtn::sim

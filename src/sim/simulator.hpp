@@ -1,0 +1,40 @@
+// Simulation clock + scheduler facade over the event queue.
+#pragma once
+
+#include "sim/event_queue.hpp"
+
+namespace dtn::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time (time of the event being processed, or the
+  /// initial time before the first event).
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedule at an absolute time (>= now).
+  void at(double t, EventFn fn) { queue_.schedule(t, std::move(fn)); }
+
+  /// Schedule `delay` seconds from now (delay >= 0).
+  void after(double delay, EventFn fn) {
+    DTN_ASSERT(delay >= 0.0);
+    queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the queue empties or the clock passes `end_time`.
+  /// Events scheduled exactly at `end_time` still run.
+  void run_until(double end_time);
+
+  /// Run everything.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return queue_.executed();
+  }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+};
+
+}  // namespace dtn::sim

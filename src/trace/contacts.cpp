@@ -1,0 +1,84 @@
+#include "trace/contacts.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.hpp"
+
+namespace dtn::trace {
+
+std::vector<Contact> derive_contacts(const Trace& trace) {
+  // Bucket visits per landmark, then intersect intervals pairwise.
+  std::vector<std::vector<Visit>> per_landmark(trace.num_landmarks());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      per_landmark[v.landmark].push_back(v);
+    }
+  }
+  std::vector<Contact> contacts;
+  for (LandmarkId l = 0; l < trace.num_landmarks(); ++l) {
+    auto& visits = per_landmark[l];
+    std::sort(visits.begin(), visits.end(),
+              [](const Visit& x, const Visit& y) { return x.start < y.start; });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      for (std::size_t j = i + 1; j < visits.size(); ++j) {
+        if (visits[j].start >= visits[i].end) break;  // sorted: no overlap
+        if (visits[i].node == visits[j].node) continue;
+        Contact c;
+        c.a = std::min(visits[i].node, visits[j].node);
+        c.b = std::max(visits[i].node, visits[j].node);
+        c.place = l;
+        c.start = visits[j].start;
+        c.end = std::min(visits[i].end, visits[j].end);
+        if (c.end > c.start) contacts.push_back(c);
+      }
+    }
+  }
+  std::sort(contacts.begin(), contacts.end(),
+            [](const Contact& x, const Contact& y) { return x.start < y.start; });
+  return contacts;
+}
+
+ContactStats analyze_contacts(const Trace& trace,
+                              const std::vector<Contact>& contacts) {
+  ContactStats s;
+  s.contacts = contacts.size();
+  RunningStats duration;
+  std::map<std::pair<NodeId, NodeId>, std::vector<double>> pair_starts;
+  for (const auto& c : contacts) {
+    duration.add(c.duration());
+    pair_starts[{c.a, c.b}].push_back(c.start);
+  }
+  s.pairs_met = pair_starts.size();
+  s.mean_duration = duration.mean();
+  RunningStats gaps;
+  for (auto& [pair, starts] : pair_starts) {
+    std::sort(starts.begin(), starts.end());
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      gaps.add(starts[i] - starts[i - 1]);
+    }
+  }
+  s.mean_intercontact = gaps.mean();
+  const double node_days = static_cast<double>(trace.num_nodes()) *
+                           std::max(trace.duration() / kDay, 1e-9);
+  s.contacts_per_node_day = static_cast<double>(contacts.size()) / node_days;
+  return s;
+}
+
+std::vector<double> intercontact_times(const std::vector<Contact>& contacts,
+                                       NodeId a, NodeId b) {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  std::vector<double> starts;
+  for (const auto& c : contacts) {
+    if (c.a == lo && c.b == hi) starts.push_back(c.start);
+  }
+  std::sort(starts.begin(), starts.end());
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    gaps.push_back(starts[i] - starts[i - 1]);
+  }
+  return gaps;
+}
+
+}  // namespace dtn::trace

@@ -1,0 +1,49 @@
+// Contact derivation and analysis.
+//
+// Two nodes are in contact while co-located at the same landmark — the
+// same notion of communication opportunity the simulator's
+// `on_contact` uses.  Contact-duration and inter-contact-time
+// distributions are the classic DTN trace analyses; deployment planners
+// use them to sanity-check a mobility trace before committing landmark
+// hardware.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dtn::trace {
+
+/// One co-location interval of a node pair (a < b) at a landmark.
+struct Contact {
+  NodeId a = 0;
+  NodeId b = 0;
+  LandmarkId place = 0;
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const { return end - start; }
+};
+
+/// All pairwise co-location intervals, sorted by start time.
+/// O(sum over landmarks of visits^2) — fine for the trace sizes here.
+[[nodiscard]] std::vector<Contact> derive_contacts(const Trace& trace);
+
+/// Aggregate contact statistics.
+struct ContactStats {
+  std::size_t contacts = 0;
+  std::size_t pairs_met = 0;          ///< distinct node pairs that ever met
+  double mean_duration = 0.0;         ///< seconds
+  double mean_intercontact = 0.0;     ///< seconds between a pair's contacts
+  double contacts_per_node_day = 0.0;
+};
+
+[[nodiscard]] ContactStats analyze_contacts(const Trace& trace,
+                                            const std::vector<Contact>& contacts);
+
+/// Gaps between successive contacts of one pair (for inter-contact-time
+/// distributions); empty when the pair met fewer than twice.
+[[nodiscard]] std::vector<double> intercontact_times(
+    const std::vector<Contact>& contacts, NodeId a, NodeId b);
+
+}  // namespace dtn::trace

@@ -1,0 +1,158 @@
+#include "trace/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace dtn::trace {
+
+Trace merge_neighboring_visits(const Trace& trace, double max_gap_seconds) {
+  DTN_ASSERT(max_gap_seconds >= 0.0);
+  Trace out(trace.num_nodes(), trace.num_landmarks());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    const auto visits = trace.visits(n);
+    std::size_t i = 0;
+    while (i < visits.size()) {
+      Visit merged = visits[i];
+      std::size_t j = i + 1;
+      while (j < visits.size() && visits[j].landmark == merged.landmark &&
+             visits[j].start - merged.end <= max_gap_seconds) {
+        merged.end = std::max(merged.end, visits[j].end);
+        ++j;
+      }
+      out.add_visit(merged);
+      i = j;
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+Trace drop_short_visits(const Trace& trace, double min_duration_seconds) {
+  Trace out(trace.num_nodes(), trace.num_landmarks());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      if (v.end - v.start >= min_duration_seconds) out.add_visit(v);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+Trace drop_sparse_nodes(const Trace& trace, std::size_t min_records,
+                        std::vector<NodeId>* kept) {
+  std::vector<NodeId> surviving;
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    if (trace.visits(n).size() >= min_records) surviving.push_back(n);
+  }
+  Trace out(surviving.size(), trace.num_landmarks());
+  for (NodeId new_id = 0; new_id < surviving.size(); ++new_id) {
+    for (const auto& v : trace.visits(surviving[new_id])) {
+      out.add_visit(Visit{new_id, v.landmark, v.start, v.end});
+    }
+  }
+  out.finalize();
+  if (kept != nullptr) *kept = std::move(surviving);
+  return out;
+}
+
+Trace drop_rare_landmarks(const Trace& trace, std::size_t min_records,
+                          std::vector<LandmarkId>* kept) {
+  std::vector<std::size_t> totals(trace.num_landmarks(), 0);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) ++totals[v.landmark];
+  }
+  std::vector<LandmarkId> surviving;
+  std::vector<LandmarkId> mapping(trace.num_landmarks(), kNoLandmark);
+  for (LandmarkId l = 0; l < trace.num_landmarks(); ++l) {
+    if (totals[l] >= min_records) {
+      mapping[l] = static_cast<LandmarkId>(surviving.size());
+      surviving.push_back(l);
+    }
+  }
+  Trace out(trace.num_nodes(), surviving.size());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      if (mapping[v.landmark] == kNoLandmark) continue;
+      out.add_visit(Visit{v.node, mapping[v.landmark], v.start, v.end});
+    }
+  }
+  out.finalize();
+  if (kept != nullptr) *kept = std::move(surviving);
+  return out;
+}
+
+std::vector<LandmarkId> cluster_access_points(
+    const std::vector<Point>& ap_positions, double max_distance) {
+  DTN_ASSERT(max_distance >= 0.0);
+  const std::size_t n = ap_positions.size();
+  // Union-find over APs; link every pair within range (O(n^2), fine for
+  // the hundreds of APs a DNET-scale deployment sees).
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const double d2 = max_distance * max_distance;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = ap_positions[i].x - ap_positions[j].x;
+      const double dy = ap_positions[i].y - ap_positions[j].y;
+      if (dx * dx + dy * dy <= d2) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<LandmarkId> cluster(n, kNoLandmark);
+  LandmarkId next = 0;
+  std::vector<LandmarkId> root_to_cluster(n, kNoLandmark);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = find(i);
+    if (root_to_cluster[r] == kNoLandmark) root_to_cluster[r] = next++;
+    cluster[i] = root_to_cluster[r];
+  }
+  return cluster;
+}
+
+Trace remove_node_after(const Trace& trace, NodeId node, double t) {
+  DTN_ASSERT(node < trace.num_nodes());
+  Trace out(trace.num_nodes(), trace.num_landmarks());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      if (n == node) {
+        if (v.start >= t) continue;
+        Visit clipped = v;
+        clipped.end = std::min(v.end, t);
+        if (clipped.end > clipped.start) out.add_visit(clipped);
+      } else {
+        out.add_visit(v);
+      }
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+Trace remap_landmarks(const Trace& trace,
+                      const std::vector<LandmarkId>& mapping,
+                      std::size_t num_new_landmarks, double merge_gap) {
+  DTN_ASSERT(mapping.size() == trace.num_landmarks());
+  Trace out(trace.num_nodes(), num_new_landmarks);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      const LandmarkId nl = mapping[v.landmark];
+      if (nl == kNoLandmark) continue;
+      DTN_ASSERT(nl < num_new_landmarks);
+      out.add_visit(Visit{v.node, nl, v.start, v.end});
+    }
+  }
+  out.finalize();
+  return merge_gap > 0.0 ? merge_neighboring_visits(out, merge_gap) : out;
+}
+
+}  // namespace dtn::trace

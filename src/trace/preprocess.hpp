@@ -1,0 +1,68 @@
+// Trace preprocessing mirroring §III-B.1 of the paper:
+//  * merge neighbouring records of the same node at the same landmark,
+//  * remove short connections (DART: < 200 s),
+//  * remove nodes with few records (DART: < 500),
+//  * cluster access points within a distance threshold into one
+//    landmark (DNET: 1.5 km) and drop rarely-seen APs (< 50 records).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dtn::trace {
+
+/// Merge consecutive visits of a node at the same landmark when the gap
+/// between them is at most `max_gap_seconds` (the paper's "merged
+/// neighbouring records referring to the same node and the same
+/// landmark").
+[[nodiscard]] Trace merge_neighboring_visits(const Trace& trace,
+                                             double max_gap_seconds);
+
+/// Drop visits shorter than `min_duration_seconds`.
+[[nodiscard]] Trace drop_short_visits(const Trace& trace,
+                                      double min_duration_seconds);
+
+/// Remove nodes with fewer than `min_records` visits; node ids are
+/// compacted.  Returns the new trace; `kept` (if non-null) receives the
+/// surviving original node ids in order.
+[[nodiscard]] Trace drop_sparse_nodes(const Trace& trace,
+                                      std::size_t min_records,
+                                      std::vector<NodeId>* kept = nullptr);
+
+/// Remove landmarks with fewer than `min_records` total visits; landmark
+/// ids are compacted and visits at removed landmarks dropped.
+[[nodiscard]] Trace drop_rare_landmarks(const Trace& trace,
+                                        std::size_t min_records,
+                                        std::vector<LandmarkId>* kept = nullptr);
+
+/// 2-D point for AP positions.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Single-linkage clustering of access points: APs within
+/// `max_distance` of any member of a cluster join the cluster (the
+/// paper's "mapped APs within 1.5 km into one landmark").  Returns, for
+/// each AP index, its cluster (landmark) id; ids are dense from 0.
+[[nodiscard]] std::vector<LandmarkId> cluster_access_points(
+    const std::vector<Point>& ap_positions, double max_distance);
+
+/// Remove a node's movement from time `t` on — the "carrier failure"
+/// fault model (a phone dies, a bus is withdrawn): visits starting
+/// after `t` are dropped, a visit spanning `t` is clipped.  Packets the
+/// node carries at failure time are lost to TTL expiry, since the node
+/// never associates with a landmark again.
+[[nodiscard]] Trace remove_node_after(const Trace& trace, NodeId node,
+                                      double t);
+
+/// Re-map the landmark ids of a trace through `mapping` (old -> new);
+/// `num_new_landmarks` sizes the new universe.  Visits made adjacent at
+/// the same new landmark are merged when the gap is <= `merge_gap`.
+[[nodiscard]] Trace remap_landmarks(const Trace& trace,
+                                    const std::vector<LandmarkId>& mapping,
+                                    std::size_t num_new_landmarks,
+                                    double merge_gap = 0.0);
+
+}  // namespace dtn::trace

@@ -1,0 +1,105 @@
+// Mobility traces: the common substrate every router and experiment
+// consumes.
+//
+// A trace is, per node, a time-sorted sequence of landmark visits
+// `(node, landmark, start, end)` — exactly the schema obtained from the
+// paper's preprocessing of the DART and DNET logs (§III-B.1).  Real
+// traces in that CSV schema load through `trace_io`; synthetic
+// generators produce the same structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dtn::trace {
+
+using NodeId = std::uint32_t;
+using LandmarkId = std::uint32_t;
+
+/// Sentinel for "not at any landmark" (in transit).
+inline constexpr LandmarkId kNoLandmark = static_cast<LandmarkId>(-1);
+/// Sentinel node id ("no node").
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Simulation times are seconds as double; one day in seconds.
+inline constexpr double kDay = 86400.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kMinute = 60.0;
+
+/// One stay of one node at one landmark.
+struct Visit {
+  NodeId node = 0;
+  LandmarkId landmark = 0;
+  double start = 0.0;  ///< association time (seconds)
+  double end = 0.0;    ///< disassociation time (seconds), end > start
+
+  friend bool operator==(const Visit&, const Visit&) = default;
+};
+
+/// A transit: node moved from one landmark to a different one.
+/// `depart` is when it left `from`; `arrive` is when it reached `to`.
+struct Transit {
+  NodeId node = 0;
+  LandmarkId from = 0;
+  LandmarkId to = 0;
+  double depart = 0.0;
+  double arrive = 0.0;
+};
+
+/// Immutable-after-build container of visits for a fixed node/landmark
+/// universe.  Visits are stored per node, sorted by start time, and are
+/// non-overlapping within a node (enforced by `validate`).
+class Trace {
+ public:
+  /// Empty trace (0 nodes / 0 landmarks), useful as a placeholder
+  /// before assignment; finalize() still applies.
+  Trace() : Trace(0, 0) {}
+  Trace(std::size_t num_nodes, std::size_t num_landmarks);
+
+  /// Append a visit (any order); call `finalize` before reading.
+  void add_visit(const Visit& v);
+
+  /// Sort per-node visits and check invariants.  Must be called exactly
+  /// once after the last `add_visit`.
+  void finalize();
+
+  [[nodiscard]] std::size_t num_nodes() const { return per_node_.size(); }
+  [[nodiscard]] std::size_t num_landmarks() const { return num_landmarks_; }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Visits of one node, sorted by start time.
+  [[nodiscard]] std::span<const Visit> visits(NodeId node) const;
+
+  /// Total number of visit records.
+  [[nodiscard]] std::size_t total_visits() const;
+
+  /// Earliest visit start / latest visit end over all nodes (0 if empty).
+  [[nodiscard]] double begin_time() const;
+  [[nodiscard]] double end_time() const;
+  [[nodiscard]] double duration() const { return end_time() - begin_time(); }
+
+  /// All visits merged and sorted by start time (copies).
+  [[nodiscard]] std::vector<Visit> all_visits_sorted() const;
+
+  /// Consecutive-visit transits of one node (adjacent visits at
+  /// *different* landmarks; same-landmark re-visits are not transits).
+  [[nodiscard]] std::vector<Transit> transits(NodeId node) const;
+
+  /// All transits over all nodes, sorted by arrival time.
+  [[nodiscard]] std::vector<Transit> all_transits_sorted() const;
+
+  /// Restrict to visits overlapping [t0, t1); visits are clipped to the
+  /// window.  Node/landmark universe is preserved.
+  [[nodiscard]] Trace window(double t0, double t1) const;
+
+ private:
+  std::size_t num_landmarks_;
+  std::vector<std::vector<Visit>> per_node_;
+  bool finalized_ = false;
+};
+
+}  // namespace dtn::trace

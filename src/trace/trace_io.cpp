@@ -1,0 +1,117 @@
+#include "trace/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dtn::trace {
+
+void write_trace_csv(const Trace& trace, std::ostream& out) {
+  out << "node,landmark,start,end\n";
+  for (const auto& v : trace.all_visits_sorted()) {
+    out << v.node << ',' << v.landmark << ',' << v.start << ',' << v.end
+        << '\n';
+  }
+}
+
+void write_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_csv: cannot open " + path);
+  write_trace_csv(trace, out);
+  if (!out) throw std::runtime_error("write_trace_csv: write failed " + path);
+}
+
+namespace {
+
+struct RawVisit {
+  std::uint32_t node;
+  std::uint32_t landmark;
+  double start;
+  double end;
+};
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (true) {
+    const auto comma = line.find(',', pos);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return fields;
+}
+
+double parse_double(std::string_view s, int line_no) {
+  // std::from_chars for double is available in GCC 11+.
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error("trace CSV: bad number at line " +
+                             std::to_string(line_no));
+  }
+  return v;
+}
+
+std::uint32_t parse_u32(std::string_view s, int line_no) {
+  std::uint32_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error("trace CSV: bad id at line " +
+                             std::to_string(line_no));
+  }
+  return v;
+}
+
+}  // namespace
+
+Trace read_trace_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("trace CSV: empty input");
+  }
+  if (line != "node,landmark,start,end") {
+    throw std::runtime_error("trace CSV: unexpected header: " + line);
+  }
+  std::vector<RawVisit> raw;
+  std::uint32_t max_node = 0;
+  std::uint32_t max_landmark = 0;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    if (fields.size() != 4) {
+      throw std::runtime_error("trace CSV: expected 4 fields at line " +
+                               std::to_string(line_no));
+    }
+    RawVisit v{parse_u32(fields[0], line_no), parse_u32(fields[1], line_no),
+               parse_double(fields[2], line_no), parse_double(fields[3], line_no)};
+    if (v.end <= v.start) {
+      throw std::runtime_error("trace CSV: end <= start at line " +
+                               std::to_string(line_no));
+    }
+    max_node = std::max(max_node, v.node);
+    max_landmark = std::max(max_landmark, v.landmark);
+    raw.push_back(v);
+  }
+  Trace trace(raw.empty() ? 0 : max_node + 1, raw.empty() ? 0 : max_landmark + 1);
+  for (const auto& v : raw) {
+    trace.add_visit(Visit{v.node, v.landmark, v.start, v.end});
+  }
+  trace.finalize();
+  return trace;
+}
+
+Trace read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_csv: cannot open " + path);
+  return read_trace_csv(in);
+}
+
+}  // namespace dtn::trace

@@ -1,0 +1,119 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace dtn::trace {
+
+FlatMatrix<std::uint32_t> visit_count_matrix(const Trace& trace) {
+  FlatMatrix<std::uint32_t> counts(trace.num_nodes(), trace.num_landmarks());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      ++counts.at(n, v.landmark);
+    }
+  }
+  return counts;
+}
+
+std::vector<LandmarkId> landmarks_by_popularity(const Trace& trace) {
+  std::vector<std::uint64_t> totals(trace.num_landmarks(), 0);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) ++totals[v.landmark];
+  }
+  std::vector<LandmarkId> order(trace.num_landmarks());
+  for (LandmarkId l = 0; l < trace.num_landmarks(); ++l) order[l] = l;
+  std::stable_sort(order.begin(), order.end(), [&](LandmarkId a, LandmarkId b) {
+    return totals[a] > totals[b];
+  });
+  return order;
+}
+
+FlatMatrix<std::uint32_t> transit_count_matrix(const Trace& trace) {
+  FlatMatrix<std::uint32_t> counts(trace.num_landmarks(), trace.num_landmarks());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& t : trace.transits(n)) {
+      ++counts.at(t.from, t.to);
+    }
+  }
+  return counts;
+}
+
+std::vector<LinkBandwidth> link_bandwidths(const Trace& trace,
+                                           double time_unit) {
+  DTN_ASSERT(time_unit > 0.0);
+  const auto counts = transit_count_matrix(trace);
+  const double units = std::max(1.0, trace.duration() / time_unit);
+  std::vector<LinkBandwidth> links;
+  for (LandmarkId i = 0; i < trace.num_landmarks(); ++i) {
+    for (LandmarkId j = 0; j < trace.num_landmarks(); ++j) {
+      const auto c = counts.at(i, j);
+      if (c == 0) continue;
+      links.push_back(LinkBandwidth{i, j, static_cast<double>(c) / units});
+    }
+  }
+  std::sort(links.begin(), links.end(),
+            [](const LinkBandwidth& a, const LinkBandwidth& b) {
+              return a.bandwidth > b.bandwidth;
+            });
+  return links;
+}
+
+std::vector<double> link_bandwidth_series(const Trace& trace, LandmarkId from,
+                                          LandmarkId to, double time_unit) {
+  DTN_ASSERT(time_unit > 0.0);
+  const double t0 = trace.begin_time();
+  const double dur = trace.duration();
+  const auto units = static_cast<std::size_t>(std::ceil(dur / time_unit));
+  std::vector<double> series(std::max<std::size_t>(units, 1), 0.0);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& t : trace.transits(n)) {
+      if (t.from != from || t.to != to) continue;
+      auto idx = static_cast<std::size_t>((t.arrive - t0) / time_unit);
+      idx = std::min(idx, series.size() - 1);
+      series[idx] += 1.0;
+    }
+  }
+  return series;
+}
+
+double matching_link_symmetry(const Trace& trace) {
+  const auto counts = transit_count_matrix(trace);
+  std::vector<double> fwd, rev;
+  for (LandmarkId i = 0; i < trace.num_landmarks(); ++i) {
+    for (LandmarkId j = i + 1; j < trace.num_landmarks(); ++j) {
+      const double a = counts.at(i, j);
+      const double b = counts.at(j, i);
+      if (a + b == 0.0) continue;
+      fwd.push_back(a);
+      rev.push_back(b);
+    }
+  }
+  if (fwd.size() < 2) return 1.0;
+  return pearson_correlation(fwd, rev);
+}
+
+TraceCharacteristics characterize(const Trace& trace) {
+  TraceCharacteristics c;
+  c.num_nodes = trace.num_nodes();
+  c.num_landmarks = trace.num_landmarks();
+  c.num_visits = trace.total_visits();
+  c.duration_days = trace.duration() / kDay;
+  RunningStats visit_minutes;
+  std::size_t transits = 0;
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& v : trace.visits(n)) {
+      visit_minutes.add((v.end - v.start) / kMinute);
+    }
+    transits += trace.transits(n).size();
+  }
+  c.num_transits = transits;
+  c.mean_visit_minutes = visit_minutes.mean();
+  const double node_days =
+      static_cast<double>(trace.num_nodes()) * std::max(c.duration_days, 1e-9);
+  c.mean_transits_per_node_day = static_cast<double>(transits) / node_days;
+  return c;
+}
+
+}  // namespace dtn::trace

@@ -1,0 +1,60 @@
+// Trace analytics backing the paper's §III-B observations and the
+// figure-2/3/4 benches: visiting distributions, transit-link bandwidths
+// and their time series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace dtn::trace {
+
+/// Visits per (node, landmark): how often each node visited each place.
+[[nodiscard]] FlatMatrix<std::uint32_t> visit_count_matrix(const Trace& trace);
+
+/// Landmarks ordered by total visit count, most visited first.
+[[nodiscard]] std::vector<LandmarkId> landmarks_by_popularity(const Trace& trace);
+
+/// Transit counts per directed landmark pair over the whole trace.
+[[nodiscard]] FlatMatrix<std::uint32_t> transit_count_matrix(const Trace& trace);
+
+/// A directed transit link with its measured bandwidth (average node
+/// transits per time unit — the paper's B(l_i -> l_j)).
+struct LinkBandwidth {
+  LandmarkId from = 0;
+  LandmarkId to = 0;
+  double bandwidth = 0.0;
+};
+
+/// Bandwidth of every link with at least one transit, sorted descending
+/// by bandwidth.  `time_unit` is the measurement unit in seconds (paper:
+/// 3 days for DART, 0.5 day for DNET).
+[[nodiscard]] std::vector<LinkBandwidth> link_bandwidths(const Trace& trace,
+                                                         double time_unit);
+
+/// Per-time-unit transit counts of one directed link across the whole
+/// trace duration (for the Fig. 4 stability series).
+[[nodiscard]] std::vector<double> link_bandwidth_series(const Trace& trace,
+                                                        LandmarkId from,
+                                                        LandmarkId to,
+                                                        double time_unit);
+
+/// Symmetry of matching links (O3): Pearson correlation between
+/// B(i->j) and B(j->i) over all unordered pairs with traffic.
+[[nodiscard]] double matching_link_symmetry(const Trace& trace);
+
+/// Characteristics row for Table I.
+struct TraceCharacteristics {
+  std::size_t num_nodes = 0;
+  std::size_t num_landmarks = 0;
+  std::size_t num_visits = 0;
+  std::size_t num_transits = 0;
+  double duration_days = 0.0;
+  double mean_visit_minutes = 0.0;
+  double mean_transits_per_node_day = 0.0;
+};
+[[nodiscard]] TraceCharacteristics characterize(const Trace& trace);
+
+}  // namespace dtn::trace

@@ -1,0 +1,25 @@
+// Lightweight contract checking used throughout the library.
+//
+// DTN_ASSERT is always on (benches included): simulation bugs silently
+// corrupt results, and the checks here are cheap relative to event
+// processing.  On failure it prints the condition and location and
+// aborts, which is the right behaviour for an invariant violation in a
+// batch simulator (there is no meaningful way to continue).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtn {
+
+[[noreturn]] inline void assert_fail(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "DTN_ASSERT failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace dtn
+
+#define DTN_ASSERT(cond)                                     \
+  do {                                                       \
+    if (!(cond)) ::dtn::assert_fail(#cond, __FILE__, __LINE__); \
+  } while (0)

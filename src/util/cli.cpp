@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtn {
+
+CliOptions::CliOptions(int argc, const char* const* argv,
+                       const std::vector<std::string>& known_flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    const bool is_flag =
+        std::find(known_flags.begin(), known_flags.end(), arg) != known_flags.end();
+    if (is_flag) {
+      values_[arg] = "1";
+    } else if (i + 1 < argc) {
+      values_[arg] = argv[++i];
+    } else {
+      std::fprintf(stderr, "option --%s expects a value\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+bool CliOptions::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string CliOptions::get(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliOptions::get_int(const std::string& key,
+                                 std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliOptions::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::uint64_t CliOptions::get_seed(std::uint64_t fallback) const {
+  const auto it = values_.find("seed");
+  return it == values_.end() ? fallback
+                             : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+bool CliOptions::full_scale() const { return get("scale", "quick") == "full"; }
+
+std::string CliOptions::csv_dir() const { return get("csv", ""); }
+
+}  // namespace dtn

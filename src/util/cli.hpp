@@ -1,0 +1,41 @@
+// Tiny command-line option parser shared by benches and examples.
+//
+// Supports `--key value` and `--flag` forms; anything unrecognised is an
+// error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dtn {
+
+class CliOptions {
+ public:
+  /// Parse argv; `known_flags` lists boolean options (no value).
+  /// Exits with a message on malformed input.
+  CliOptions(int argc, const char* const* argv,
+             const std::vector<std::string>& known_flags = {});
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::uint64_t get_seed(std::uint64_t fallback) const;
+
+  /// "quick" (default) or "full" — benches scale their workloads by this.
+  [[nodiscard]] bool full_scale() const;
+
+  /// Directory for CSV mirrors ("" disables CSV output).
+  [[nodiscard]] std::string csv_dir() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dtn

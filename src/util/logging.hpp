@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The simulator is a batch program, so logging is plain stderr with a
+// process-wide level; there is deliberately no per-module
+// configuration, timestamps come from the *simulation* clock when the
+// caller supplies one.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dtn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging. Prefer the DTN_LOG_* macros which skip argument
+/// evaluation when the level is disabled.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+}  // namespace dtn
+
+#define DTN_LOG_AT(lvl, ...)                                        \
+  do {                                                              \
+    if (static_cast<int>(lvl) >= static_cast<int>(::dtn::log_level())) \
+      ::dtn::log_message(lvl, __VA_ARGS__);                         \
+  } while (0)
+
+#define DTN_LOG_DEBUG(...) DTN_LOG_AT(::dtn::LogLevel::kDebug, __VA_ARGS__)
+#define DTN_LOG_INFO(...) DTN_LOG_AT(::dtn::LogLevel::kInfo, __VA_ARGS__)
+#define DTN_LOG_WARN(...) DTN_LOG_AT(::dtn::LogLevel::kWarn, __VA_ARGS__)
+#define DTN_LOG_ERROR(...) DTN_LOG_AT(::dtn::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,168 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dtn {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double quantile(std::span<const double> data, double q) {
+  DTN_ASSERT(!data.empty());
+  DTN_ASSERT(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+FiveNumber five_number_summary(std::span<const double> data) {
+  DTN_ASSERT(!data.empty());
+  FiveNumber f;
+  f.min = quantile(data, 0.0);
+  f.q1 = quantile(data, 0.25);
+  f.q3 = quantile(data, 0.75);
+  f.max = quantile(data, 1.0);
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  f.mean = sum / static_cast<double>(data.size());
+  return f;
+}
+
+double student_t_critical(std::size_t df, double confidence) {
+  DTN_ASSERT(df >= 1);
+  // Two-sided critical values; rows for the confidence levels the
+  // experiment runner actually uses.  Linear fallback to z beyond df=30.
+  struct Row {
+    double conf;
+    double z;                // df -> infinity
+    double table[30];        // df = 1..30
+  };
+  static const Row kRows[] = {
+      {0.90, 1.6449,
+       {6.3138, 2.9200, 2.3534, 2.1318, 2.0150, 1.9432, 1.8946, 1.8595,
+        1.8331, 1.8125, 1.7959, 1.7823, 1.7709, 1.7613, 1.7531, 1.7459,
+        1.7396, 1.7341, 1.7291, 1.7247, 1.7207, 1.7171, 1.7139, 1.7109,
+        1.7081, 1.7056, 1.7033, 1.7011, 1.6991, 1.6973}},
+      {0.95, 1.9600,
+       {12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646, 2.3060,
+        2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448, 2.1314, 2.1199,
+        2.1098, 2.1009, 2.0930, 2.0860, 2.0796, 2.0739, 2.0687, 2.0639,
+        2.0595, 2.0555, 2.0518, 2.0484, 2.0452, 2.0423}},
+      {0.99, 2.5758,
+       {63.6567, 9.9248, 5.8409, 4.6041, 4.0321, 3.7074, 3.4995, 3.3554,
+        3.2498, 3.1693, 3.1058, 3.0545, 3.0123, 2.9768, 2.9467, 2.9208,
+        2.8982, 2.8784, 2.8609, 2.8453, 2.8314, 2.8188, 2.8073, 2.7969,
+        2.7874, 2.7787, 2.7707, 2.7633, 2.7564, 2.7500}},
+  };
+  const Row* best = &kRows[1];
+  double best_dist = 1e9;
+  for (const auto& row : kRows) {
+    const double d = std::abs(row.conf - confidence);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &row;
+    }
+  }
+  if (df <= 30) return best->table[df - 1];
+  return best->z;
+}
+
+double confidence_half_width(std::span<const double> data, double confidence) {
+  if (data.size() < 2) return 0.0;
+  RunningStats rs;
+  for (double x : data) rs.add(x);
+  const double t = student_t_critical(data.size() - 1, confidence);
+  return t * rs.stddev() / std::sqrt(static_cast<double>(data.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  DTN_ASSERT(hi > lo);
+  DTN_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  DTN_ASSERT(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  DTN_ASSERT(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  DTN_ASSERT(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+double pearson_correlation(std::span<const double> x, std::span<const double> y) {
+  DTN_ASSERT(x.size() == y.size());
+  DTN_ASSERT(x.size() >= 2);
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace dtn

@@ -1,0 +1,85 @@
+// Streaming and batch statistics used by trace analysis, metrics
+// aggregation and the experiment runner (95% confidence intervals as in
+// the paper's evaluation section).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dtn {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample using linear interpolation between order
+/// statistics (type-7, the numpy/R default).  q in [0,1]; data need not
+/// be sorted.  Empty data is a precondition violation.
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// Five-number summary used by the paper's box-plot style figures
+/// (Fig. 6(b), Fig. 16(a)): min, Q1, mean, Q3, max.
+struct FiveNumber {
+  double min = 0.0;
+  double q1 = 0.0;
+  double mean = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+[[nodiscard]] FiveNumber five_number_summary(std::span<const double> data);
+
+/// Half-width of the two-sided Student-t confidence interval for the
+/// mean of `data` at the given confidence level (e.g. 0.95).  Returns 0
+/// for fewer than two samples.
+[[nodiscard]] double confidence_half_width(std::span<const double> data,
+                                           double confidence = 0.95);
+
+/// Two-sided Student-t critical value for `df` degrees of freedom at the
+/// given confidence level; falls back to the normal value for large df.
+[[nodiscard]] double student_t_critical(std::size_t df, double confidence);
+
+/// Fixed-width histogram over [lo, hi); samples outside clamp to the
+/// edge bins.  Used for trace distribution figures.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double bin_high(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation coefficient of two equal-length samples.
+[[nodiscard]] double pearson_correlation(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace dtn

@@ -1,0 +1,98 @@
+#include "core/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtn::core {
+namespace {
+
+TEST(BandwidthEstimator, StartsAtZero) {
+  BandwidthEstimator bw(4, 0.5);
+  for (trace::LandmarkId i = 0; i < 4; ++i) {
+    for (trace::LandmarkId j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(bw.bandwidth(i, j), 0.0);
+      EXPECT_TRUE(std::isinf(bw.expected_delay(i, j, 100.0)));
+    }
+  }
+  EXPECT_TRUE(bw.neighbors(0).empty());
+}
+
+TEST(BandwidthEstimator, EwmaEquationFour) {
+  BandwidthEstimator bw(3, 0.5);
+  // Unit 1: 4 transits 0->1.
+  for (int i = 0; i < 4; ++i) bw.record_transit(0, 1);
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.bandwidth(0, 1), 2.0);  // 0.5*4 + 0.5*0
+  // Unit 2: 2 transits.
+  bw.record_transit(0, 1);
+  bw.record_transit(0, 1);
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.bandwidth(0, 1), 2.0);  // 0.5*2 + 0.5*2
+  // Unit 3: none.
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.bandwidth(0, 1), 1.0);
+  EXPECT_EQ(bw.units_closed(), 3u);
+}
+
+TEST(BandwidthEstimator, RhoOneForgetsHistory) {
+  BandwidthEstimator bw(2, 1.0);
+  bw.record_transit(0, 1);
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.bandwidth(0, 1), 1.0);
+  bw.close_unit();  // empty unit wipes everything at rho = 1
+  EXPECT_DOUBLE_EQ(bw.bandwidth(0, 1), 0.0);
+}
+
+TEST(BandwidthEstimator, ExpectedDelayIsUnitOverBandwidth) {
+  BandwidthEstimator bw(2, 1.0);
+  for (int i = 0; i < 5; ++i) bw.record_transit(0, 1);
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.expected_delay(0, 1, 1000.0), 200.0);
+}
+
+TEST(BandwidthEstimator, DirectedLinksIndependent) {
+  BandwidthEstimator bw(2, 1.0);
+  bw.record_transit(0, 1);
+  bw.close_unit();
+  EXPECT_GT(bw.bandwidth(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(bw.bandwidth(1, 0), 0.0);
+}
+
+TEST(BandwidthEstimator, NeighborsListsPositiveLinks) {
+  BandwidthEstimator bw(4, 0.5);
+  bw.record_transit(0, 2);
+  bw.record_transit(0, 3);
+  bw.close_unit();
+  const auto n = bw.neighbors(0);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0], 2u);
+  EXPECT_EQ(n[1], 3u);
+  EXPECT_TRUE(bw.neighbors(1).empty());
+}
+
+TEST(BandwidthEstimator, OpenUnitCountVisible) {
+  BandwidthEstimator bw(2, 0.5);
+  bw.record_transit(1, 0);
+  EXPECT_EQ(bw.open_unit_count(1, 0), 1u);
+  bw.close_unit();
+  EXPECT_EQ(bw.open_unit_count(1, 0), 0u);
+}
+
+TEST(BandwidthEstimator, ConvergesToSteadyRate) {
+  BandwidthEstimator bw(2, 0.3);
+  for (int unit = 0; unit < 60; ++unit) {
+    for (int k = 0; k < 7; ++k) bw.record_transit(0, 1);
+    bw.close_unit();
+  }
+  EXPECT_NEAR(bw.bandwidth(0, 1), 7.0, 1e-6);
+}
+
+TEST(BandwidthEstimatorDeath, SelfLoopRejected) {
+  BandwidthEstimator bw(3, 0.5);
+  EXPECT_DEATH(bw.record_transit(1, 1), "DTN_ASSERT");
+}
+
+}  // namespace
+}  // namespace dtn::core

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.hpp"
+#include "routing/direct.hpp"
+#include "routing/factory.hpp"
+#include "routing/geocomm.hpp"
+#include "routing/pgr.hpp"
+#include "routing/prophet.hpp"
+#include "routing/per.hpp"
+#include "routing/simbet.hpp"
+#include "test_helpers.hpp"
+
+namespace dtn::routing {
+namespace {
+
+using dtn::testing::relay_chain_trace;
+using net::Network;
+using net::WorkloadConfig;
+using trace::kDay;
+using trace::kHour;
+using trace::kMinute;
+
+WorkloadConfig quiet() {
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 50;
+  cfg.ttl = 2.0 * kDay;
+  return cfg;
+}
+
+// Two nodes meeting at a hub: node 0 shuttles L0<->L1, node 1 shuttles
+// L1<->L2, overlapping at L1 so node-to-node forwarding is possible.
+trace::Trace meeting_trace(double days) {
+  trace::Trace t(2, 3);
+  const double period = 2.0 * kHour;
+  const auto periods = static_cast<std::size_t>(days * kDay / period);
+  for (std::size_t p = 0; p < periods; ++p) {
+    const double base = static_cast<double>(p) * period;
+    t.add_visit({0, 0, base, base + 30.0 * kMinute});
+    t.add_visit({0, 1, base + 60.0 * kMinute, base + 90.0 * kMinute});
+    t.add_visit({1, 1, base + 70.0 * kMinute, base + 100.0 * kMinute});
+    t.add_visit({1, 2, base + 110.0 * kMinute, base + 118.0 * kMinute});
+  }
+  t.finalize();
+  return t;
+}
+
+TEST(ProphetRouter, ReinforcementAndAging) {
+  const auto trace = meeting_trace(4.0);
+  ProphetRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  // Node 0 visits L0 and L1 often, never L2.
+  EXPECT_GT(router.predictability(net, 0, 0), 0.3);
+  EXPECT_GT(router.predictability(net, 0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(router.predictability(net, 0, 2), 0.0);
+  // Node 1 beats node 0 for L2.
+  EXPECT_GT(router.predictability(net, 1, 2),
+            router.predictability(net, 0, 2));
+}
+
+TEST(ProphetRouter, DeliversViaNodeRelay) {
+  const auto trace = meeting_trace(8.0);
+  ProphetRouter router;
+  auto cfg = quiet();
+  // Packet from L0 to L2: node 0 picks it up, hands it to node 1 at the
+  // L1 hub (node 1's predictability for L2 is higher), node 1 delivers.
+  cfg.manual_packets = {{0, 2, 4.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(ProphetRouter, CannotDeliverWithoutContacts) {
+  // The relay-chain trace has no node-node contacts: PROPHET is stuck.
+  const auto trace = relay_chain_trace(8.0);
+  ProphetRouter router;
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 3, 4.0 * kDay, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 0u);
+}
+
+TEST(ProphetRouter, AgingDecaysPredictability) {
+  ProphetConfig pc;
+  pc.gamma = 0.5;
+  pc.aging_unit = kHour;
+  ProphetRouter router(pc);
+  // One visit then a long gap: predictability should decay toward 0.
+  trace::Trace t(1, 2);
+  t.add_visit({0, 0, 0.0, kMinute});
+  t.add_visit({0, 1, 10.0 * kHour, 10.0 * kHour + kMinute});
+  t.finalize();
+  Network net(t, router, quiet());
+  net.run();
+  // ~10.2 hours after touching L0: 0.75 * 0.5^10.2 ~ 6e-4.
+  EXPECT_LT(router.predictability(net, 0, 0), 0.01);
+  EXPECT_GT(router.predictability(net, 0, 1), 0.3);
+}
+
+TEST(SimBetRouter, SimilarityAndCentralityAccumulate) {
+  const auto trace = meeting_trace(4.0);
+  SimBetRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  EXPECT_GT(router.similarity(0, 0), 0.0);
+  EXPECT_GT(router.similarity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(router.similarity(0, 2), 0.0);
+  // Node 0 transits 0->1 and 1->0: two distinct pairs; node 1 likewise.
+  EXPECT_DOUBLE_EQ(router.centrality(0), 2.0);
+  EXPECT_DOUBLE_EQ(router.centrality(1), 2.0);
+}
+
+TEST(SimBetRouter, DeliversViaNodeRelay) {
+  const auto trace = meeting_trace(8.0);
+  SimBetRouter router;
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 2, 4.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(PgrRouter, PredictedRouteFollowsHabit) {
+  const auto trace = meeting_trace(4.0);
+  PgrRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  // Node 1 ends somewhere on its 1<->2 shuttle; its route alternates.
+  const auto route = router.predicted_route(1);
+  ASSERT_FALSE(route.empty());
+  for (const auto l : route) {
+    EXPECT_TRUE(l == 1u || l == 2u);
+  }
+}
+
+TEST(PgrRouter, RouteIsCycleFreeAndBounded) {
+  PgrConfig pc;
+  pc.horizon = 4;
+  const auto trace = meeting_trace(4.0);
+  PgrRouter router(pc);
+  Network net(trace, router, quiet());
+  net.run();
+  for (net::NodeId n = 0; n < 2; ++n) {
+    const auto route = router.predicted_route(n);
+    EXPECT_LE(route.size(), 4u);
+    for (std::size_t i = 0; i < route.size(); ++i) {
+      for (std::size_t j = i + 1; j < route.size(); ++j) {
+        EXPECT_NE(route[i], route[j]);
+      }
+    }
+  }
+}
+
+TEST(PgrRouter, DeliversWhenDestinationOnRoute) {
+  const auto trace = meeting_trace(8.0);
+  PgrRouter router;
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 2, 4.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(GeoCommRouter, ContactProbabilityPerUnit) {
+  const auto trace = meeting_trace(4.0);
+  GeoCommRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  // Node 0 contacts L0 and L1 in every half-day unit.
+  EXPECT_GT(router.contact_probability(net, 0, 0), 0.8);
+  EXPECT_GT(router.contact_probability(net, 0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(router.contact_probability(net, 0, 2), 0.0);
+}
+
+TEST(GeoCommRouter, EvenContactProbabilityOnBusLikeRoutes) {
+  // The paper's observation: a bus stopping at all stops every unit has
+  // the same contact probability everywhere -- no discrimination.
+  const auto trace = meeting_trace(4.0);
+  GeoCommRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  EXPECT_NEAR(router.contact_probability(net, 1, 1),
+              router.contact_probability(net, 1, 2), 0.2);
+}
+
+TEST(PerRouter, FirstPassageOnDeterministicChain) {
+  const auto trace = meeting_trace(6.0);
+  PerRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  // Node 1 alternates 1<->2 deterministically: it reaches L2 within a
+  // generous deadline with probability ~1, and L0 never.
+  EXPECT_GT(router.visit_probability(net, 1, 2, 2.0 * kDay), 0.9);
+  EXPECT_DOUBLE_EQ(router.visit_probability(net, 1, 0, 2.0 * kDay), 0.0);
+}
+
+TEST(PerRouter, ProbabilityIncreasesWithDeadline) {
+  const auto trace = meeting_trace(6.0);
+  PerRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  const double short_dl = router.visit_probability(net, 0, 1, 10.0 * kMinute);
+  const double long_dl = router.visit_probability(net, 0, 1, 2.0 * kDay);
+  EXPECT_LE(short_dl, long_dl + 1e-12);
+}
+
+TEST(PerRouter, ZeroDeadlineIsZero) {
+  const auto trace = meeting_trace(4.0);
+  PerRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  EXPECT_DOUBLE_EQ(router.visit_probability(net, 0, 1, 0.0), 0.0);
+}
+
+TEST(PerRouter, DeliversViaNodeRelay) {
+  const auto trace = meeting_trace(8.0);
+  PerRouter router;
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 2, 4.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(DirectDeliveryRouter, OnlySourceVisitorsDeliver) {
+  const auto trace = meeting_trace(8.0);
+  DirectDeliveryRouter router;
+  auto cfg = quiet();
+  // L0 -> L1: node 0 visits both, delivers directly.
+  // L0 -> L2: node 0 picks up but never visits L2; node 1 never visits
+  // L0 -> undeliverable without relaying.
+  cfg.manual_packets = {{0, 1, 4.0 * kDay + 5.0 * kMinute, 0.0},
+                        {0, 2, 4.0 * kDay + 6.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+  EXPECT_EQ(net.packet(0).state, net::PacketState::kDelivered);
+  EXPECT_NE(net.packet(1).state, net::PacketState::kDelivered);
+}
+
+TEST(UtilityRouters, ControlTrafficAccountedOnContacts) {
+  const auto trace = meeting_trace(4.0);
+  ProphetRouter router;
+  Network net(trace, router, quiet());
+  net.run();
+  EXPECT_GT(net.counters().control_entries, 0.0);
+}
+
+TEST(Factory, StandardNamesConstruct) {
+  for (const auto& name : standard_router_names()) {
+    const auto router = make_router(name);
+    ASSERT_NE(router, nullptr);
+    EXPECT_EQ(router->name(), name);
+  }
+  EXPECT_EQ(make_router("Direct")->name(), "Direct");
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW((void)make_router("Bogus"), std::invalid_argument);
+}
+
+TEST(Factory, DtnFlowUsesStationsBaselinesDoNot) {
+  EXPECT_TRUE(make_router("DTN-FLOW")->uses_stations());
+  for (const std::string name : {"SimBet", "PROPHET", "PGR", "GeoComm", "PER"}) {
+    EXPECT_FALSE(make_router(name)->uses_stations()) << name;
+  }
+}
+
+// Parameterized delivery smoke test: every baseline delivers the
+// relayable packet on the meeting trace.
+class BaselineDeliveryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineDeliveryTest, DeliversRelayablePacket) {
+  const auto trace = meeting_trace(8.0);
+  const auto router = make_router(GetParam());
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 2, 4.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network net(trace, *router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Baselines, BaselineDeliveryTest,
+                         ::testing::Values("SimBet", "PROPHET", "PGR",
+                                           "GeoComm", "PER"));
+
+}  // namespace
+}  // namespace dtn::routing

@@ -1,0 +1,74 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn::net {
+namespace {
+
+TEST(Buffer, UnboundedAcceptsEverything) {
+  Buffer b(0);
+  EXPECT_TRUE(b.unbounded());
+  for (PacketId i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(b.add(i, 1000));
+  }
+  EXPECT_EQ(b.count(), 1000u);
+}
+
+TEST(Buffer, CapacityEnforced) {
+  Buffer b(3);
+  EXPECT_TRUE(b.add(0, 1));
+  EXPECT_TRUE(b.add(1, 2));
+  EXPECT_FALSE(b.add(2, 1));  // 3 kB used, no room
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.used_kb(), 3u);
+}
+
+TEST(Buffer, HasSpaceQuery) {
+  Buffer b(5);
+  EXPECT_TRUE(b.has_space(5));
+  EXPECT_FALSE(b.has_space(6));
+  ASSERT_TRUE(b.add(0, 4));
+  EXPECT_TRUE(b.has_space(1));
+  EXPECT_FALSE(b.has_space(2));
+}
+
+TEST(Buffer, RemoveFreesSpace) {
+  Buffer b(2);
+  ASSERT_TRUE(b.add(7, 2));
+  EXPECT_FALSE(b.add(8, 1));
+  b.remove(7, 2);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.used_kb(), 0u);
+  EXPECT_TRUE(b.add(8, 1));
+}
+
+TEST(Buffer, ContainsTracksMembership) {
+  Buffer b(10);
+  EXPECT_FALSE(b.contains(1));
+  ASSERT_TRUE(b.add(1, 1));
+  EXPECT_TRUE(b.contains(1));
+  b.remove(1, 1);
+  EXPECT_FALSE(b.contains(1));
+}
+
+TEST(Buffer, PacketsSpanReflectsContents) {
+  Buffer b(10);
+  ASSERT_TRUE(b.add(3, 1));
+  ASSERT_TRUE(b.add(5, 1));
+  const auto span = b.packets();
+  ASSERT_EQ(span.size(), 2u);
+}
+
+TEST(BufferDeath, RemovingAbsentPacketRejected) {
+  Buffer b(10);
+  EXPECT_DEATH(b.remove(42, 1), "DTN_ASSERT");
+}
+
+TEST(BufferDeath, DoubleAddRejected) {
+  Buffer b(10);
+  ASSERT_TRUE(b.add(1, 1));
+  EXPECT_DEATH((void)b.add(1, 1), "DTN_ASSERT");
+}
+
+}  // namespace
+}  // namespace dtn::net

@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn {
+namespace {
+
+CliOptions parse(std::vector<const char*> args,
+                 const std::vector<std::string>& flags = {}) {
+  args.insert(args.begin(), "prog");
+  return CliOptions(static_cast<int>(args.size()), args.data(), flags);
+}
+
+TEST(CliOptions, KeyValuePairs) {
+  const auto opts = parse({"--rate", "500", "--name", "dart"});
+  EXPECT_EQ(opts.get_int("rate", 0), 500);
+  EXPECT_EQ(opts.get("name", ""), "dart");
+}
+
+TEST(CliOptions, EqualsSyntax) {
+  const auto opts = parse({"--rate=250"});
+  EXPECT_EQ(opts.get_int("rate", 0), 250);
+}
+
+TEST(CliOptions, Flags) {
+  const auto opts = parse({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(opts.has("verbose"));
+}
+
+TEST(CliOptions, Fallbacks) {
+  const auto opts = parse({});
+  EXPECT_EQ(opts.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(opts.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(opts.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(opts.get_seed(42), 42u);
+}
+
+TEST(CliOptions, SeedParsed) {
+  const auto opts = parse({"--seed", "123"});
+  EXPECT_EQ(opts.get_seed(0), 123u);
+}
+
+TEST(CliOptions, ScaleDefaultsQuick) {
+  EXPECT_FALSE(parse({}).full_scale());
+  EXPECT_TRUE(parse({"--scale", "full"}).full_scale());
+}
+
+TEST(CliOptions, CsvDir) {
+  EXPECT_EQ(parse({}).csv_dir(), "");
+  EXPECT_EQ(parse({"--csv", "/tmp/out"}).csv_dir(), "/tmp/out");
+}
+
+TEST(CliOptions, DoubleParsing) {
+  const auto opts = parse({"--beta", "0.75"});
+  EXPECT_DOUBLE_EQ(opts.get_double("beta", 0.0), 0.75);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,110 @@
+#include "trace/contacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/campus_generator.hpp"
+
+namespace dtn::trace {
+namespace {
+
+Trace overlap_trace() {
+  Trace t(3, 2);
+  // Node 0 and 1 overlap at L0 during [5, 10); node 2 at L1 alone; then
+  // 0 and 2 overlap at L1 during [20, 22).
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({1, 0, 5.0, 15.0});
+  t.add_visit({2, 1, 0.0, 8.0});
+  t.add_visit({0, 1, 20.0, 25.0});
+  t.add_visit({2, 1, 18.0, 22.0});
+  t.finalize();
+  return t;
+}
+
+TEST(DeriveContacts, FindsOverlaps) {
+  const auto contacts = derive_contacts(overlap_trace());
+  ASSERT_EQ(contacts.size(), 2u);
+  EXPECT_EQ(contacts[0].a, 0u);
+  EXPECT_EQ(contacts[0].b, 1u);
+  EXPECT_EQ(contacts[0].place, 0u);
+  EXPECT_DOUBLE_EQ(contacts[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(contacts[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(contacts[0].duration(), 5.0);
+  EXPECT_EQ(contacts[1].a, 0u);
+  EXPECT_EQ(contacts[1].b, 2u);
+  EXPECT_DOUBLE_EQ(contacts[1].start, 20.0);
+  EXPECT_DOUBLE_EQ(contacts[1].end, 22.0);
+}
+
+TEST(DeriveContacts, SortedByStart) {
+  const auto contacts = derive_contacts(overlap_trace());
+  for (std::size_t i = 1; i < contacts.size(); ++i) {
+    EXPECT_LE(contacts[i - 1].start, contacts[i].start);
+  }
+}
+
+TEST(DeriveContacts, NoContactAcrossLandmarks) {
+  Trace t(2, 2);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({1, 1, 0.0, 10.0});  // simultaneous but elsewhere
+  t.finalize();
+  EXPECT_TRUE(derive_contacts(t).empty());
+}
+
+TEST(DeriveContacts, TouchingIntervalsAreNotContacts) {
+  Trace t(2, 1);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({1, 0, 10.0, 20.0});  // zero-length intersection
+  t.finalize();
+  EXPECT_TRUE(derive_contacts(t).empty());
+}
+
+TEST(AnalyzeContacts, AggregateStats) {
+  const auto trace = overlap_trace();
+  const auto contacts = derive_contacts(trace);
+  const auto s = analyze_contacts(trace, contacts);
+  EXPECT_EQ(s.contacts, 2u);
+  EXPECT_EQ(s.pairs_met, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_duration, (5.0 + 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_intercontact, 0.0);  // no pair met twice
+}
+
+TEST(IntercontactTimes, GapsPerPair) {
+  Trace t(2, 1);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({1, 0, 5.0, 8.0});
+  t.add_visit({1, 0, 50.0, 60.0});
+  t.add_visit({0, 0, 55.0, 70.0});
+  t.add_visit({1, 0, 100.0, 110.0});
+  t.add_visit({0, 0, 105.0, 120.0});
+  t.finalize();
+  const auto contacts = derive_contacts(t);
+  ASSERT_EQ(contacts.size(), 3u);
+  const auto gaps = intercontact_times(contacts, 1, 0);  // order-insensitive
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 50.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 50.0);
+}
+
+TEST(IntercontactTimes, EmptyForStrangers) {
+  const auto contacts = derive_contacts(overlap_trace());
+  EXPECT_TRUE(intercontact_times(contacts, 1, 2).empty());
+}
+
+TEST(ContactsOnSyntheticCampus, PlausibleVolume) {
+  CampusTraceConfig cfg;
+  cfg.num_nodes = 30;
+  cfg.num_landmarks = 10;
+  cfg.days = 10.0;
+  cfg.seed = 4;
+  const auto trace = generate_campus_trace(cfg);
+  const auto contacts = derive_contacts(trace);
+  const auto s = analyze_contacts(trace, contacts);
+  EXPECT_GT(s.contacts, 100u);
+  EXPECT_GT(s.pairs_met, 30u);
+  EXPECT_GT(s.mean_duration, kMinute);
+  EXPECT_LT(s.mean_duration, 3.0 * kHour);
+  EXPECT_GT(s.contacts_per_node_day, 1.0);
+}
+
+}  // namespace
+}  // namespace dtn::trace

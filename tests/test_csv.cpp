@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dtn {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  const std::string path = ::testing::TempDir() + "csvwriter_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"a", "b,c"});
+    w.write_row_values({1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,c\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(format_double(1000000.0, 4), "1e+06");
+  EXPECT_EQ(format_double(0.5, 4), "0.5");
+}
+
+TEST(TablePrinter, RowsAndCsvMirror) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string path = ::testing::TempDir() + "table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "beta,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinter, EmptyCsvPathIsNoop) {
+  TablePrinter t({"x"});
+  t.add_row({"1"});
+  t.write_csv("");  // must not throw
+}
+
+}  // namespace
+}  // namespace dtn

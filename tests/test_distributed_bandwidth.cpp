@@ -1,0 +1,164 @@
+// The faithful §IV-C.1 distributed bandwidth protocol: direct incoming
+// observation, reverse-notification tokens for the outgoing side,
+// stale-token rejection, and the O3 symmetry fallback.  Integration
+// checks bound its divergence from the centralized estimator.
+#include "core/distributed_bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dtn_flow_router.hpp"
+#include "net/network.hpp"
+#include "test_helpers.hpp"
+
+namespace dtn::core {
+namespace {
+
+using dtn::testing::relay_chain_trace;
+using trace::kDay;
+
+TEST(DistributedBandwidth, IncomingObservedDirectly) {
+  DistributedBandwidth bw(3, 1.0);
+  bw.record_arrival(0, 1);
+  bw.record_arrival(0, 1);
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.incoming_bandwidth(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(bw.incoming_bandwidth(1, 0), 0.0);
+}
+
+TEST(DistributedBandwidth, NoTokenBeforeFirstClosedUnit) {
+  DistributedBandwidth bw(3, 1.0);
+  bw.record_arrival(0, 1);
+  EXPECT_FALSE(bw.issue_token(1, 0).has_value());
+}
+
+TEST(DistributedBandwidth, TokenCarriesLastClosedCount) {
+  DistributedBandwidth bw(3, 1.0);
+  for (int i = 0; i < 3; ++i) bw.record_arrival(0, 1);
+  bw.close_unit();
+  // A node leaving l1 predicted to go to l0 carries the report of the
+  // link 0 -> 1 back to l0.
+  const auto token = bw.issue_token(1, 0);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(token->link_from, 0u);
+  EXPECT_EQ(token->link_to, 1u);
+  EXPECT_DOUBLE_EQ(token->count, 3.0);
+  EXPECT_EQ(token->unit, 1u);
+}
+
+TEST(DistributedBandwidth, TokenDeliveryUpdatesOutgoing) {
+  DistributedBandwidth bw(3, 1.0);
+  for (int i = 0; i < 4; ++i) bw.record_arrival(0, 1);
+  bw.close_unit();
+  const auto token = bw.issue_token(1, 0);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_TRUE(bw.deliver_token(0, *token));
+  // Folded at the next unit close.
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.outgoing_bandwidth(0, 1), 4.0);
+  EXPECT_EQ(bw.tokens_accepted(), 1u);
+}
+
+TEST(DistributedBandwidth, MispredictedCarrierDiscardsToken) {
+  DistributedBandwidth bw(3, 1.0);
+  bw.record_arrival(0, 1);
+  bw.close_unit();
+  const auto token = bw.issue_token(1, 0);
+  ASSERT_TRUE(token.has_value());
+  // The node actually ended up at l2: not the addressee.
+  EXPECT_FALSE(bw.deliver_token(2, *token));
+  EXPECT_EQ(bw.tokens_accepted(), 0u);
+}
+
+TEST(DistributedBandwidth, StaleTokenRejected) {
+  DistributedBandwidth bw(3, 1.0);
+  bw.record_arrival(0, 1);
+  bw.close_unit();
+  const auto old_token = bw.issue_token(1, 0);
+  ASSERT_TRUE(old_token.has_value());
+  for (int i = 0; i < 5; ++i) bw.record_arrival(0, 1);
+  bw.close_unit();
+  const auto new_token = bw.issue_token(1, 0);
+  ASSERT_TRUE(new_token.has_value());
+  EXPECT_TRUE(bw.deliver_token(0, *new_token));
+  EXPECT_FALSE(bw.deliver_token(0, *old_token));  // older sequence
+  EXPECT_EQ(bw.tokens_stale(), 1u);
+}
+
+TEST(DistributedBandwidth, SymmetryFallbackWithoutTokens) {
+  // l0 observes 1 -> 0 traffic itself; with no token for 0 -> 1 it
+  // substitutes the reverse count (observation O3).
+  DistributedBandwidth bw(2, 1.0);
+  for (int i = 0; i < 6; ++i) bw.record_arrival(1, 0);
+  bw.close_unit();
+  EXPECT_DOUBLE_EQ(bw.outgoing_bandwidth(0, 1), 6.0);
+}
+
+TEST(DistributedBandwidth, ExpectedDelayInfiniteWithoutEstimate) {
+  DistributedBandwidth bw(2, 0.5);
+  EXPECT_TRUE(std::isinf(bw.expected_delay(0, 1, 100.0)));
+  bw.record_arrival(1, 0);
+  bw.close_unit();  // symmetry gives 0 -> 1 an estimate
+  EXPECT_FALSE(std::isinf(bw.expected_delay(0, 1, 100.0)));
+}
+
+TEST(DistributedBandwidth, NeighborsFromOutgoingEstimates) {
+  DistributedBandwidth bw(4, 1.0);
+  bw.record_arrival(1, 0);  // symmetry: 0 -> 1 becomes a neighbor of 0
+  bw.close_unit();
+  const auto n = bw.neighbors(0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], 1u);
+}
+
+// -- integration through the router -------------------------------------
+
+TEST(DistributedBandwidthIntegration, ConvergesNearCentralizedEstimate) {
+  const auto trace = relay_chain_trace(12.0);
+  DtnFlowConfig rc;
+  rc.distributed_bandwidth = true;
+  DtnFlowRouter router(rc);
+  net::WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  cfg.time_unit = 0.5 * kDay;
+  net::Network net(trace, router, cfg);
+  net.run();
+  const auto& central = router.bandwidth();
+  const auto& distributed = router.distributed_bandwidth();
+  EXPECT_GT(distributed.tokens_accepted(), 0u);
+  for (net::LandmarkId i = 0; i < 4; ++i) {
+    for (net::LandmarkId j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const double c = central.bandwidth(i, j);
+      const double d = distributed.outgoing_bandwidth(i, j);
+      if (c == 0.0) {
+        EXPECT_DOUBLE_EQ(d, 0.0) << i << "->" << j;
+      } else {
+        // Token latency costs at most a little staleness.
+        EXPECT_NEAR(d, c, 0.35 * c) << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST(DistributedBandwidthIntegration, RoutingStillDelivers) {
+  const auto trace = relay_chain_trace(10.0);
+  DtnFlowConfig rc;
+  rc.distributed_bandwidth = true;
+  DtnFlowRouter router(rc);
+  net::WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 50;
+  cfg.ttl = 2.0 * kDay;
+  cfg.manual_packets = {{0, 3, 5.0 * kDay, 0.0}};
+  net::Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+}  // namespace
+}  // namespace dtn::core

@@ -1,0 +1,56 @@
+#include "util/flat_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn {
+namespace {
+
+TEST(FlatMatrix, DefaultConstructedIsEmpty) {
+  FlatMatrix<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(FlatMatrix, InitialValue) {
+  FlatMatrix<double> m(3, 4, 1.5);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), 1.5);
+    }
+  }
+}
+
+TEST(FlatMatrix, WriteAndRead) {
+  FlatMatrix<int> m(2, 2, 0);
+  m.at(0, 1) = 7;
+  m.at(1, 0) = -3;
+  EXPECT_EQ(m.at(0, 1), 7);
+  EXPECT_EQ(m.at(1, 0), -3);
+  EXPECT_EQ(m.at(0, 0), 0);
+}
+
+TEST(FlatMatrix, RowSum) {
+  FlatMatrix<int> m(2, 3, 0);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  EXPECT_EQ(m.row_sum(0), 6);
+  EXPECT_EQ(m.row_sum(1), 0);
+}
+
+TEST(FlatMatrix, Fill) {
+  FlatMatrix<int> m(2, 2, 1);
+  m.fill(9);
+  EXPECT_EQ(m.row_sum(0), 18);
+  EXPECT_EQ(m.row_sum(1), 18);
+}
+
+TEST(FlatMatrix, RawStorageRowMajor) {
+  FlatMatrix<int> m(2, 3, 0);
+  m.at(1, 2) = 5;
+  EXPECT_EQ(m.raw()[1 * 3 + 2], 5);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,192 @@
+#include "trace/geo_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/landmark_select.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace dtn::trace {
+namespace {
+
+GeoTraceConfig small_config(std::uint64_t seed) {
+  GeoTraceConfig cfg;
+  cfg.landmark_positions = fig15_positions();
+  cfg.num_nodes = 9;
+  cfg.days = 10.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Fig15Positions, EightLandmarksSpacedApart) {
+  const auto pos = fig15_positions();
+  ASSERT_EQ(pos.size(), 8u);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      EXPECT_GT(core::squared_distance(pos[i], pos[j]), 100.0 * 100.0)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(GeoGenerator, WellFormedTrace) {
+  const auto trace = generate_geo_trace(small_config(1));
+  EXPECT_EQ(trace.num_nodes(), 9u);
+  EXPECT_EQ(trace.num_landmarks(), 8u);
+  EXPECT_GT(trace.total_visits(), 300u);
+}
+
+TEST(GeoGenerator, DeterministicPerSeed) {
+  const auto a = generate_geo_trace(small_config(7));
+  const auto b = generate_geo_trace(small_config(7));
+  ASSERT_EQ(a.total_visits(), b.total_visits());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    const auto va = a.visits(n);
+    const auto vb = b.visits(n);
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+  }
+}
+
+TEST(GeoGenerator, TravelTimesScaleWithDistance) {
+  // Transit gaps (depart -> arrive) must be at least distance/speed
+  // times the lower jitter bound.
+  auto cfg = small_config(3);
+  cfg.miss_probability = 0.0;
+  const auto trace = generate_geo_trace(cfg);
+  const auto pos = cfg.landmark_positions;
+  std::size_t checked = 0;
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const auto& t : trace.transits(n)) {
+      const double gap = t.arrive - t.depart;
+      const double dx = pos[t.from].x - pos[t.to].x;
+      const double dy = pos[t.from].y - pos[t.to].y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double min_travel =
+          std::max(kMinute, dist / cfg.speed_m_per_s * (1.0 - cfg.travel_noise));
+      // Overnight gaps (day boundary) are legitimately longer.
+      if (gap < 6.0 * kHour) {
+        EXPECT_GE(gap, min_travel - 1e-6)
+            << "node " << n << " " << t.from << "->" << t.to;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(GeoGenerator, AttractionSkewsVisits) {
+  auto cfg = small_config(5);
+  cfg.attraction.assign(8, 1.0);
+  cfg.attraction[0] = 12.0;  // the library dominates
+  cfg.home_bias = 0.2;
+  const auto trace = generate_geo_trace(cfg);
+  const auto order = landmarks_by_popularity(trace);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(GeoGenerator, HomesRespected) {
+  auto cfg = small_config(6);
+  cfg.homes.assign(cfg.num_nodes, 3);  // everyone based at L4
+  cfg.home_bias = 0.8;
+  const auto trace = generate_geo_trace(cfg);
+  const auto counts = visit_count_matrix(trace);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    std::uint32_t best_count = 0;
+    LandmarkId best = 0;
+    for (LandmarkId l = 0; l < trace.num_landmarks(); ++l) {
+      if (counts.at(n, l) > best_count) {
+        best_count = counts.at(n, l);
+        best = l;
+      }
+    }
+    EXPECT_EQ(best, 3u) << "node " << n;
+  }
+}
+
+// -- GPS/position-sample import ------------------------------------------
+
+TEST(PositionSamples, FusesFixesIntoVisits) {
+  const std::vector<Point> landmarks = {{0, 0}, {1000, 0}};
+  std::vector<PositionSample> samples;
+  // Node 0 near L0 from t=0 to t=600 (fixes every 120 s)...
+  for (int k = 0; k <= 5; ++k) {
+    samples.push_back({0, k * 120.0, {10.0 + k, 5.0}});
+  }
+  // ... then in the open field (no association) ...
+  samples.push_back({0, 800.0, {500.0, 0.0}});
+  // ... then near L1.
+  for (int k = 0; k <= 3; ++k) {
+    samples.push_back({0, 1000.0 + k * 120.0, {995.0, -3.0}});
+  }
+  const auto trace =
+      visits_from_position_samples(samples, landmarks, 1, 50.0);
+  const auto visits = trace.visits(0);
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_EQ(visits[0].landmark, 0u);
+  EXPECT_DOUBLE_EQ(visits[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(visits[0].end, 600.0);
+  EXPECT_EQ(visits[1].landmark, 1u);
+  EXPECT_DOUBLE_EQ(visits[1].start, 1000.0);
+  EXPECT_DOUBLE_EQ(visits[1].end, 1360.0);
+}
+
+TEST(PositionSamples, GapSplitsVisit) {
+  const std::vector<Point> landmarks = {{0, 0}};
+  std::vector<PositionSample> samples = {
+      {0, 0.0, {1, 1}}, {0, 300.0, {2, 2}},
+      {0, 5000.0, {1, 0}}, {0, 5300.0, {0, 1}}};  // gap >> max_fix_gap
+  const auto trace =
+      visits_from_position_samples(samples, landmarks, 1, 50.0, 900.0, 60.0);
+  ASSERT_EQ(trace.visits(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.visits(0)[0].end, 300.0);
+  EXPECT_DOUBLE_EQ(trace.visits(0)[1].start, 5000.0);
+}
+
+TEST(PositionSamples, ShortAndUnassociatedFixesDropped) {
+  const std::vector<Point> landmarks = {{0, 0}};
+  std::vector<PositionSample> samples = {
+      {0, 0.0, {5, 5}},          // single fix: 1 s pseudo-visit < min
+      {0, 2000.0, {9999, 9999}}  // far from everything
+  };
+  const auto trace =
+      visits_from_position_samples(samples, landmarks, 1, 50.0);
+  EXPECT_EQ(trace.total_visits(), 0u);
+}
+
+TEST(PositionSamples, UnsortedInputAndMultipleNodes) {
+  const std::vector<Point> landmarks = {{0, 0}, {500, 0}};
+  std::vector<PositionSample> samples = {
+      {1, 400.0, {501, 1}}, {0, 100.0, {2, 0}}, {1, 100.0, {499, 0}},
+      {0, 400.0, {1, 3}},
+  };
+  const auto trace =
+      visits_from_position_samples(samples, landmarks, 2, 50.0);
+  ASSERT_EQ(trace.visits(0).size(), 1u);
+  ASSERT_EQ(trace.visits(1).size(), 1u);
+  EXPECT_EQ(trace.visits(0)[0].landmark, 0u);
+  EXPECT_EQ(trace.visits(1)[0].landmark, 1u);
+}
+
+TEST(PositionSamples, NearestLandmarkWinsWithinRadius) {
+  const std::vector<Point> landmarks = {{0, 0}, {80, 0}};
+  std::vector<PositionSample> samples = {
+      {0, 0.0, {50, 0}}, {0, 200.0, {55, 0}}};  // closer to L1
+  const auto trace =
+      visits_from_position_samples(samples, landmarks, 1, 60.0, 900.0, 60.0);
+  ASSERT_EQ(trace.visits(0).size(), 1u);
+  EXPECT_EQ(trace.visits(0)[0].landmark, 1u);
+}
+
+TEST(GeoGeneratorDeath, RejectsMismatchedConfig) {
+  GeoTraceConfig cfg;
+  cfg.landmark_positions = {{0, 0}};  // fewer than 2
+  EXPECT_DEATH((void)generate_geo_trace(cfg), "DTN_ASSERT");
+  cfg.landmark_positions = fig15_positions();
+  cfg.attraction = {1.0, 2.0};  // wrong size
+  EXPECT_DEATH((void)generate_geo_trace(cfg), "DTN_ASSERT");
+}
+
+}  // namespace
+}  // namespace dtn::trace

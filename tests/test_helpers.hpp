@@ -1,0 +1,43 @@
+// Shared deterministic trace builders for router tests.
+//
+// The "relay chain" topology is the paper's Fig. 1(b) in miniature:
+// node A shuttles L0<->L1, node B shuttles L1<->L2, node C shuttles
+// L2<->L3, with visit windows arranged so that *no two nodes are ever
+// co-located*.  Packets from L0 to L3 can therefore only be delivered
+// through landmark stations (inter-landmark data flow); node-only
+// baselines are structurally unable to deliver them.
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace dtn::testing {
+
+using trace::kDay;
+using trace::kHour;
+using trace::kMinute;
+using trace::Trace;
+using trace::Visit;
+
+/// Period of one shuttle cycle in the relay-chain trace.
+inline constexpr double kShuttlePeriod = 2.0 * kHour;
+
+/// Three nodes relaying across four landmarks; see header comment.
+/// Node i shuttles between landmark i (at [0, 30min) of each period)
+/// and landmark i+1 (at [60min, 90min)).
+inline Trace relay_chain_trace(double days, std::size_t num_nodes = 3) {
+  const auto num_landmarks = static_cast<std::uint32_t>(num_nodes + 1);
+  Trace t(num_nodes, num_landmarks);
+  const auto periods = static_cast<std::size_t>(days * kDay / kShuttlePeriod);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    for (std::size_t p = 0; p < periods; ++p) {
+      const double base = static_cast<double>(p) * kShuttlePeriod;
+      t.add_visit(Visit{n, n, base, base + 30.0 * kMinute});
+      t.add_visit(
+          Visit{n, n + 1, base + 60.0 * kMinute, base + 90.0 * kMinute});
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace dtn::testing

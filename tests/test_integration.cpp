@@ -1,0 +1,173 @@
+// End-to-end integration: the full pipeline (synthetic trace ->
+// simulation -> metrics) for every compared router, checking the
+// paper's qualitative ordering on a reduced-scale campus workload.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "metrics/metrics.hpp"
+#include "routing/factory.hpp"
+#include "trace/campus_generator.hpp"
+#include "trace/bus_generator.hpp"
+
+namespace dtn {
+namespace {
+
+using trace::kDay;
+
+// Reduced-scale analogue of the paper's DART setting: landmarks are
+// plentiful relative to nodes (each destination is frequently visited
+// by only a few nodes, observation O1), buffers are constrained and the
+// packet rate congests them — the regime where the compared algorithms
+// actually separate.
+trace::Trace tiny_campus() {
+  trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 48;
+  cfg.num_landmarks = 24;
+  cfg.num_communities = 12;
+  cfg.community_landmarks = 4;
+  cfg.community_bias = 0.85;
+  cfg.days = 24.0;
+  cfg.add_default_holiday = false;
+  cfg.seed = 5;
+  return generate_campus_trace(cfg);
+}
+
+net::WorkloadConfig campus_workload() {
+  net::WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 30.0;
+  cfg.ttl = 4.0 * kDay;
+  cfg.node_memory_kb = 40;
+  cfg.warmup_fraction = 0.25;
+  cfg.time_unit = 1.0 * kDay;
+  cfg.seed = 99;
+  return cfg;
+}
+
+double per_delivered_cost(const metrics::RunResult& r) {
+  return r.forwarding_cost / std::max<double>(1.0, r.delivered);
+}
+
+std::map<std::string, metrics::RunResult> run_all(
+    const trace::Trace& trace, const net::WorkloadConfig& workload) {
+  std::map<std::string, metrics::RunResult> results;
+  for (const auto& name : routing::standard_router_names()) {
+    const auto router = routing::make_router(name);
+    results[name] = metrics::run_experiment(trace, *router, workload);
+  }
+  return results;
+}
+
+TEST(Integration, AllRoutersCompleteAndDeliver) {
+  const auto trace = tiny_campus();
+  const auto results = run_all(trace, campus_workload());
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& [name, r] : results) {
+    EXPECT_GT(r.generated, 500u) << name;
+    EXPECT_GE(r.success_rate, 0.0) << name;
+    EXPECT_LE(r.success_rate, 1.0) << name;
+    EXPECT_GT(r.delivered, 0u) << name;
+    EXPECT_GT(r.avg_delay, 0.0) << name;
+    EXPECT_GT(r.forwarding_cost, 0.0) << name;
+    EXPECT_GE(r.total_cost, r.forwarding_cost) << name;
+  }
+}
+
+TEST(Integration, DtnFlowHasHighestSuccessRate) {
+  const auto trace = tiny_campus();
+  const auto results = run_all(trace, campus_workload());
+  const double flow = results.at("DTN-FLOW").success_rate;
+  for (const auto& [name, r] : results) {
+    if (name == "DTN-FLOW") continue;
+    EXPECT_GE(flow, r.success_rate) << "vs " << name;
+  }
+  EXPECT_GT(flow, 0.5);
+}
+
+TEST(Integration, DtnFlowHasLowestOverallDelay) {
+  const auto trace = tiny_campus();
+  const auto results = run_all(trace, campus_workload());
+  // Delay including failures (the paper's O.Delay): DTN-FLOW strictly
+  // lowest.  The *conditional* delay of delivered packets is a biased
+  // comparison here — the baselines only deliver the easy short-path
+  // packets — so we additionally require DTN-FLOW's conditional delay
+  // to stay within 15% of the best baseline's despite delivering far
+  // more of the hard multi-hop traffic (see EXPERIMENTS.md).
+  const auto& flow = results.at("DTN-FLOW");
+  double best_baseline_avg = 1e300;
+  for (const auto& [name, r] : results) {
+    if (name == "DTN-FLOW") continue;
+    EXPECT_LT(flow.overall_delay, r.overall_delay) << "vs " << name;
+    best_baseline_avg = std::min(best_baseline_avg, r.avg_delay);
+  }
+  EXPECT_LT(flow.avg_delay, best_baseline_avg * 1.15);
+}
+
+TEST(Integration, ForwardingCostShapeAmongBaselines) {
+  const auto trace = tiny_campus();
+  const auto results = run_all(trace, campus_workload());
+  // Paper Fig. 11(c): PGR forwards least among the baselines (nodes
+  // rarely look better than each other) and the dynamic-utility methods
+  // (PER/PROPHET/GeoComm) forward most.
+  EXPECT_LT(results.at("PGR").forwarding_cost,
+            results.at("PER").forwarding_cost);
+  EXPECT_LT(results.at("PGR").forwarding_cost,
+            results.at("PROPHET").forwarding_cost);
+  EXPECT_LT(results.at("PGR").forwarding_cost,
+            results.at("GeoComm").forwarding_cost);
+  // DTN-FLOW's per-delivered cost stays within a small factor of the
+  // baselines even though station-assisted hops are double-counted
+  // (upload + download); its raw count scales with its much higher
+  // delivery volume (deviation from the paper discussed in
+  // EXPERIMENTS.md).
+  EXPECT_LT(per_delivered_cost(results.at("DTN-FLOW")),
+            3.0 * per_delivered_cost(results.at("PROPHET")));
+}
+
+TEST(Integration, DeterministicAcrossIdenticalRuns) {
+  const auto trace = tiny_campus();
+  const auto workload = campus_workload();
+  const auto a = run_all(trace, workload);
+  const auto b = run_all(trace, workload);
+  for (const auto& [name, ra] : a) {
+    const auto& rb = b.at(name);
+    EXPECT_EQ(ra.delivered, rb.delivered) << name;
+    EXPECT_DOUBLE_EQ(ra.avg_delay, rb.avg_delay) << name;
+    EXPECT_DOUBLE_EQ(ra.total_cost, rb.total_cost) << name;
+  }
+}
+
+TEST(Integration, MoreMemoryNeverHurtsDtnFlow) {
+  const auto trace = tiny_campus();
+  auto workload = campus_workload();
+  workload.packets_per_landmark_per_day = 12.0;
+  workload.node_memory_kb = 5;
+  const auto small = metrics::run_experiment(
+      trace, *routing::make_router("DTN-FLOW"), workload);
+  workload.node_memory_kb = 500;
+  const auto large = metrics::run_experiment(
+      trace, *routing::make_router("DTN-FLOW"), workload);
+  EXPECT_GE(large.success_rate + 0.02, small.success_rate);
+}
+
+TEST(Integration, BusTracePipelineRuns) {
+  trace::BusTraceConfig bc;
+  bc.num_buses = 16;
+  bc.num_landmarks = 10;
+  bc.num_routes = 5;
+  bc.days = 12.0;
+  bc.seed = 2;
+  const auto trace = generate_bus_trace(bc);
+  net::WorkloadConfig workload;
+  workload.packets_per_landmark_per_day = 6.0;
+  workload.ttl = 3.0 * kDay;
+  workload.node_memory_kb = 200;
+  workload.time_unit = 0.5 * kDay;
+  const auto router = routing::make_router("DTN-FLOW");
+  const auto r = metrics::run_experiment(trace, *router, workload);
+  EXPECT_GT(r.generated, 100u);
+  EXPECT_GT(r.success_rate, 0.3);
+}
+
+}  // namespace
+}  // namespace dtn

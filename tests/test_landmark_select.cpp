@@ -1,0 +1,146 @@
+#include "core/landmark_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dtn::core {
+namespace {
+
+using trace::Point;
+
+TEST(SelectLandmarks, KeepsMostVisitedWhenSpaced) {
+  const std::vector<CandidatePlace> candidates = {
+      {{0, 0}, 100}, {{10, 0}, 50}, {{20, 0}, 75}};
+  const auto sel = select_landmarks(candidates, 5.0);
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel[0], 0u);  // ordered by visits desc
+  EXPECT_EQ(sel[1], 2u);
+  EXPECT_EQ(sel[2], 1u);
+}
+
+TEST(SelectLandmarks, RemovesLessVisitedOfClosePair) {
+  const std::vector<CandidatePlace> candidates = {
+      {{0, 0}, 100}, {{1, 0}, 50}, {{20, 0}, 75}};
+  const auto sel = select_landmarks(candidates, 5.0);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 2u);
+}
+
+TEST(SelectLandmarks, MaxLandmarksCap) {
+  const std::vector<CandidatePlace> candidates = {
+      {{0, 0}, 1}, {{10, 0}, 2}, {{20, 0}, 3}, {{30, 0}, 4}};
+  const auto sel = select_landmarks(candidates, 1.0, 2);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0], 3u);
+  EXPECT_EQ(sel[1], 2u);
+}
+
+TEST(SelectLandmarks, EmptyInput) {
+  EXPECT_TRUE(select_landmarks({}, 10.0).empty());
+}
+
+TEST(AssignSubareas, NearestLandmarkWins) {
+  const std::vector<Point> landmarks = {{0, 0}, {10, 0}};
+  const std::vector<Point> points = {{1, 0}, {9, 0}, {4.9, 0}, {5.1, 0}};
+  const auto a = assign_subareas(points, landmarks);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_EQ(a[2], 0u);
+  EXPECT_EQ(a[3], 1u);
+}
+
+TEST(AssignSubareas, TieBreaksToLowerId) {
+  const std::vector<Point> landmarks = {{0, 0}, {10, 0}};
+  const auto a = assign_subareas(std::vector<Point>{{5, 0}}, landmarks);
+  EXPECT_EQ(a[0], 0u);
+}
+
+TEST(AssignSubareas, LandmarkOwnsItsOwnPosition) {
+  const std::vector<Point> landmarks = {{0, 0}, {3, 4}, {-7, 2}};
+  const auto a = assign_subareas(landmarks, landmarks);
+  for (std::size_t i = 0; i < landmarks.size(); ++i) {
+    EXPECT_EQ(a[i], static_cast<trace::LandmarkId>(i));
+  }
+}
+
+class LandmarkPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LandmarkPropertyTest, SelectedLandmarksRespectMinDistance) {
+  dtn::Rng rng(GetParam());
+  std::vector<CandidatePlace> candidates;
+  for (int i = 0; i < 60; ++i) {
+    candidates.push_back(
+        {{rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(1, 1000)});
+  }
+  const double d_min = 15.0;
+  const auto sel = select_landmarks(candidates, d_min);
+  for (std::size_t a = 0; a < sel.size(); ++a) {
+    for (std::size_t b = a + 1; b < sel.size(); ++b) {
+      const double d2 = squared_distance(candidates[sel[a]].position,
+                                         candidates[sel[b]].position);
+      EXPECT_GE(std::sqrt(d2), d_min);
+    }
+  }
+  EXPECT_FALSE(sel.empty());
+}
+
+TEST_P(LandmarkPropertyTest, EveryDroppedCandidateIsNearABusierSelected) {
+  dtn::Rng rng(GetParam() ^ 0x77);
+  std::vector<CandidatePlace> candidates;
+  for (int i = 0; i < 40; ++i) {
+    candidates.push_back(
+        {{rng.uniform(0, 50), rng.uniform(0, 50)}, rng.uniform(1, 1000)});
+  }
+  const double d_min = 10.0;
+  const auto sel = select_landmarks(candidates, d_min);
+  std::vector<bool> selected(candidates.size(), false);
+  for (const auto s : sel) selected[s] = true;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (selected[c]) continue;
+    bool blocked = false;
+    for (const auto s : sel) {
+      if (squared_distance(candidates[c].position, candidates[s].position) <
+              d_min * d_min &&
+          candidates[s].visit_count >= candidates[c].visit_count) {
+        blocked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(blocked) << "candidate " << c << " dropped without cause";
+  }
+}
+
+TEST_P(LandmarkPropertyTest, SubareasPartitionTheField) {
+  dtn::Rng rng(GetParam() ^ 0xabc);
+  std::vector<Point> landmarks;
+  for (int i = 0; i < 6; ++i) {
+    landmarks.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  std::vector<Point> grid;
+  for (int x = 0; x < 20; ++x) {
+    for (int y = 0; y < 20; ++y) {
+      grid.push_back({x * 5.0, y * 5.0});
+    }
+  }
+  const auto assignment = assign_subareas(grid, landmarks);
+  ASSERT_EQ(assignment.size(), grid.size());
+  // Every point belongs to exactly one subarea, and to the (a) nearest.
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    const double assigned_d2 =
+        squared_distance(grid[p], landmarks[assignment[p]]);
+    for (std::size_t l = 0; l < landmarks.size(); ++l) {
+      EXPECT_LE(assigned_d2, squared_distance(grid[p], landmarks[l]) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LandmarkPropertyTest,
+                         ::testing::Values(11ull, 22ull, 33ull));
+
+}  // namespace
+}  // namespace dtn::core

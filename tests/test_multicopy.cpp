@@ -1,0 +1,208 @@
+// Replication layer + the multi-copy reference routers (Epidemic,
+// binary Spray-and-Wait).  These are extra-paper additions; the tests
+// pin down the copy semantics: one delivery per logical packet, copy
+// transfers counted as forwarding, obsolete copies retired.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "net/network.hpp"
+#include "routing/direct.hpp"
+#include "routing/epidemic.hpp"
+#include "routing/factory.hpp"
+#include "routing/spray_wait.hpp"
+#include "test_helpers.hpp"
+
+namespace dtn::routing {
+namespace {
+
+using net::Network;
+using net::PacketState;
+using net::WorkloadConfig;
+using trace::kDay;
+using trace::kHour;
+using trace::kMinute;
+
+WorkloadConfig quiet() {
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 50;
+  cfg.ttl = 2.0 * kDay;
+  return cfg;
+}
+
+// Three nodes all meeting at hub L1 but covering different outer
+// landmarks: node 0: L0<->L1, node 1: L1<->L2, node 2: L1<->L3, with
+// overlapping windows at L1.
+trace::Trace star_trace(double days) {
+  trace::Trace t(3, 4);
+  const double period = 2.0 * kHour;
+  const auto periods = static_cast<std::size_t>(days * kDay / period);
+  for (std::size_t p = 0; p < periods; ++p) {
+    const double base = static_cast<double>(p) * period;
+    t.add_visit({0, 0, base, base + 20.0 * kMinute});
+    t.add_visit({0, 1, base + 30.0 * kMinute, base + 60.0 * kMinute});
+    t.add_visit({1, 1, base + 40.0 * kMinute, base + 70.0 * kMinute});
+    t.add_visit({1, 2, base + 80.0 * kMinute, base + 95.0 * kMinute});
+    t.add_visit({2, 1, base + 50.0 * kMinute, base + 75.0 * kMinute});
+    t.add_visit({2, 3, base + 85.0 * kMinute, base + 100.0 * kMinute});
+  }
+  t.finalize();
+  return t;
+}
+
+TEST(Replication, CopyInheritsLogicalAndCountsForward) {
+  const auto trace = star_trace(2.0);
+  class Replicator : public net::Router {
+   public:
+    std::string name() const override { return "Replicator"; }
+    void on_packet_generated(Network& net, net::PacketId pid) override {
+      const auto& p = net.packet(pid);
+      for (const auto n : net.nodes_at(p.src)) {
+        if (net.pickup_from_origin(n, pid)) break;
+      }
+    }
+    void on_contact(Network& net, net::NodeId a, net::NodeId b,
+                    net::LandmarkId) override {
+      for (const auto& [from, to] :
+           {std::pair{a, b}, std::pair{b, a}}) {
+        const std::vector<net::PacketId> pids(net.node_packets(from).begin(),
+                                              net.node_packets(from).end());
+        for (const auto pid : pids) {
+          if (!net.node_holds_logical(to, net.packet(pid).logical)) {
+            copies.push_back(net.replicate_node_to_node(from, to, pid));
+          }
+        }
+      }
+    }
+    std::vector<net::PacketId> copies;
+  } router;
+  auto cfg = quiet();
+  // Generated while node 0 sits at L0 (its [0, 20min) window).
+  cfg.manual_packets = {{0, 2, 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  net.validate_invariants();
+  ASSERT_FALSE(router.copies.empty());
+  const auto first_copy = router.copies.front();
+  ASSERT_NE(first_copy, net::kNoPacket);
+  EXPECT_EQ(net.packet(first_copy).logical, 0u);
+  EXPECT_NE(net.packet(first_copy).id, 0u);
+  EXPECT_GT(net.counters().replications, 0u);
+  // One logical delivery at most, despite multiple copies.
+  EXPECT_LE(net.counters().delivered, 1u);
+}
+
+TEST(Replication, SecondCopyArrivingBecomesObsolete) {
+  // Node 1 and node 0 both end up carrying a copy destined to L1 (the
+  // hub): the slower copy must retire as kObsoleteCopy, not double-count.
+  const auto trace = star_trace(2.0);
+  EpidemicRouter router;
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 2, 0.5 * kHour + 5.0 * kMinute, 0.0},
+                        {0, 3, 0.5 * kHour + 6.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  net.validate_invariants();
+  EXPECT_EQ(net.counters().delivered, 2u);  // both logical packets arrive
+  std::size_t obsolete = 0;
+  for (const auto& p : net.all_packets()) {
+    if (p.state == PacketState::kObsoleteCopy) ++obsolete;
+  }
+  EXPECT_GT(net.all_packets().size(), 2u);  // copies were made
+}
+
+TEST(Epidemic, DeliversWhereSingleCopyRoutersStruggle) {
+  const auto trace = star_trace(6.0);
+  EpidemicRouter epidemic;
+  DirectDeliveryRouter direct;
+  auto cfg = quiet();
+  // L0 -> L3: only node 2 visits L3; node 0 picks up at L0.  Direct
+  // delivery never gets there; epidemic infects node 2 at the hub.
+  cfg.manual_packets = {{0, 3, 2.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network e(trace, epidemic, cfg);
+  e.run();
+  e.validate_invariants();
+  Network d(trace, direct, cfg);
+  d.run();
+  EXPECT_EQ(e.counters().delivered, 1u);
+  EXPECT_EQ(d.counters().delivered, 0u);
+}
+
+TEST(Epidemic, DoesNotReinfectDeliveredPackets) {
+  const auto trace = star_trace(6.0);
+  EpidemicRouter router;
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 2, 1.0 * kDay + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  net.validate_invariants();
+  EXPECT_EQ(net.counters().delivered, 1u);
+  // After delivery no copy should linger in any buffer past the next
+  // sweep; count active copies at the end.
+  for (const auto& p : net.all_packets()) {
+    EXPECT_TRUE(is_terminal(p.state)) << "packet " << p.id;
+  }
+}
+
+TEST(SprayWait, TicketsSplitBinarily) {
+  const auto trace = star_trace(4.0);
+  SprayWaitConfig sc;
+  sc.initial_copies = 8;
+  SprayAndWaitRouter router(sc);
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 3, 0.5 * kHour + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  net.validate_invariants();
+  // Total copies bounded by L = 8.
+  std::size_t copies = 0;
+  for (const auto& p : net.all_packets()) {
+    if (p.logical == 0u) ++copies;
+  }
+  EXPECT_LE(copies, 8u);
+  EXPECT_GE(copies, 2u);  // at least one spray happened at the hub
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(SprayWait, SingleTicketNeverSprays) {
+  const auto trace = star_trace(4.0);
+  SprayWaitConfig sc;
+  sc.initial_copies = 1;
+  SprayAndWaitRouter router(sc);
+  auto cfg = quiet();
+  cfg.manual_packets = {{0, 3, 0.5 * kHour + 5.0 * kMinute, 0.0}};
+  Network net(trace, router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().replications, 0u);
+}
+
+TEST(SprayWait, CostBetweenDirectAndEpidemic) {
+  const auto trace = star_trace(8.0);
+  auto cfg = quiet();
+  for (int i = 0; i < 40; ++i) {
+    cfg.manual_packets.push_back(
+        {0, 3, 1.0 * kDay + i * 20.0 * kMinute, 0.0});
+  }
+  auto run = [&](const std::string& name) {
+    const auto router = make_router(name);
+    Network net(trace, *router, cfg);
+    net.run();
+    return net.counters();
+  };
+  const auto direct = run("Direct");
+  const auto spray = run("SprayWait");
+  const auto epidemic = run("Epidemic");
+  EXPECT_GE(spray.delivered, direct.delivered);
+  EXPECT_GE(epidemic.delivered, spray.delivered);
+  EXPECT_LE(spray.replications, epidemic.replications);
+}
+
+TEST(Factory, MultiCopyNamesConstruct) {
+  EXPECT_EQ(make_router("Epidemic")->name(), "Epidemic");
+  EXPECT_EQ(make_router("SprayWait")->name(), "SprayWait");
+}
+
+}  // namespace
+}  // namespace dtn::routing

@@ -1,0 +1,189 @@
+#include "trace/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dtn::trace {
+namespace {
+
+TEST(MergeNeighboring, MergesWithinGap) {
+  Trace t(1, 2);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({0, 0, 15.0, 20.0});   // gap 5 <= 10: merge
+  t.add_visit({0, 0, 100.0, 110.0});  // gap 80 > 10: keep separate
+  t.finalize();
+  const Trace merged = merge_neighboring_visits(t, 10.0);
+  const auto visits = merged.visits(0);
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_DOUBLE_EQ(visits[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(visits[0].end, 20.0);
+  EXPECT_DOUBLE_EQ(visits[1].start, 100.0);
+}
+
+TEST(MergeNeighboring, DifferentLandmarksNotMerged) {
+  Trace t(1, 2);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({0, 1, 11.0, 20.0});
+  t.finalize();
+  const Trace merged = merge_neighboring_visits(t, 100.0);
+  EXPECT_EQ(merged.visits(0).size(), 2u);
+}
+
+TEST(MergeNeighboring, ChainOfThreeMerges) {
+  Trace t(1, 1);
+  t.add_visit({0, 0, 0.0, 1.0});
+  t.add_visit({0, 0, 1.5, 2.0});
+  t.add_visit({0, 0, 2.5, 3.0});
+  t.finalize();
+  const Trace merged = merge_neighboring_visits(t, 1.0);
+  ASSERT_EQ(merged.visits(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.visits(0)[0].end, 3.0);
+}
+
+TEST(DropShortVisits, RemovesBelowThreshold) {
+  Trace t(1, 2);
+  t.add_visit({0, 0, 0.0, 100.0});
+  t.add_visit({0, 1, 200.0, 250.0});  // 50 s: dropped at 200 s threshold
+  t.finalize();
+  const Trace out = drop_short_visits(t, 200.0);
+  ASSERT_EQ(out.visits(0).size(), 0u);
+  const Trace out2 = drop_short_visits(t, 60.0);
+  ASSERT_EQ(out2.visits(0).size(), 1u);
+  EXPECT_EQ(out2.visits(0)[0].landmark, 0u);
+}
+
+TEST(DropSparseNodes, CompactsNodeIds) {
+  Trace t(3, 1);
+  t.add_visit({0, 0, 0.0, 1.0});
+  t.add_visit({1, 0, 0.0, 1.0});
+  t.add_visit({1, 0, 2.0, 3.0});
+  t.add_visit({2, 0, 0.0, 1.0});
+  t.add_visit({2, 0, 2.0, 3.0});
+  t.finalize();
+  std::vector<NodeId> kept;
+  const Trace out = drop_sparse_nodes(t, 2, &kept);
+  EXPECT_EQ(out.num_nodes(), 2u);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 1u);
+  EXPECT_EQ(kept[1], 2u);
+  EXPECT_EQ(out.visits(0).size(), 2u);
+}
+
+TEST(DropRareLandmarks, CompactsLandmarkIds) {
+  Trace t(1, 3);
+  t.add_visit({0, 0, 0.0, 1.0});
+  t.add_visit({0, 2, 2.0, 3.0});
+  t.add_visit({0, 2, 4.0, 5.0});
+  t.finalize();
+  std::vector<LandmarkId> kept;
+  const Trace out = drop_rare_landmarks(t, 2, &kept);
+  EXPECT_EQ(out.num_landmarks(), 1u);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 2u);
+  ASSERT_EQ(out.visits(0).size(), 2u);
+  EXPECT_EQ(out.visits(0)[0].landmark, 0u);
+}
+
+TEST(ClusterAccessPoints, SingleLinkageChains) {
+  // A--B within range, B--C within range, D isolated: clusters {A,B,C},{D}.
+  const std::vector<Point> aps = {
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {10.0, 0.0}};
+  const auto clusters = cluster_access_points(aps, 1.2);
+  ASSERT_EQ(clusters.size(), 4u);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[1], clusters[2]);
+  EXPECT_NE(clusters[0], clusters[3]);
+  const std::set<LandmarkId> distinct(clusters.begin(), clusters.end());
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST(ClusterAccessPoints, AllIsolated) {
+  const std::vector<Point> aps = {{0, 0}, {5, 0}, {10, 0}};
+  const auto clusters = cluster_access_points(aps, 1.0);
+  const std::set<LandmarkId> distinct(clusters.begin(), clusters.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(ClusterAccessPoints, DenseIdsFromZero) {
+  const std::vector<Point> aps = {{0, 0}, {100, 0}};
+  const auto clusters = cluster_access_points(aps, 1.0);
+  for (const auto c : clusters) EXPECT_LT(c, 2u);
+}
+
+TEST(RemapLandmarks, AppliesMappingAndDropsUnmapped) {
+  Trace t(1, 3);
+  t.add_visit({0, 0, 0.0, 1.0});
+  t.add_visit({0, 1, 2.0, 3.0});
+  t.add_visit({0, 2, 4.0, 5.0});
+  t.finalize();
+  const std::vector<LandmarkId> mapping = {1, kNoLandmark, 0};
+  const Trace out = remap_landmarks(t, mapping, 2);
+  const auto visits = out.visits(0);
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_EQ(visits[0].landmark, 1u);
+  EXPECT_EQ(visits[1].landmark, 0u);
+}
+
+TEST(RemapLandmarks, MergesCollapsedNeighbors) {
+  Trace t(1, 2);
+  t.add_visit({0, 0, 0.0, 1.0});
+  t.add_visit({0, 1, 1.5, 2.0});  // maps to same new landmark
+  t.finalize();
+  const std::vector<LandmarkId> mapping = {0, 0};
+  const Trace out = remap_landmarks(t, mapping, 1, /*merge_gap=*/1.0);
+  ASSERT_EQ(out.visits(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(out.visits(0)[0].end, 2.0);
+}
+
+TEST(RemoveNodeAfter, ClipsAndDropsOnlyThatNode) {
+  Trace t(2, 2);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({0, 1, 20.0, 30.0});   // spans the cut at 25
+  t.add_visit({0, 0, 40.0, 50.0});   // fully after: dropped
+  t.add_visit({1, 1, 40.0, 50.0});   // other node: untouched
+  t.finalize();
+  const Trace out = remove_node_after(t, 0, 25.0);
+  const auto v0 = out.visits(0);
+  ASSERT_EQ(v0.size(), 2u);
+  EXPECT_DOUBLE_EQ(v0[1].start, 20.0);
+  EXPECT_DOUBLE_EQ(v0[1].end, 25.0);
+  ASSERT_EQ(out.visits(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(out.visits(1)[0].end, 50.0);
+}
+
+TEST(RemoveNodeAfter, CutBeforeEverythingEmptiesNode) {
+  Trace t(1, 1);
+  t.add_visit({0, 0, 10.0, 20.0});
+  t.finalize();
+  const Trace out = remove_node_after(t, 0, 5.0);
+  EXPECT_TRUE(out.visits(0).empty());
+  EXPECT_EQ(out.num_nodes(), 1u);  // universe preserved
+}
+
+TEST(RemoveNodeAfter, CutAfterEverythingIsIdentity) {
+  Trace t(1, 1);
+  t.add_visit({0, 0, 10.0, 20.0});
+  t.finalize();
+  const Trace out = remove_node_after(t, 0, 100.0);
+  ASSERT_EQ(out.visits(0).size(), 1u);
+  EXPECT_EQ(out.visits(0)[0], t.visits(0)[0]);
+}
+
+// DNET-style pipeline: cluster APs, remap, drop rare, drop short.
+TEST(PreprocessPipeline, EndToEnd) {
+  const std::vector<Point> aps = {{0, 0}, {0.5, 0}, {10, 0}};
+  const auto mapping = cluster_access_points(aps, 1.0);
+  Trace t(1, 3);
+  t.add_visit({0, 0, 0.0, 300.0});
+  t.add_visit({0, 1, 400.0, 800.0});  // same cluster as AP 0
+  t.add_visit({0, 2, 900.0, 950.0});  // short
+  t.finalize();
+  Trace out = remap_landmarks(t, mapping, 2);
+  out = drop_short_visits(out, 200.0);
+  EXPECT_EQ(out.visits(0).size(), 2u);
+  for (const auto& v : out.visits(0)) EXPECT_EQ(v.landmark, mapping[0]);
+}
+
+}  // namespace
+}  // namespace dtn::trace

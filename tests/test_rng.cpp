@@ -1,0 +1,247 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace dtn {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexOne) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(12);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(18);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(19);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Rng, DiscreteSingleElement) {
+  Rng rng(20);
+  const std::vector<double> w = {2.5};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.discrete(w), 0u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(21);
+  const auto p = rng.permutation(50);
+  ASSERT_EQ(p.size(), 50u);
+  std::vector<std::size_t> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationEmpty) {
+  Rng rng(22);
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, SplitStreamsAreIndependentlyReproducible) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.split(5);
+  Rng child2 = parent2.split(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, SplitDifferentTagsDiffer) {
+  Rng parent(99);
+  Rng a = parent.split(1);
+  Rng b = parent.split(1);  // second split advances parent state
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedTest, ChiSquareUniformityOfBytes) {
+  Rng rng(GetParam());
+  std::vector<int> counts(256, 0);
+  const int n = 256 * 200;
+  for (int i = 0; i < n / 8; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 8; ++b) {
+      ++counts[v & 0xff];
+      v >>= 8;
+    }
+  }
+  const double expected = static_cast<double>(n) / 256.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof; far tails only (catches catastrophic bias, not subtle).
+  EXPECT_GT(chi2, 150.0);
+  EXPECT_LT(chi2, 400.0);
+}
+
+TEST_P(RngSeedTest, UniformIndexUnbiasedOverSmallRange) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(1ull, 2ull, 42ull, 0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(10, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < z.size(); ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, PmfDecreasesWithRank) {
+  ZipfSampler z(20, 0.8);
+  for (std::size_t r = 1; r < z.size(); ++r) {
+    EXPECT_GT(z.pmf(r - 1), z.pmf(r));
+  }
+}
+
+TEST(ZipfSampler, SampleMatchesPmf) {
+  ZipfSampler z(5, 1.2);
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler z(4, 0.0);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_NEAR(z.pmf(r), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace dtn

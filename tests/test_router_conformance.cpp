@@ -1,0 +1,161 @@
+// Router conformance suite: generic invariants every router must keep,
+// parameterized over all nine implementations (the paper's six, the
+// Direct floor and the two multi-copy references).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "net/network.hpp"
+#include "routing/factory.hpp"
+#include "trace/bus_generator.hpp"
+#include "trace/campus_generator.hpp"
+
+namespace dtn {
+namespace {
+
+using trace::kDay;
+
+const char* const kRouterNames[] = {"DTN-FLOW", "SimBet", "PROPHET",
+                                    "PGR",      "GeoComm", "PER",
+                                    "Direct",   "Epidemic", "SprayWait"};
+const char* const kTraceKinds[] = {"campus", "bus"};
+
+using ConformanceCase = std::tuple<const char*, const char*>;
+
+trace::Trace conformance_trace(const std::string& kind) {
+  if (kind == "bus") {
+    trace::BusTraceConfig cfg;
+    cfg.num_buses = 16;
+    cfg.num_landmarks = 10;
+    cfg.num_routes = 5;
+    cfg.days = 10.0;
+    cfg.seed = 31;
+    return trace::generate_bus_trace(cfg);
+  }
+  trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_landmarks = 10;
+  cfg.num_communities = 4;
+  cfg.days = 12.0;
+  cfg.add_default_holiday = false;
+  cfg.seed = 31;
+  return trace::generate_campus_trace(cfg);
+}
+
+net::WorkloadConfig conformance_workload() {
+  net::WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 8.0;
+  cfg.ttl = 3.0 * kDay;
+  cfg.node_memory_kb = 30;
+  cfg.warmup_fraction = 0.25;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.seed = 17;
+  return cfg;
+}
+
+class RouterConformanceTest
+    : public ::testing::TestWithParam<ConformanceCase> {
+ protected:
+  [[nodiscard]] std::string router_name() const {
+    return std::get<0>(GetParam());
+  }
+  [[nodiscard]] trace::Trace make_trace() const {
+    return conformance_trace(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(RouterConformanceTest, InvariantsHoldAfterFullRun) {
+  const auto trace = make_trace();
+  const auto router = routing::make_router(router_name());
+  net::Network net(trace, *router, conformance_workload());
+  net.run();
+  net.validate_invariants();
+}
+
+TEST_P(RouterConformanceTest, CountersAreConsistent) {
+  const auto trace = make_trace();
+  const auto router = routing::make_router(router_name());
+  net::Network net(trace, *router, conformance_workload());
+  net.run();
+  const auto& c = net.counters();
+  EXPECT_GT(c.generated, 100u);
+  EXPECT_LE(c.delivered, c.generated);
+  EXPECT_EQ(c.delivery_delays.size(), c.delivered);
+  // Terminal + active packet rows account for every row.
+  std::size_t delivered = 0, dropped = 0, obsolete = 0, active = 0;
+  for (const auto& p : net.all_packets()) {
+    switch (p.state) {
+      case net::PacketState::kDelivered: ++delivered; break;
+      case net::PacketState::kDroppedTtl: ++dropped; break;
+      case net::PacketState::kObsoleteCopy: ++obsolete; break;
+      default: ++active; break;
+    }
+  }
+  EXPECT_EQ(delivered, c.delivered);
+  EXPECT_EQ(dropped, c.dropped_ttl);
+  EXPECT_EQ(delivered + dropped + obsolete + active, net.all_packets().size());
+}
+
+TEST_P(RouterConformanceTest, DelaysWithinTtl) {
+  const auto trace = make_trace();
+  const auto router = routing::make_router(router_name());
+  net::Network net(trace, *router, conformance_workload());
+  net.run();
+  for (const auto& p : net.all_packets()) {
+    if (p.state != net::PacketState::kDelivered) continue;
+    const double delay = p.delivered_at - p.created;
+    EXPECT_GT(delay, 0.0);
+    EXPECT_LE(delay, p.ttl + 1e-6);
+    EXPECT_GE(p.hops, 1u);
+  }
+}
+
+TEST_P(RouterConformanceTest, DeterministicAcrossRuns) {
+  const auto trace = make_trace();
+  auto run_once = [&] {
+    const auto router = routing::make_router(router_name());
+    net::Network net(trace, *router, conformance_workload());
+    net.run();
+    return std::make_tuple(net.counters().delivered,
+                           net.counters().packet_forwards,
+                           net.counters().control_entries);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(RouterConformanceTest, DeliversSomethingOnFriendlyWorkload) {
+  const auto trace = make_trace();
+  const auto router = routing::make_router(router_name());
+  auto workload = conformance_workload();
+  workload.node_memory_kb = 500;  // remove the buffer constraint
+  net::Network net(trace, *router, workload);
+  net.run();
+  EXPECT_GT(net.counters().delivered, 0u);
+  EXPECT_GT(
+      static_cast<double>(net.counters().delivered) /
+          static_cast<double>(net.counters().generated),
+      0.10);
+}
+
+TEST_P(RouterConformanceTest, NoControlTrafficWithoutEvents) {
+  // An empty trace produces no callbacks, hence no costs.
+  trace::Trace empty(4, 4);
+  empty.finalize();
+  const auto router = routing::make_router(router_name());
+  net::WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  net::Network net(empty, *router, cfg);
+  net.run();
+  EXPECT_EQ(net.counters().generated, 0u);
+  EXPECT_EQ(net.counters().packet_forwards, 0u);
+  EXPECT_DOUBLE_EQ(net.counters().control_entries, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRouters, RouterConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(kRouterNames),
+                       ::testing::ValuesIn(kTraceKinds)));
+
+}  // namespace
+}  // namespace dtn

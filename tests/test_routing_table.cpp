@@ -1,0 +1,266 @@
+#include "core/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dtn::core {
+namespace {
+
+TEST(RoutingTable, SelfRouteIsZero) {
+  RoutingTable t(2, 5);
+  const Route r = t.route(2);
+  EXPECT_EQ(r.next, 2u);
+  EXPECT_DOUBLE_EQ(r.delay, 0.0);
+}
+
+TEST(RoutingTable, UnreachableWithoutLinks) {
+  RoutingTable t(0, 4);
+  EXPECT_FALSE(t.route(3).reachable());
+  EXPECT_TRUE(std::isinf(t.delay_to(3)));
+  EXPECT_DOUBLE_EQ(t.coverage(), 0.0);
+}
+
+TEST(RoutingTable, DirectLinkRoutesImmediately) {
+  RoutingTable t(0, 3);
+  t.set_link_delay(1, 5.0);
+  const Route r = t.route(1);
+  EXPECT_EQ(r.next, 1u);
+  EXPECT_DOUBLE_EQ(r.delay, 5.0);
+  EXPECT_FALSE(t.route(2).reachable());
+  EXPECT_DOUBLE_EQ(t.coverage(), 0.5);
+}
+
+// The paper's Fig. 7 worked example, §IV-C.2: landmark receives a table
+// from neighbor l6 (link delay 7) with entries for l3/l9/l4 and updates
+// (1,1,8),(4,7,20),(7,7,6),(9,7,34) to
+// (1,1,8),(3,6,17),(4,6,18),(7,7,6),(9,7,34).
+TEST(RoutingTable, PaperFigureSevenExample) {
+  RoutingTable t(5, 10);
+  t.set_link_delay(1, 8.0);
+  t.set_link_delay(7, 6.0);
+  t.set_link_delay(6, 7.0);
+  // Prior state: routes to 4 and 9 go through 7 (adv 14 and 28).
+  DistanceVector from7;
+  from7.origin = 7;
+  from7.seq = 0;
+  from7.delay.assign(10, kInfiniteDelay);
+  from7.delay[7] = 0.0;
+  from7.delay[4] = 14.0;
+  from7.delay[9] = 28.0;
+  ASSERT_TRUE(t.merge(from7));
+  EXPECT_EQ(t.route(4).next, 7u);
+  EXPECT_DOUBLE_EQ(t.route(4).delay, 20.0);
+  EXPECT_EQ(t.route(9).next, 7u);
+  EXPECT_DOUBLE_EQ(t.route(9).delay, 34.0);
+
+  // Now the table from l6 arrives: (3, 10), (9, 30), (4, 11).
+  DistanceVector from6;
+  from6.origin = 6;
+  from6.seq = 0;
+  from6.delay.assign(10, kInfiniteDelay);
+  from6.delay[6] = 0.0;
+  from6.delay[3] = 10.0;
+  from6.delay[9] = 30.0;
+  from6.delay[4] = 11.0;
+  ASSERT_TRUE(t.merge(from6));
+
+  EXPECT_EQ(t.route(1).next, 1u);
+  EXPECT_DOUBLE_EQ(t.route(1).delay, 8.0);
+  EXPECT_EQ(t.route(3).next, 6u);          // inserted: 7 + 10 = 17
+  EXPECT_DOUBLE_EQ(t.route(3).delay, 17.0);
+  EXPECT_EQ(t.route(4).next, 6u);          // replaced: 7 + 11 = 18 < 20
+  EXPECT_DOUBLE_EQ(t.route(4).delay, 18.0);
+  EXPECT_EQ(t.route(7).next, 7u);
+  EXPECT_DOUBLE_EQ(t.route(7).delay, 6.0);
+  EXPECT_EQ(t.route(9).next, 7u);          // kept: 7 + 30 = 37 > 34
+  EXPECT_DOUBLE_EQ(t.route(9).delay, 34.0);
+}
+
+TEST(RoutingTable, StaleVectorDiscarded) {
+  RoutingTable t(0, 3);
+  t.set_link_delay(1, 1.0);
+  DistanceVector dv;
+  dv.origin = 1;
+  dv.seq = 5;
+  dv.delay = {2.0, 0.0, 3.0};
+  ASSERT_TRUE(t.merge(dv));
+  EXPECT_DOUBLE_EQ(t.delay_to(2), 4.0);
+  // Older vector with a better-looking delay must be ignored.
+  dv.seq = 4;
+  dv.delay = {2.0, 0.0, 0.5};
+  EXPECT_FALSE(t.merge(dv));
+  EXPECT_DOUBLE_EQ(t.delay_to(2), 4.0);
+  // Newer one is accepted.
+  dv.seq = 6;
+  ASSERT_TRUE(t.merge(dv));
+  EXPECT_DOUBLE_EQ(t.delay_to(2), 1.5);
+}
+
+TEST(RoutingTable, SelfOriginVectorIgnored) {
+  RoutingTable t(0, 2);
+  DistanceVector dv;
+  dv.origin = 0;
+  dv.seq = 0;
+  dv.delay = {0.0, 1.0};
+  EXPECT_FALSE(t.merge(dv));
+}
+
+TEST(RoutingTable, BackupNextHopIsSecondBestNeighbor) {
+  RoutingTable t(0, 4);
+  t.set_link_delay(1, 1.0);
+  t.set_link_delay(2, 2.0);
+  DistanceVector dv1{1, 0, {kInfiniteDelay, 0.0, kInfiniteDelay, 5.0}};
+  DistanceVector dv2{2, 0, {kInfiniteDelay, kInfiniteDelay, 0.0, 5.0}};
+  ASSERT_TRUE(t.merge(dv1));
+  ASSERT_TRUE(t.merge(dv2));
+  const Route r = t.route(3);
+  EXPECT_EQ(r.next, 1u);                  // 1 + 5 = 6
+  EXPECT_DOUBLE_EQ(r.delay, 6.0);
+  EXPECT_EQ(r.backup_next, 2u);           // 2 + 5 = 7
+  EXPECT_DOUBLE_EQ(r.backup_delay, 7.0);
+}
+
+TEST(RoutingTable, SnapshotAdvertisesOwnDelays) {
+  RoutingTable t(0, 3);
+  t.set_link_delay(1, 4.0);
+  const DistanceVector dv = t.snapshot();
+  EXPECT_EQ(dv.origin, 0u);
+  EXPECT_DOUBLE_EQ(dv.delay[0], 0.0);
+  EXPECT_DOUBLE_EQ(dv.delay[1], 4.0);
+  EXPECT_TRUE(std::isinf(dv.delay[2]));
+  const DistanceVector dv2 = t.snapshot();
+  EXPECT_GT(dv2.seq, dv.seq);
+}
+
+TEST(RoutingTable, LinkDelayChangePropagatesToRoutes) {
+  RoutingTable t(0, 3);
+  t.set_link_delay(1, 10.0);
+  DistanceVector dv{1, 0, {kInfiniteDelay, 0.0, 2.0}};
+  ASSERT_TRUE(t.merge(dv));
+  EXPECT_DOUBLE_EQ(t.delay_to(2), 12.0);
+  t.set_link_delay(1, 1.0);
+  EXPECT_DOUBLE_EQ(t.delay_to(2), 3.0);
+  t.set_link_delay(1, kInfiniteDelay);  // link disappears
+  EXPECT_FALSE(t.route(2).reachable());
+}
+
+TEST(RoutingTable, PinOverridesAndBackupIsOrganic) {
+  RoutingTable t(0, 4);
+  t.set_link_delay(1, 1.0);
+  DistanceVector dv{1, 0, {kInfiniteDelay, 0.0, kInfiniteDelay, 2.0}};
+  ASSERT_TRUE(t.merge(dv));
+  EXPECT_EQ(t.route(3).next, 1u);
+  t.pin(3, 2, 0.5);
+  EXPECT_TRUE(t.is_pinned(3));
+  const Route r = t.route(3);
+  EXPECT_EQ(r.next, 2u);
+  EXPECT_DOUBLE_EQ(r.delay, 0.5);
+  EXPECT_EQ(r.backup_next, 1u);  // the organic best survives as backup
+  t.unpin(3);
+  EXPECT_FALSE(t.is_pinned(3));
+  EXPECT_EQ(t.route(3).next, 1u);
+}
+
+TEST(RoutingTable, NextHopsVectorForStabilityMetric) {
+  RoutingTable t(0, 3);
+  t.set_link_delay(1, 1.0);
+  const auto hops = t.next_hops();
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], kNoLandmark);
+}
+
+// The classic distance-vector pathology, demonstrated: after a link
+// disappears, stale advertisements keep a phantom route alive until
+// fresher vectors flush it — exactly the "untimely update" failure mode
+// the paper's loop detection (§IV-E.2) exists for.
+TEST(RoutingTable, StaleAdvertisementsSurviveLinkRemoval) {
+  // 0 -1- 1 -1- 2; node 0 reaches 2 via 1 with delay 2.
+  RoutingTable t0(0, 3);
+  t0.set_link_delay(1, 1.0);
+  DistanceVector dv1{1, 0, {1.0, 0.0, 1.0}};
+  ASSERT_TRUE(t0.merge(dv1));
+  EXPECT_DOUBLE_EQ(t0.delay_to(2), 2.0);
+  // The 1-2 link dies.  Landmark 0 still believes the old vector...
+  EXPECT_DOUBLE_EQ(t0.delay_to(2), 2.0);
+  // ...until landmark 1 advertises the loss (infinite delay).
+  DistanceVector dv1b{1, 1, {1.0, 0.0, kInfiniteDelay}};
+  ASSERT_TRUE(t0.merge(dv1b));
+  EXPECT_FALSE(t0.route(2).reachable());
+}
+
+// Property: after synchronous flooding on a random connected graph, DV
+// delays equal all-pairs shortest paths (Floyd-Warshall reference).
+class DvConvergenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DvConvergenceTest, ConvergesToShortestPaths) {
+  dtn::Rng rng(GetParam());
+  const std::size_t n = 8;
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, kInfiniteDelay));
+  // Ring for connectivity + random chords; symmetric weights.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    const double d = rng.uniform(1.0, 10.0);
+    w[i][j] = w[j][i] = d;
+  }
+  for (int extra = 0; extra < 6; ++extra) {
+    const auto i = rng.uniform_index(n);
+    const auto j = rng.uniform_index(n);
+    if (i == j) continue;
+    const double d = rng.uniform(1.0, 10.0);
+    w[i][j] = std::min(w[i][j], d);
+    w[j][i] = std::min(w[j][i], d);
+  }
+
+  std::vector<RoutingTable> tables;
+  tables.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tables.emplace_back(static_cast<LandmarkId>(i), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && w[i][j] != kInfiniteDelay) {
+        tables[i].set_link_delay(static_cast<LandmarkId>(j), w[i][j]);
+      }
+    }
+  }
+  // Synchronous rounds: everyone snapshots, everyone merges neighbors.
+  for (std::size_t round = 0; round < n + 2; ++round) {
+    std::vector<DistanceVector> snaps;
+    snaps.reserve(n);
+    for (auto& t : tables) snaps.push_back(t.snapshot());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j && w[i][j] != kInfiniteDelay) tables[i].merge(snaps[j]);
+      }
+    }
+  }
+
+  // Floyd-Warshall reference.
+  auto dist = w;
+  for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(tables[i].coverage(), 1.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(tables[i].delay_to(static_cast<LandmarkId>(j)), dist[i][j],
+                  1e-9)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, DvConvergenceTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+}  // namespace
+}  // namespace dtn::core

@@ -1,0 +1,99 @@
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dtn::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeAndSize) {
+  EventQueue q;
+  q.schedule(4.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) q.schedule(count * 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastRejected) {
+  EventQueue q;
+  q.schedule(10.0, [] {});
+  q.run_next();
+  EXPECT_DEATH(q.schedule(5.0, [] {}), "DTN_ASSERT");
+}
+
+TEST(Simulator, NowTracksEventTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(1.5, [&] { times.push_back(sim.now()); });
+  sim.at(3.5, [&] { times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.5);
+  EXPECT_DOUBLE_EQ(times[1], 3.5);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.at(2.0, [&] {
+    sim.after(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run_until(2.0);  // inclusive
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilOnEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+}  // namespace
+}  // namespace dtn::sim

@@ -1,0 +1,205 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dtn {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(1);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 4.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(rs.mean(), mean, 1e-9);
+  EXPECT_NEAR(rs.variance(), var, 1e-7);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(2);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(Quantile, MedianOddCount) {
+  const std::vector<double> xs = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs = {4, 2, 9, 1};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(FiveNumber, OrderedSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const auto f = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(f.min, 1.0);
+  EXPECT_DOUBLE_EQ(f.max, 100.0);
+  EXPECT_NEAR(f.q1, 25.75, 1e-9);
+  EXPECT_NEAR(f.q3, 75.25, 1e-9);
+  EXPECT_DOUBLE_EQ(f.mean, 50.5);
+  EXPECT_LE(f.min, f.q1);
+  EXPECT_LE(f.q1, f.mean);
+  EXPECT_LE(f.mean, f.q3);
+  EXPECT_LE(f.q3, f.max);
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.7062, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.2281, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.0423, 1e-3);
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.96, 1e-2);
+  EXPECT_NEAR(student_t_critical(5, 0.99), 4.0321, 1e-3);
+  EXPECT_NEAR(student_t_critical(5, 0.90), 2.0150, 1e-3);
+}
+
+TEST(ConfidenceHalfWidth, ZeroForTinySamples) {
+  EXPECT_EQ(confidence_half_width(std::vector<double>{}), 0.0);
+  EXPECT_EQ(confidence_half_width(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(ConfidenceHalfWidth, MatchesHandComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0, 8.0};
+  // mean 5, sd = sqrt(20/3), t(3, .95) = 3.1824
+  const double expected = 3.1824 * std::sqrt(20.0 / 3.0) / 2.0;
+  EXPECT_NEAR(confidence_half_width(xs, 0.95), expected, 1e-3);
+}
+
+TEST(ConfidenceHalfWidth, ShrinksWithMoreSamples) {
+  Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.push_back(rng.normal(0, 1));
+  EXPECT_LT(confidence_half_width(large), confidence_half_width(small));
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(pearson_correlation(x, y), 0.0);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotoneTest, QuantileIsMonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform(-50, 50));
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(3ull, 17ull, 23ull, 99ull));
+
+}  // namespace
+}  // namespace dtn

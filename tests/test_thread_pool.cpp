@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dtn {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ComputesIndependentResults) {
+  ThreadPool pool(3);
+  std::vector<double> out(500, 0.0);
+  parallel_for(pool, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(ParallelFor, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    parallel_for(pool, 20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(SerialFor, MatchesParallelSemantics) {
+  std::vector<int> hits(50, 0);
+  serial_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -1,0 +1,130 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn::trace {
+namespace {
+
+Trace small_trace() {
+  Trace t(2, 3);
+  // Node 0: L0 -> L1 -> L0
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({0, 1, 20.0, 30.0});
+  t.add_visit({0, 0, 40.0, 50.0});
+  // Node 1: L2 only, twice (re-visit, not a transit)
+  t.add_visit({1, 2, 5.0, 15.0});
+  t.add_visit({1, 2, 25.0, 60.0});
+  t.finalize();
+  return t;
+}
+
+TEST(Trace, BasicCounts) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.num_landmarks(), 3u);
+  EXPECT_EQ(t.total_visits(), 5u);
+}
+
+TEST(Trace, TimeBounds) {
+  const Trace t = small_trace();
+  EXPECT_DOUBLE_EQ(t.begin_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 60.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 60.0);
+}
+
+TEST(Trace, VisitsSortedPerNode) {
+  Trace t(1, 2);
+  t.add_visit({0, 1, 50.0, 60.0});
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.finalize();
+  const auto visits = t.visits(0);
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_EQ(visits[0].landmark, 0u);
+  EXPECT_EQ(visits[1].landmark, 1u);
+}
+
+TEST(Trace, TransitsSkipSameLandmark) {
+  const Trace t = small_trace();
+  const auto t0 = t.transits(0);
+  ASSERT_EQ(t0.size(), 2u);
+  EXPECT_EQ(t0[0].from, 0u);
+  EXPECT_EQ(t0[0].to, 1u);
+  EXPECT_DOUBLE_EQ(t0[0].depart, 10.0);
+  EXPECT_DOUBLE_EQ(t0[0].arrive, 20.0);
+  EXPECT_EQ(t0[1].from, 1u);
+  EXPECT_EQ(t0[1].to, 0u);
+  // Node 1 re-visits the same landmark: no transit.
+  EXPECT_TRUE(t.transits(1).empty());
+}
+
+TEST(Trace, AllVisitsSortedGlobally) {
+  const Trace t = small_trace();
+  const auto all = t.all_visits_sorted();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].start, all[i].start);
+  }
+}
+
+TEST(Trace, AllTransitsSortedByArrival) {
+  const Trace t = small_trace();
+  const auto all = t.all_transits_sorted();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_LE(all[0].arrive, all[1].arrive);
+}
+
+TEST(Trace, WindowClipsVisits) {
+  const Trace t = small_trace();
+  const Trace w = t.window(5.0, 25.0);
+  EXPECT_EQ(w.num_nodes(), 2u);
+  EXPECT_EQ(w.num_landmarks(), 3u);
+  // Node 0: [0,10] clips to [5,10]; [20,30] clips to [20,25]; [40,50] out.
+  const auto v0 = w.visits(0);
+  ASSERT_EQ(v0.size(), 2u);
+  EXPECT_DOUBLE_EQ(v0[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(v0[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(v0[1].start, 20.0);
+  EXPECT_DOUBLE_EQ(v0[1].end, 25.0);
+}
+
+TEST(Trace, WindowDropsNonOverlapping) {
+  const Trace t = small_trace();
+  const Trace w = t.window(100.0, 200.0);
+  EXPECT_EQ(w.total_visits(), 0u);
+  EXPECT_DOUBLE_EQ(w.begin_time(), 0.0);  // empty trace convention
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t(3, 3);
+  t.finalize();
+  EXPECT_EQ(t.total_visits(), 0u);
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+  EXPECT_TRUE(t.all_visits_sorted().empty());
+}
+
+TEST(TraceDeath, OverlappingVisitsRejected) {
+  Trace t(1, 2);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({0, 1, 5.0, 15.0});
+  EXPECT_DEATH(t.finalize(), "DTN_ASSERT");
+}
+
+TEST(TraceDeath, ZeroLengthVisitRejected) {
+  Trace t(1, 1);
+  EXPECT_DEATH(t.add_visit({0, 0, 5.0, 5.0}), "DTN_ASSERT");
+}
+
+TEST(TraceDeath, OutOfRangeIdsRejected) {
+  Trace t(1, 1);
+  EXPECT_DEATH(t.add_visit({1, 0, 0.0, 1.0}), "DTN_ASSERT");
+  EXPECT_DEATH(t.add_visit({0, 1, 0.0, 1.0}), "DTN_ASSERT");
+}
+
+TEST(TraceDeath, ReadBeforeFinalizeRejected) {
+  Trace t(1, 1);
+  t.add_visit({0, 0, 0.0, 1.0});
+  EXPECT_DEATH((void)t.visits(0), "DTN_ASSERT");
+}
+
+}  // namespace
+}  // namespace dtn::trace

@@ -1,0 +1,91 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dtn::trace {
+namespace {
+
+Trace sample() {
+  Trace t(2, 2);
+  t.add_visit({0, 0, 0.0, 10.5});
+  t.add_visit({0, 1, 20.0, 30.0});
+  t.add_visit({1, 1, 1.25, 2.75});
+  t.finalize();
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesVisits) {
+  const Trace original = sample();
+  std::stringstream buf;
+  write_trace_csv(original, buf);
+  const Trace loaded = read_trace_csv(buf);
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_landmarks(), original.num_landmarks());
+  ASSERT_EQ(loaded.total_visits(), original.total_visits());
+  for (NodeId n = 0; n < original.num_nodes(); ++n) {
+    const auto a = original.visits(n);
+    const auto b = loaded.visits(n);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(TraceIo, HeaderWritten) {
+  std::stringstream buf;
+  write_trace_csv(sample(), buf);
+  std::string first;
+  std::getline(buf, first);
+  EXPECT_EQ(first, "node,landmark,start,end");
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream buf("0,0,0,1\n");
+  EXPECT_THROW(read_trace_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadFieldCount) {
+  std::stringstream buf("node,landmark,start,end\n0,0,1\n");
+  EXPECT_THROW(read_trace_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonNumeric) {
+  std::stringstream buf("node,landmark,start,end\n0,zero,0,1\n");
+  EXPECT_THROW(read_trace_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsInvertedInterval) {
+  std::stringstream buf("node,landmark,start,end\n0,0,5,3\n");
+  EXPECT_THROW(read_trace_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream buf("");
+  EXPECT_THROW(read_trace_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buf("node,landmark,start,end\n0,0,0,1\n\n1,1,2,3\n");
+  const Trace t = read_trace_csv(buf);
+  EXPECT_EQ(t.total_visits(), 2u);
+  EXPECT_EQ(t.num_nodes(), 2u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "trace_io_test.csv";
+  write_trace_csv(sample(), path);
+  const Trace loaded = read_trace_csv(path);
+  EXPECT_EQ(loaded.total_visits(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_trace_csv(std::string("/no/such/file.csv")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dtn::trace

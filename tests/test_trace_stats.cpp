@@ -1,0 +1,102 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn::trace {
+namespace {
+
+// Node 0: L0 -> L1 -> L0 -> L1 (3 transits); node 1: L2 -> L1 (1 transit).
+Trace fixture() {
+  Trace t(2, 3);
+  t.add_visit({0, 0, 0.0, 1.0 * kHour});
+  t.add_visit({0, 1, 2.0 * kHour, 3.0 * kHour});
+  t.add_visit({0, 0, 4.0 * kHour, 5.0 * kHour});
+  t.add_visit({0, 1, 6.0 * kHour, 7.0 * kHour});
+  t.add_visit({1, 2, 0.5 * kHour, 1.5 * kHour});
+  t.add_visit({1, 1, 2.5 * kHour, 3.5 * kHour});
+  t.finalize();
+  return t;
+}
+
+TEST(VisitCountMatrix, CountsPerNodeAndLandmark) {
+  const auto m = visit_count_matrix(fixture());
+  EXPECT_EQ(m.at(0, 0), 2u);
+  EXPECT_EQ(m.at(0, 1), 2u);
+  EXPECT_EQ(m.at(0, 2), 0u);
+  EXPECT_EQ(m.at(1, 1), 1u);
+  EXPECT_EQ(m.at(1, 2), 1u);
+}
+
+TEST(LandmarksByPopularity, OrderedByTotalVisits) {
+  const auto order = landmarks_by_popularity(fixture());
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // 3 visits
+  EXPECT_EQ(order[1], 0u);  // 2 visits
+  EXPECT_EQ(order[2], 2u);  // 1 visit
+}
+
+TEST(TransitCountMatrix, DirectedCounts) {
+  const auto m = transit_count_matrix(fixture());
+  EXPECT_EQ(m.at(0, 1), 2u);
+  EXPECT_EQ(m.at(1, 0), 1u);
+  EXPECT_EQ(m.at(2, 1), 1u);
+  EXPECT_EQ(m.at(1, 2), 0u);
+}
+
+TEST(LinkBandwidths, SortedDescendingAndScaled) {
+  const Trace t = fixture();
+  // Duration 7h; unit 3.5h -> 2 units.
+  const auto links = link_bandwidths(t, 3.5 * kHour);
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0].from, 0u);
+  EXPECT_EQ(links[0].to, 1u);
+  EXPECT_DOUBLE_EQ(links[0].bandwidth, 1.0);  // 2 transits / 2 units
+  for (std::size_t i = 1; i < links.size(); ++i) {
+    EXPECT_GE(links[i - 1].bandwidth, links[i].bandwidth);
+  }
+}
+
+TEST(LinkBandwidths, OmitsZeroLinks) {
+  const auto links = link_bandwidths(fixture(), kHour);
+  for (const auto& l : links) EXPECT_GT(l.bandwidth, 0.0);
+}
+
+TEST(LinkBandwidthSeries, PerUnitCounts) {
+  const Trace t = fixture();
+  // Transits on 0->1 arrive at t=2h and t=6h; unit = 4h -> units [0,4h),[4h,8h).
+  const auto series = link_bandwidth_series(t, 0, 1, 4.0 * kHour);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+}
+
+TEST(LinkBandwidthSeries, EmptyLink) {
+  const auto series = link_bandwidth_series(fixture(), 2, 0, kHour);
+  for (double v : series) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MatchingLinkSymmetry, PerfectlySymmetricTrace) {
+  // Two nodes ping-pong between L0 and L1 equally.
+  Trace t(2, 2);
+  for (int i = 0; i < 4; ++i) {
+    const double base = i * 4.0 * kHour;
+    t.add_visit({0, static_cast<LandmarkId>(i % 2), base, base + kHour});
+    t.add_visit({1, static_cast<LandmarkId>((i + 1) % 2), base, base + kHour});
+  }
+  t.finalize();
+  // Only one unordered pair with traffic: correlation degenerate -> 1.
+  EXPECT_DOUBLE_EQ(matching_link_symmetry(t), 1.0);
+}
+
+TEST(Characterize, TableOneRow) {
+  const auto c = characterize(fixture());
+  EXPECT_EQ(c.num_nodes, 2u);
+  EXPECT_EQ(c.num_landmarks, 3u);
+  EXPECT_EQ(c.num_visits, 6u);
+  EXPECT_EQ(c.num_transits, 4u);
+  EXPECT_NEAR(c.duration_days, 7.0 / 24.0, 1e-9);
+  EXPECT_NEAR(c.mean_visit_minutes, 60.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dtn::trace
