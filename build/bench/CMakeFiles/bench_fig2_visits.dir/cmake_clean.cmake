@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_visits.dir/bench_fig2_visits.cpp.o"
+  "CMakeFiles/bench_fig2_visits.dir/bench_fig2_visits.cpp.o.d"
+  "bench_fig2_visits"
+  "bench_fig2_visits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_visits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

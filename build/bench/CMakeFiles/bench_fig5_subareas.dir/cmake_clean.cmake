@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_subareas.dir/bench_fig5_subareas.cpp.o"
+  "CMakeFiles/bench_fig5_subareas.dir/bench_fig5_subareas.cpp.o.d"
+  "bench_fig5_subareas"
+  "bench_fig5_subareas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_subareas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

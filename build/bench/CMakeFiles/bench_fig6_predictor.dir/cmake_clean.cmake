@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_predictor.dir/bench_fig6_predictor.cpp.o"
+  "CMakeFiles/bench_fig6_predictor.dir/bench_fig6_predictor.cpp.o.d"
+  "bench_fig6_predictor"
+  "bench_fig6_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

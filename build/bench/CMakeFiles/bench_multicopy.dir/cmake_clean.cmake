@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicopy.dir/bench_multicopy.cpp.o"
+  "CMakeFiles/bench_multicopy.dir/bench_multicopy.cpp.o.d"
+  "bench_multicopy"
+  "bench_multicopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_deadend.dir/bench_table6_deadend.cpp.o"
+  "CMakeFiles/bench_table6_deadend.dir/bench_table6_deadend.cpp.o.d"
+  "bench_table6_deadend"
+  "bench_table6_deadend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_deadend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

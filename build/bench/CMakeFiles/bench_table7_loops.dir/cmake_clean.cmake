@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_loops.dir/bench_table7_loops.cpp.o"
+  "CMakeFiles/bench_table7_loops.dir/bench_table7_loops.cpp.o.d"
+  "bench_table7_loops"
+  "bench_table7_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

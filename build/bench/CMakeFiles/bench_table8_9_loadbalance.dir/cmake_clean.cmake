@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_9_loadbalance.dir/bench_table8_9_loadbalance.cpp.o"
+  "CMakeFiles/bench_table8_9_loadbalance.dir/bench_table8_9_loadbalance.cpp.o.d"
+  "bench_table8_9_loadbalance"
+  "bench_table8_9_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_9_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

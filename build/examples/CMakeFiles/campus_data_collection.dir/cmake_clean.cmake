@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_data_collection.dir/campus_data_collection.cpp.o"
+  "CMakeFiles/campus_data_collection.dir/campus_data_collection.cpp.o.d"
+  "campus_data_collection"
+  "campus_data_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_data_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/simulate.cpp" "examples/CMakeFiles/simulate.dir/simulate.cpp.o" "gcc" "examples/CMakeFiles/simulate.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dtnflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtnflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtnflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtnflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtnflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dtnflow_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dtnflow_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/village_network.dir/village_network.cpp.o"
+  "CMakeFiles/village_network.dir/village_network.cpp.o.d"
+  "village_network"
+  "village_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/village_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

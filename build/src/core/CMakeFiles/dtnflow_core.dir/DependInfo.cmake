@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandwidth.cpp" "src/core/CMakeFiles/dtnflow_core.dir/bandwidth.cpp.o" "gcc" "src/core/CMakeFiles/dtnflow_core.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/core/distributed_bandwidth.cpp" "src/core/CMakeFiles/dtnflow_core.dir/distributed_bandwidth.cpp.o" "gcc" "src/core/CMakeFiles/dtnflow_core.dir/distributed_bandwidth.cpp.o.d"
+  "/root/repo/src/core/dtn_flow_router.cpp" "src/core/CMakeFiles/dtnflow_core.dir/dtn_flow_router.cpp.o" "gcc" "src/core/CMakeFiles/dtnflow_core.dir/dtn_flow_router.cpp.o.d"
+  "/root/repo/src/core/landmark_select.cpp" "src/core/CMakeFiles/dtnflow_core.dir/landmark_select.cpp.o" "gcc" "src/core/CMakeFiles/dtnflow_core.dir/landmark_select.cpp.o.d"
+  "/root/repo/src/core/markov_predictor.cpp" "src/core/CMakeFiles/dtnflow_core.dir/markov_predictor.cpp.o" "gcc" "src/core/CMakeFiles/dtnflow_core.dir/markov_predictor.cpp.o.d"
+  "/root/repo/src/core/routing_table.cpp" "src/core/CMakeFiles/dtnflow_core.dir/routing_table.cpp.o" "gcc" "src/core/CMakeFiles/dtnflow_core.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dtnflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtnflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtnflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtnflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

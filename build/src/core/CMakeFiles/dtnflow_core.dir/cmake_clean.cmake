@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_core.dir/bandwidth.cpp.o"
+  "CMakeFiles/dtnflow_core.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/dtnflow_core.dir/distributed_bandwidth.cpp.o"
+  "CMakeFiles/dtnflow_core.dir/distributed_bandwidth.cpp.o.d"
+  "CMakeFiles/dtnflow_core.dir/dtn_flow_router.cpp.o"
+  "CMakeFiles/dtnflow_core.dir/dtn_flow_router.cpp.o.d"
+  "CMakeFiles/dtnflow_core.dir/landmark_select.cpp.o"
+  "CMakeFiles/dtnflow_core.dir/landmark_select.cpp.o.d"
+  "CMakeFiles/dtnflow_core.dir/markov_predictor.cpp.o"
+  "CMakeFiles/dtnflow_core.dir/markov_predictor.cpp.o.d"
+  "CMakeFiles/dtnflow_core.dir/routing_table.cpp.o"
+  "CMakeFiles/dtnflow_core.dir/routing_table.cpp.o.d"
+  "libdtnflow_core.a"
+  "libdtnflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

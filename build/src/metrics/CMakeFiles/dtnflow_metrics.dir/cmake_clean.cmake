@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_metrics.dir/experiment.cpp.o"
+  "CMakeFiles/dtnflow_metrics.dir/experiment.cpp.o.d"
+  "CMakeFiles/dtnflow_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dtnflow_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/dtnflow_metrics.dir/observer.cpp.o"
+  "CMakeFiles/dtnflow_metrics.dir/observer.cpp.o.d"
+  "libdtnflow_metrics.a"
+  "libdtnflow_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

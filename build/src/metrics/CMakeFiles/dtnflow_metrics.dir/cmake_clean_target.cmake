@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtnflow_metrics.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_net.dir/buffer.cpp.o"
+  "CMakeFiles/dtnflow_net.dir/buffer.cpp.o.d"
+  "CMakeFiles/dtnflow_net.dir/network.cpp.o"
+  "CMakeFiles/dtnflow_net.dir/network.cpp.o.d"
+  "libdtnflow_net.a"
+  "libdtnflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

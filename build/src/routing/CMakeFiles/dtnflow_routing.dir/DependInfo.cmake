@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/epidemic.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/epidemic.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/epidemic.cpp.o.d"
+  "/root/repo/src/routing/factory.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/factory.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/factory.cpp.o.d"
+  "/root/repo/src/routing/geocomm.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/geocomm.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/geocomm.cpp.o.d"
+  "/root/repo/src/routing/per.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/per.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/per.cpp.o.d"
+  "/root/repo/src/routing/pgr.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/pgr.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/pgr.cpp.o.d"
+  "/root/repo/src/routing/prophet.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/prophet.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/prophet.cpp.o.d"
+  "/root/repo/src/routing/simbet.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/simbet.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/simbet.cpp.o.d"
+  "/root/repo/src/routing/spray_wait.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/spray_wait.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/spray_wait.cpp.o.d"
+  "/root/repo/src/routing/utility_router.cpp" "src/routing/CMakeFiles/dtnflow_routing.dir/utility_router.cpp.o" "gcc" "src/routing/CMakeFiles/dtnflow_routing.dir/utility_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dtnflow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtnflow_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtnflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtnflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtnflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

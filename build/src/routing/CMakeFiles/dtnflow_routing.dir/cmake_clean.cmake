@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_routing.dir/epidemic.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/epidemic.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/factory.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/factory.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/geocomm.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/geocomm.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/per.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/per.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/pgr.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/pgr.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/prophet.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/prophet.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/simbet.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/simbet.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/spray_wait.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/spray_wait.cpp.o.d"
+  "CMakeFiles/dtnflow_routing.dir/utility_router.cpp.o"
+  "CMakeFiles/dtnflow_routing.dir/utility_router.cpp.o.d"
+  "libdtnflow_routing.a"
+  "libdtnflow_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

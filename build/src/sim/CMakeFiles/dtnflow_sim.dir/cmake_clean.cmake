@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dtnflow_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dtnflow_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dtnflow_sim.dir/simulator.cpp.o.d"
+  "libdtnflow_sim.a"
+  "libdtnflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bus_generator.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/bus_generator.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/bus_generator.cpp.o.d"
+  "/root/repo/src/trace/campus_generator.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/campus_generator.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/campus_generator.cpp.o.d"
+  "/root/repo/src/trace/contacts.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/contacts.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/contacts.cpp.o.d"
+  "/root/repo/src/trace/geo_generator.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/geo_generator.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/geo_generator.cpp.o.d"
+  "/root/repo/src/trace/preprocess.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/preprocess.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/preprocess.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/dtnflow_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/dtnflow_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dtnflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_trace.dir/bus_generator.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/bus_generator.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/campus_generator.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/campus_generator.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/contacts.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/contacts.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/geo_generator.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/geo_generator.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/preprocess.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/preprocess.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/trace.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dtnflow_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/dtnflow_trace.dir/trace_stats.cpp.o.d"
+  "libdtnflow_trace.a"
+  "libdtnflow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

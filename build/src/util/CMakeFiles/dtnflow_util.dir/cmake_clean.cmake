@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnflow_util.dir/cli.cpp.o"
+  "CMakeFiles/dtnflow_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dtnflow_util.dir/csv.cpp.o"
+  "CMakeFiles/dtnflow_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dtnflow_util.dir/logging.cpp.o"
+  "CMakeFiles/dtnflow_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dtnflow_util.dir/rng.cpp.o"
+  "CMakeFiles/dtnflow_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dtnflow_util.dir/stats.cpp.o"
+  "CMakeFiles/dtnflow_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dtnflow_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dtnflow_util.dir/thread_pool.cpp.o.d"
+  "libdtnflow_util.a"
+  "libdtnflow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnflow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

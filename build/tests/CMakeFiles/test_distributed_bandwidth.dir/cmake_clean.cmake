@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_bandwidth.dir/test_distributed_bandwidth.cpp.o"
+  "CMakeFiles/test_distributed_bandwidth.dir/test_distributed_bandwidth.cpp.o.d"
+  "test_distributed_bandwidth"
+  "test_distributed_bandwidth.pdb"
+  "test_distributed_bandwidth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtn_flow_router.dir/test_dtn_flow_router.cpp.o"
+  "CMakeFiles/test_dtn_flow_router.dir/test_dtn_flow_router.cpp.o.d"
+  "test_dtn_flow_router"
+  "test_dtn_flow_router.pdb"
+  "test_dtn_flow_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtn_flow_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtn_flow_variants.dir/test_dtn_flow_variants.cpp.o"
+  "CMakeFiles/test_dtn_flow_variants.dir/test_dtn_flow_variants.cpp.o.d"
+  "test_dtn_flow_variants"
+  "test_dtn_flow_variants.pdb"
+  "test_dtn_flow_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtn_flow_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_matrix.dir/test_flat_matrix.cpp.o"
+  "CMakeFiles/test_flat_matrix.dir/test_flat_matrix.cpp.o.d"
+  "test_flat_matrix"
+  "test_flat_matrix.pdb"
+  "test_flat_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

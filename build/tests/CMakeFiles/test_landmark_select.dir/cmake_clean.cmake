@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_landmark_select.dir/test_landmark_select.cpp.o"
+  "CMakeFiles/test_landmark_select.dir/test_landmark_select.cpp.o.d"
+  "test_landmark_select"
+  "test_landmark_select.pdb"
+  "test_landmark_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_landmark_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

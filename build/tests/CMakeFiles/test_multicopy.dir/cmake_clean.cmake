@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicopy.dir/test_multicopy.cpp.o"
+  "CMakeFiles/test_multicopy.dir/test_multicopy.cpp.o.d"
+  "test_multicopy"
+  "test_multicopy.pdb"
+  "test_multicopy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

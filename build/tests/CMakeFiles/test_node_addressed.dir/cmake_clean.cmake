@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_addressed.dir/test_node_addressed.cpp.o"
+  "CMakeFiles/test_node_addressed.dir/test_node_addressed.cpp.o.d"
+  "test_node_addressed"
+  "test_node_addressed.pdb"
+  "test_node_addressed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_addressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_fuzz.dir/test_predictor_fuzz.cpp.o"
+  "CMakeFiles/test_predictor_fuzz.dir/test_predictor_fuzz.cpp.o.d"
+  "test_predictor_fuzz"
+  "test_predictor_fuzz.pdb"
+  "test_predictor_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_conformance.dir/test_router_conformance.cpp.o"
+  "CMakeFiles/test_router_conformance.dir/test_router_conformance.cpp.o.d"
+  "test_router_conformance"
+  "test_router_conformance.pdb"
+  "test_router_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
