@@ -9,9 +9,11 @@
 #include "core/routing_table.hpp"
 #include "net/buffer.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
 #include "core/dtn_flow_router.hpp"
 #include "net/network.hpp"
 #include "trace/campus_generator.hpp"
+#include "trace/cursor.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -94,18 +96,66 @@ void BM_RoutingTableSnapshot(benchmark::State& state) {
 BENCHMARK(BM_RoutingTableSnapshot);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
+  // Schedule-and-drain 1024 typed events: the core heap operation of
+  // the replay loop, allocation-free POD events.
   for (auto _ : state) {
     dtn::sim::EventQueue q;
     dtn::Rng rng(6);
-    int sink = 0;
-    for (int i = 0; i < 1024; ++i) {
-      q.schedule(rng.uniform(0.0, 1e6), [&sink] { ++sink; });
+    std::uint64_t sink = 0;
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      dtn::sim::Event ev;
+      ev.time = rng.uniform(0.0, 1e6);
+      ev.kind = dtn::sim::EventKind::kArrival;
+      ev.a = i;
+      q.schedule(ev);
     }
-    while (!q.empty()) q.run_next();
+    while (!q.empty()) sink += q.pop().a;
     benchmark::DoNotOptimize(sink);
   }
+  state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventQueueCallbackScheduleRun(benchmark::State& state) {
+  // The closure compatibility path (slab-pooled std::function slots):
+  // what every event cost under the retired type-erased engine.
+  for (auto _ : state) {
+    dtn::sim::Simulator sim;
+    dtn::Rng rng(6);
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.at(rng.uniform(0.0, 1e6), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueCallbackScheduleRun);
+
+void BM_TraceCursorReplay(benchmark::State& state) {
+  // Pure merge throughput of the lazy trace cursor (no network on top).
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 64;
+  cfg.num_landmarks = 16;
+  cfg.days = 16.0;
+  cfg.seed = 21;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  dtn::trace::TraceCursor cursor(trace);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    cursor.reset();
+    double t = 0.0;
+    while (!cursor.exhausted()) {
+      t = cursor.peek().time;
+      cursor.advance();
+      ++events;
+    }
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceCursorReplay);
 
 void BM_BufferAddRemove(benchmark::State& state) {
   dtn::net::Buffer buffer(4096);
@@ -169,6 +219,39 @@ void BM_EndToEndCampusRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndCampusRun);
+
+void BM_EndToEndReplayEventsPerSec(benchmark::State& state) {
+  // Replay-engine throughput in events/second on a DART-quick-shaped
+  // trace: the full Network event path (trace cursor merge, typed
+  // dispatch, presence/history bookkeeping, tick sweeps) with a no-op
+  // router and no packet workload, so the number isolates the engine
+  // rather than any routing algorithm.  This is the headline number
+  // the perf-regression harness tracks release to release
+  // (items_per_second in BENCH_hotpath.json).
+  struct NullRouter final : dtn::net::Router {
+    [[nodiscard]] std::string name() const override { return "null"; }
+  };
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 64;
+  cfg.num_landmarks = 16;
+  cfg.num_communities = 4;
+  cfg.days = 16.0;
+  cfg.seed = 33;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    NullRouter router;
+    dtn::net::WorkloadConfig wl;
+    wl.packets_per_landmark_per_day = 0.0;
+    wl.time_unit = 0.5 * dtn::trace::kDay;
+    dtn::net::Network net(trace, router, wl);
+    net.run();
+    events += net.events_executed();
+    benchmark::DoNotOptimize(net.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EndToEndReplayEventsPerSec);
 
 }  // namespace
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Perf-regression check for the simulator hot path.
+
+Runs the hot-path microbenchmarks (event queue, trace cursor, buffer,
+end-to-end replay) with google-benchmark's JSON output, writes the
+result to BENCH_hotpath.json, and compares per-benchmark real_time
+against the checked-in baseline.
+
+Regressions beyond the threshold are reported as loud warnings on
+stderr but do NOT fail the build (exit code stays 0): microbenchmark
+noise on shared machines would otherwise make the target flaky.  A
+non-zero exit only means the benchmark binary itself failed to run.
+
+Usage (normally via the `bench-check` CMake target):
+    scripts/bench_check.py --bench build/bench/bench_micro
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+# The benchmarks the harness tracks release to release.
+DEFAULT_FILTER = (
+    "BM_EventQueue|BM_TraceCursor|BM_BufferAddRemove|BM_EndToEnd"
+)
+
+
+def run_benchmarks(bench: Path, bench_filter: str) -> dict:
+    cmd = [
+        str(bench),
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_format=json",
+    ]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except FileNotFoundError:
+        raise SystemExit(f"benchmark binary not found: {bench}")
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark binary failed (exit {proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def by_name(report: dict) -> dict[str, dict]:
+    out = {}
+    for b in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions are on.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", type=Path, required=True,
+                    help="path to the bench_micro binary")
+    ap.add_argument("--baseline", type=Path,
+                    default=Path("bench/baseline/BENCH_hotpath.json"))
+    ap.add_argument("--out", type=Path, default=Path("BENCH_hotpath.json"))
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative real_time regression that triggers a "
+                         "warning (default 0.25 = +25%%)")
+    ap.add_argument("--filter", default=DEFAULT_FILTER)
+    args = ap.parse_args()
+
+    report = run_benchmarks(args.bench, args.filter)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; skipping comparison")
+        return 0
+    baseline = by_name(json.loads(args.baseline.read_text()))
+    current = by_name(report)
+
+    regressions = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"  {name}: missing from current run")
+            continue
+        base_t, cur_t = base["real_time"], cur["real_time"]
+        ratio = cur_t / base_t if base_t > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 - args.threshold:
+            marker = "  (improved; consider refreshing the baseline)"
+        print(f"  {name}: {base_t:.0f} -> {cur_t:.0f} ns "
+              f"({ratio:.2f}x baseline){marker}")
+
+    if regressions:
+        sys.stderr.write(
+            "\n" + "=" * 70 + "\n"
+            "WARNING: hot-path benchmark regression(s) vs "
+            f"{args.baseline}:\n")
+        for name, ratio in regressions:
+            sys.stderr.write(f"  {name}: {ratio:.2f}x baseline real_time "
+                             f"(threshold {1.0 + args.threshold:.2f}x)\n")
+        sys.stderr.write(
+            "Re-run on an idle machine; if the slowdown is real, fix it or "
+            "update\nthe baseline with scripts/bench_check.py --bench ... "
+            "and copy the\noutput over bench/baseline/BENCH_hotpath.json "
+            "with justification.\n" + "=" * 70 + "\n")
+    else:
+        print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

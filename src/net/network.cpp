@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/cursor.hpp"
 #include "util/logging.hpp"
 
 namespace dtn::net {
@@ -17,6 +18,7 @@ Network::Network(const trace::Trace& trace, Router& router,
   for (std::size_t n = 0; n < trace.num_nodes(); ++n) {
     nodes_.emplace_back(cfg_.node_memory_kb);
   }
+  present_pos_.resize(trace.num_nodes(), 0);
   stations_.resize(trace.num_landmarks());
   trace_begin_ = trace.begin_time();
   trace_end_ = trace.end_time();
@@ -30,13 +32,13 @@ void Network::run() {
 
   router_.on_init(*this);
 
-  // Replay the trace: one arrival and one departure event per visit.
-  for (NodeId n = 0; n < trace_.num_nodes(); ++n) {
-    for (const auto& v : trace_.visits(n)) {
-      sim_.at(v.start, [this, v] { handle_arrival(v); });
-      sim_.at(v.end, [this, v] { handle_departure(v); });
-    }
-  }
+  // Trace replay: arrivals and departures stream lazily out of the
+  // cursor's k-way merge instead of being pre-scheduled one closure per
+  // visit.  The cursor owns the sequence range [0, total_events()), so
+  // same-time ties order exactly as the retired eager enumeration did.
+  trace::TraceCursor cursor(trace_);
+  sim_.set_dispatcher(&Network::dispatch_trampoline, this);
+  sim_.set_seq_floor(cursor.total_events());
 
   // Packet workload: independent Poisson process per landmark, starting
   // after the initialization phase (paper: first 1/4 of the trace).
@@ -47,31 +49,67 @@ void Network::run() {
   }
 
   // Deterministic extra workload.
-  for (const auto& mp : cfg_.manual_packets) {
+  for (std::size_t i = 0; i < cfg_.manual_packets.size(); ++i) {
+    const auto& mp = cfg_.manual_packets[i];
     DTN_ASSERT(mp.src < trace_.num_landmarks());
     DTN_ASSERT(mp.dst < trace_.num_landmarks());
     DTN_ASSERT(mp.src != mp.dst || mp.dst_node != trace::kNoNode);
-    const double ttl = mp.ttl > 0.0 ? mp.ttl : cfg_.ttl;
-    sim_.at(mp.time, [this, mp, ttl] {
-      generate_packet(mp.src, mp.dst, ttl, mp.dst_node);
-    });
+    sim::Event ev;
+    ev.kind = sim::EventKind::kManualPacket;
+    ev.a = static_cast<std::uint32_t>(i);
+    sim_.schedule(mp.time, ev);
   }
 
   // Measurement time-unit ticks for bandwidth / routing-table updates,
-  // plus TTL expiry sweeps.
+  // each preceded by a TTL expiry sweep at the same instant (the sweep
+  // is scheduled first, so it keeps the lower sequence number).
   const auto units = static_cast<std::size_t>(
       std::ceil((trace_end_ - trace_begin_) / cfg_.time_unit));
   for (std::size_t u = 1; u <= units; ++u) {
     const double t = trace_begin_ + static_cast<double>(u) * cfg_.time_unit;
     if (t > trace_end_) break;
-    sim_.at(t, [this, u] {
-      drop_expired();
-      router_.on_time_unit(*this, u);
-    });
+    sim::Event sweep;
+    sweep.kind = sim::EventKind::kTtlSweep;
+    sim_.schedule(t, sweep);
+    sim::Event tick;
+    tick.kind = sim::EventKind::kTimeUnitTick;
+    tick.a = static_cast<std::uint32_t>(u);
+    sim_.schedule(t, tick);
   }
 
-  sim_.run_until(trace_end_);
+  sim_.run_until(trace_end_, &cursor);
   drop_expired();
+}
+
+void Network::dispatch(const sim::Event& ev) {
+  switch (ev.kind) {
+    case sim::EventKind::kArrival:
+      handle_arrival(trace_.visits(ev.a)[ev.b]);
+      break;
+    case sim::EventKind::kDeparture:
+      handle_departure(trace_.visits(ev.a)[ev.b]);
+      break;
+    case sim::EventKind::kPacketGen: {
+      const auto l = static_cast<LandmarkId>(ev.a);
+      generate_random_packet(l);
+      schedule_generation(l, sim_.now());
+      break;
+    }
+    case sim::EventKind::kManualPacket: {
+      const auto& mp = cfg_.manual_packets[ev.a];
+      const double ttl = mp.ttl > 0.0 ? mp.ttl : cfg_.ttl;
+      generate_packet(mp.src, mp.dst, ttl, mp.dst_node);
+      break;
+    }
+    case sim::EventKind::kTtlSweep:
+      drop_expired();
+      break;
+    case sim::EventKind::kTimeUnitTick:
+      router_.on_time_unit(*this, ev.a);
+      break;
+    default:
+      DTN_ASSERT(false);
+  }
 }
 
 std::span<const NodeId> Network::nodes_at(LandmarkId l) const {
@@ -364,10 +402,10 @@ void Network::schedule_generation(LandmarkId l, double from_time) {
   const double mean_gap = trace::kDay / cfg_.packets_per_landmark_per_day;
   const double t = from_time + rng_.exponential(mean_gap);
   if (t > trace_end_) return;
-  sim_.at(t, [this, l, t] {
-    generate_random_packet(l);
-    schedule_generation(l, t);
-  });
+  sim::Event ev;
+  ev.kind = sim::EventKind::kPacketGen;
+  ev.a = l;
+  sim_.schedule(t, ev);
 }
 
 void Network::generate_random_packet(LandmarkId src) {
@@ -415,6 +453,7 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
   logical_delivered_.push_back(0);
   ++counters_.generated;
   const PacketId pid = packets_.back().id;
+  if (dst_node != trace::kNoNode) any_node_addressed_ = true;
   // A node-addressed packet whose destination node is connected at the
   // source right now is handed over on the spot.
   Packet& placed = packets_.back();
@@ -424,8 +463,11 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
     if (placed.state == PacketState::kAtStation) {
       stations_[src].storage.remove(pid, placed.size_kb);
     } else {
+      // The packet was appended to the origin queue just above, so it
+      // is the tail: removing it is a pop, no scan or shift.
       auto& origin = stations_[src].origin;
-      origin.erase(std::find(origin.begin(), origin.end(), pid));
+      DTN_ASSERT(!origin.empty() && origin.back() == pid);
+      origin.pop_back();
     }
     ++placed.hops;
     ++counters_.packet_forwards;
@@ -471,12 +513,27 @@ void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
   }
   // Packets carried by co-located nodes and addressed to the arriving
   // node, plus packets carried by the arriving node addressed to a
-  // co-located node.
+  // co-located node.  One upfront pass over the arriving node's buffer
+  // decides whether the second direction can exist at all; the common
+  // case (the carrier holds no node-addressed packets) then scans every
+  // peer's buffer exactly once instead of re-walking the arriving
+  // node's buffer per peer.
+  std::size_t arriving_node_addressed = 0;
+  for (const PacketId pid : nodes_[arriving].buffer.packets()) {
+    if (packets_[pid].dst_node != trace::kNoNode) ++arriving_node_addressed;
+  }
+  std::vector<PacketId> handover;
   for (const NodeId other : stations_[l].present) {
     for (const NodeId holder : {other, arriving}) {
       const NodeId target = holder == arriving ? other : arriving;
       if (holder == target) continue;
-      std::vector<PacketId> handover;
+      // Skip re-walking the arriving node's buffer when it carries
+      // nothing node-addressed.  (When it does, the exact re-walk is
+      // kept: buffer removal swap-reorders the remaining packets, and
+      // the per-peer walk order is part of the deterministic-replay
+      // contract.)
+      if (holder == arriving && arriving_node_addressed == 0) continue;
+      handover.clear();
       for (const PacketId pid : nodes_[holder].buffer.packets()) {
         if (packets_[pid].dst_node == target) handover.push_back(pid);
       }
@@ -529,12 +586,16 @@ void Network::handle_arrival(const trace::Visit& visit) {
   StationState& station = stations_[visit.landmark];
   DTN_ASSERT(node.location == kNoLandmark);
   node.location = visit.landmark;
+  present_pos_[visit.node] = static_cast<std::uint32_t>(station.present.size());
   station.present.push_back(visit.node);
 
   // Automatic delivery: every router hands over packets destined to the
   // landmark the carrier just reached (DTN-FLOW step 5; for baselines
   // this *is* delivery — the carrier reached the destination area).
-  std::vector<PacketId> arrived;
+  // `scratch_` is a reused member: this runs once per trace event, and
+  // a fresh vector here would mean one allocation per arrival.
+  std::vector<PacketId>& arrived = scratch_;
+  arrived.clear();
   for (PacketId pid : node.buffer.packets()) {
     if (packets_[pid].dst == visit.landmark &&
         packets_[pid].dst_node == trace::kNoNode) {
@@ -552,7 +613,9 @@ void Network::handle_arrival(const trace::Visit& visit) {
 
   // Node-addressed packets (§IV-E.4) waiting anywhere at this landmark
   // for the arriving node, or carried by it toward a co-located node.
-  deliver_node_addressed(visit.node, visit.landmark);
+  // No such packet has ever been generated in the standard workload, so
+  // the whole handover pass is skipped there.
+  if (any_node_addressed_) deliver_node_addressed(visit.node, visit.landmark);
 
   router_.on_arrival(*this, visit.node, visit.landmark);
 
@@ -570,10 +633,17 @@ void Network::handle_departure(const trace::Visit& visit) {
 
   router_.on_departure(*this, visit.node, visit.landmark);
 
-  const auto it =
-      std::find(station.present.begin(), station.present.end(), visit.node);
-  DTN_ASSERT(it != station.present.end());
-  station.present.erase(it);
+  // Indexed removal: `present_pos_` names the slot directly, so no scan.
+  // The erase itself stays order-preserving (a swap-remove would reorder
+  // the contacts routers observe); only the shifted suffix's positions
+  // need renumbering.
+  const std::uint32_t pos = present_pos_[visit.node];
+  DTN_ASSERT(pos < station.present.size() &&
+             station.present[pos] == visit.node);
+  station.present.erase(station.present.begin() + pos);
+  for (std::size_t i = pos; i < station.present.size(); ++i) {
+    present_pos_[station.present[i]] = static_cast<std::uint32_t>(i);
+  }
   node.location = kNoLandmark;
   node.previous = visit.landmark;
   node.history.push_back(visit);

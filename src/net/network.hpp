@@ -80,6 +80,10 @@ struct RunCounters {
   std::vector<double> delivery_delays;
   /// Forwarding operations each delivered packet took (path length).
   std::vector<std::uint32_t> delivery_hops;
+
+  /// Bit-exact comparison, vectors included — two runs with the same
+  /// trace, router and seed must compare equal (determinism guard).
+  friend bool operator==(const RunCounters&, const RunCounters&) = default;
 };
 
 class Network {
@@ -91,6 +95,10 @@ class Network {
 
   // -- introspection ----------------------------------------------------
   [[nodiscard]] double now() const { return sim_.now(); }
+  /// Events executed by the replay so far (trace + workload + ticks).
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return sim_.events_executed();
+  }
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] std::size_t num_landmarks() const { return stations_.size(); }
   [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
@@ -150,6 +158,13 @@ class Network {
   void validate_invariants() const;
 
  private:
+  /// Typed-event dispatch: the simulator hands every engine event
+  /// (arrival/departure from the trace cursor, generation ticks, manual
+  /// packets, TTL sweeps, time-unit ticks) to this switch.
+  void dispatch(const sim::Event& ev);
+  static void dispatch_trampoline(void* self, const sim::Event& ev) {
+    static_cast<Network*>(self)->dispatch(ev);
+  }
   /// Drop `pid` now if its TTL has lapsed (removing it from its holder);
   /// returns true when dropped.  Transfers call this first so expired
   /// packets never keep moving between sweep ticks.
@@ -178,6 +193,9 @@ class Network {
   struct StationState {
     Buffer storage{0};               // unbounded central station
     std::vector<PacketId> origin;    // passive origin queue (baselines)
+    /// Nodes currently associated, in arrival order (routers observe
+    /// this order through nodes_at/on_contact, so it is part of the
+    /// deterministic-replay contract).  Indexed by `present_pos_`.
     std::vector<NodeId> present;
   };
 
@@ -189,8 +207,17 @@ class Network {
 
   std::vector<NodeState> nodes_;
   std::vector<StationState> stations_;
+  /// Position of each present node inside its station's `present`
+  /// vector: turns the departure-time linear scan into an index lookup.
+  std::vector<std::uint32_t> present_pos_;
   std::vector<Packet> packets_;
   std::vector<std::uint8_t> logical_delivered_;
+  /// True once any node-addressed packet (dst_node set) exists; while
+  /// false, every arrival skips the node-addressed handover scans
+  /// entirely (the standard workload is landmark-addressed only).
+  bool any_node_addressed_ = false;
+  /// Reused per-arrival scratch list (avoids an allocation per event).
+  std::vector<PacketId> scratch_;
   RunCounters counters_;
 
   double trace_begin_ = 0.0;

@@ -1,0 +1,71 @@
+// Typed simulation events.
+//
+// The hot path of a trace replay executes millions of events; making
+// each one a 32-byte POD (instead of a heap-allocated std::function
+// closure) keeps the event heap flat in memory and allocation-free.
+// The sim layer defines the *layout* and the total order; the meaning
+// of each kind is owned by the engine that dispatches them (net::
+// Network for the trace-replay kinds, the Simulator itself for
+// kCallback).
+#pragma once
+
+#include <cstdint>
+
+namespace dtn::sim {
+
+enum class EventKind : std::uint8_t {
+  /// A node associates with a landmark (payload: a = node, b = visit
+  /// index into the trace's per-node visit list).
+  kArrival,
+  /// A node disassociates from a landmark (payload as kArrival).
+  kDeparture,
+  /// Poisson packet-generation tick of one landmark (a = landmark).
+  kPacketGen,
+  /// Deterministic manual-workload packet (a = index into the
+  /// workload's manual_packets list).
+  kManualPacket,
+  /// TTL expiry sweep over all live packets.
+  kTtlSweep,
+  /// Measurement time-unit boundary (a = unit ordinal, 1-based).
+  kTimeUnitTick,
+  /// Opaque closure held in the Simulator's callback pool
+  /// (a = pool slot).  Cold path: tests, examples, ad-hoc scheduling.
+  kCallback,
+};
+
+/// One scheduled occurrence.  `seq` breaks time ties: the queue pops in
+/// (time, seq) order and every producer assigns strictly increasing
+/// sequence numbers, which makes replay fully deterministic — binary
+/// heaps alone are not stable, and tie order matters (e.g. a node
+/// arrival and a packet generation at the same instant).
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kCallback;
+  std::uint32_t a = 0;  ///< primary payload (see EventKind)
+  std::uint32_t b = 0;  ///< secondary payload (see EventKind)
+};
+
+/// Strict total order: earlier time first, then lower sequence.
+[[nodiscard]] constexpr bool happens_before(const Event& x, const Event& y) {
+  if (x.time != y.time) return x.time < y.time;
+  return x.seq < y.seq;
+}
+
+/// A lazy, time-sorted stream of events merged into the simulation loop
+/// alongside the event queue (e.g. trace::TraceCursor).  The source's
+/// events must be produced in strictly increasing (time, seq) order and
+/// their seq values must never collide with queue-assigned ones — the
+/// engine reserves a disjoint range via EventQueue::set_seq_floor.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  /// True when no events remain.
+  [[nodiscard]] virtual bool exhausted() const = 0;
+  /// Earliest pending event; only valid while !exhausted().
+  [[nodiscard]] virtual const Event& peek() const = 0;
+  /// Consume the event returned by peek().
+  virtual void advance() = 0;
+};
+
+}  // namespace dtn::sim

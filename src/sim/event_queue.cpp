@@ -1,31 +1,18 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
 
 namespace dtn::sim {
 
-void EventQueue::schedule(double t, EventFn fn) {
-  DTN_ASSERT(fn);
-  DTN_ASSERT(t >= last_popped_);
-  heap_.push(Entry{t, next_seq_++, std::move(fn)});
-}
-
-double EventQueue::next_time() const {
-  DTN_ASSERT(!heap_.empty());
-  return heap_.top().time;
-}
-
-double EventQueue::run_next() {
-  DTN_ASSERT(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast is the
-  // standard idiom but we copy the small Entry header and move the
-  // callable explicitly for clarity.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  last_popped_ = entry.time;
-  ++executed_;
-  entry.fn();
-  return entry.time;
+void EventQueue::grow_if_full() {
+  // Explicit doubling with a generous floor: one reserve per doubling
+  // instead of relying on the library's growth policy, and never a
+  // per-event allocation.  Out of line: it runs once per doubling and
+  // keeping it here keeps schedule()'s inlined body small.
+  if (keys_.size() < keys_.capacity()) return;
+  const std::size_t want = std::max<std::size_t>(64, keys_.capacity() * 2);
+  keys_.reserve(want);
+  pay_.reserve(want);
 }
 
 }  // namespace dtn::sim

@@ -1,19 +1,78 @@
 #include "sim/simulator.hpp"
 
+#include <utility>
+
 namespace dtn::sim {
 
-void Simulator::run_until(double end_time) {
-  while (!queue_.empty() && queue_.next_time() <= end_time) {
-    now_ = queue_.next_time();
-    queue_.run_next();
+void Simulator::at(double t, EventFn fn) {
+  DTN_ASSERT(fn);
+  DTN_ASSERT(t >= now_);
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back(std::move(fn));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  }
+  Event ev;
+  ev.time = t;
+  ev.kind = EventKind::kCallback;
+  ev.a = slot;
+  queue_.schedule(ev);
+}
+
+void Simulator::dispatch(const Event& ev) {
+  if (ev.kind == EventKind::kCallback) {
+    // Free the slot before running: the closure may schedule again and
+    // is allowed to reuse it.
+    EventFn fn = std::move(slots_[ev.a]);
+    slots_[ev.a] = nullptr;
+    free_slots_.push_back(ev.a);
+    fn();
+    return;
+  }
+  DTN_ASSERT(dispatch_ != nullptr);
+  dispatch_(dispatch_ctx_, ev);
+}
+
+void Simulator::run_until(double end_time, EventSource* source) {
+  while (true) {
+    const bool queue_ready =
+        !queue_.empty() && queue_.next_time() <= end_time;
+    const bool source_ready = source != nullptr && !source->exhausted() &&
+                              source->peek().time <= end_time;
+    if (!queue_ready && !source_ready) break;
+    bool take_source = source_ready;
+    if (queue_ready && source_ready) {
+      const Event& head = source->peek();
+      take_source = head.time < queue_.next_time() ||
+                    (head.time == queue_.next_time() &&
+                     head.seq < queue_.next_seq());
+    }
+    if (take_source) {
+      const Event ev = source->peek();
+      source->advance();
+      now_ = ev.time;
+      ++executed_;
+      dispatch(ev);
+    } else {
+      const Event ev = queue_.pop();
+      now_ = ev.time;
+      ++executed_;
+      dispatch(ev);
+    }
   }
   now_ = end_time;
 }
 
 void Simulator::run() {
   while (!queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.run_next();
+    const Event ev = queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    dispatch(ev);
   }
 }
 

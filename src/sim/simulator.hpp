@@ -1,40 +1,90 @@
-// Simulation clock + scheduler facade over the event queue.
+// Simulation clock + scheduler facade over the typed event queue.
+//
+// Typed events (the hot path) are dispatched through a single
+// function-pointer dispatcher installed by the owning engine; opaque
+// closures (the cold path: tests, examples, ad-hoc scheduling) ride as
+// kCallback events whose payload indexes a slab pool of std::function
+// slots.  Freed slots are recycled through a free list, so steady-state
+// closure scheduling does not allocate either.
+//
+// `run_until` optionally merges an EventSource (e.g. the lazy trace
+// cursor) with the queue: at each step the earlier of (queue head,
+// source head) in (time, seq) order executes.  This is what lets a
+// month-scale trace replay run without materializing millions of
+// upfront events.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event.hpp"
 #include "sim/event_queue.hpp"
 
 namespace dtn::sim {
 
+using EventFn = std::function<void()>;
+
 class Simulator {
  public:
+  /// Typed-event dispatcher; receives every non-kCallback event.
+  using DispatchFn = void (*)(void* ctx, const Event& ev);
+
+  /// Install the typed dispatcher.  Required before any typed event
+  /// fires; kCallback-only simulations (closures) don't need one.
+  void set_dispatcher(DispatchFn fn, void* ctx) {
+    dispatch_ = fn;
+    dispatch_ctx_ = ctx;
+  }
+
+  /// Reserve seqs [0, floor) for an EventSource (see EventQueue).
+  void set_seq_floor(std::uint64_t floor) { queue_.set_seq_floor(floor); }
+
   /// Current simulation time (time of the event being processed, or the
   /// initial time before the first event).
   [[nodiscard]] double now() const { return now_; }
 
-  /// Schedule at an absolute time (>= now).
-  void at(double t, EventFn fn) { queue_.schedule(t, std::move(fn)); }
+  /// Schedule a typed event at absolute time `t` (>= now).
+  void schedule(double t, Event ev) {
+    DTN_ASSERT(t >= now_);
+    ev.time = t;
+    queue_.schedule(ev);
+  }
 
-  /// Schedule `delay` seconds from now (delay >= 0).
+  /// Schedule a closure at an absolute time (>= now).
+  void at(double t, EventFn fn);
+
+  /// Schedule a closure `delay` seconds from now (delay >= 0).
   void after(double delay, EventFn fn) {
     DTN_ASSERT(delay >= 0.0);
-    queue_.schedule(now_ + delay, std::move(fn));
+    at(now_ + delay, std::move(fn));
   }
 
-  /// Run until the queue empties or the clock passes `end_time`.
-  /// Events scheduled exactly at `end_time` still run.
-  void run_until(double end_time);
+  /// Run until the queue (and `source`, when given) empties or the
+  /// clock passes `end_time`.  Events exactly at `end_time` still run.
+  void run_until(double end_time) { run_until(end_time, nullptr); }
+  void run_until(double end_time, EventSource* source);
 
-  /// Run everything.
+  /// Run everything in the queue (no external source).
   void run();
 
-  [[nodiscard]] std::uint64_t events_executed() const {
-    return queue_.executed();
-  }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Pre-size the queue storage.
+  void reserve(std::size_t n) { queue_.reserve(n); }
+
  private:
+  void dispatch(const Event& ev);
+
   EventQueue queue_;
+  DispatchFn dispatch_ = nullptr;
+  void* dispatch_ctx_ = nullptr;
+  // Slab pool of closure slots for kCallback events.
+  std::vector<EventFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
   double now_ = 0.0;
+  std::uint64_t executed_ = 0;
 };
 
 }  // namespace dtn::sim

@@ -1,0 +1,96 @@
+#include "trace/cursor.hpp"
+
+namespace dtn::trace {
+
+namespace {
+
+[[nodiscard]] inline bool earlier_head(double ta, std::uint64_t sa, double tb,
+                                       std::uint64_t sb) {
+  if (ta != tb) return ta < tb;
+  return sa < sb;
+}
+
+}  // namespace
+
+TraceCursor::TraceCursor(const Trace& trace) : trace_(&trace) {
+  DTN_ASSERT(trace.finalized());
+  const std::size_t n = trace.num_nodes();
+  pos_.resize(n, 0);
+  seq_base_.resize(n, 0);
+  std::uint64_t base = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seq_base_[i] = base;
+    base += 2 * trace.visits(static_cast<NodeId>(i)).size();
+  }
+  total_events_ = base;
+  reset();
+}
+
+TraceCursor::Head TraceCursor::head_of(NodeId n, std::uint32_t e) const {
+  const Visit& v = trace_->visits(n)[e / 2];
+  return Head{(e % 2 == 0) ? v.start : v.end, seq_base_[n] + e, n};
+}
+
+void TraceCursor::reset() {
+  heap_.clear();
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    pos_[i] = 0;
+    const auto n = static_cast<NodeId>(i);
+    if (!trace_->visits(n).empty()) heap_.push_back(head_of(n, 0));
+  }
+  // Floyd heap construction.
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  if (!heap_.empty()) materialize_top();
+}
+
+void TraceCursor::materialize_top() {
+  const Head& top = heap_.front();
+  const std::uint32_t e = pos_[top.node];
+  current_.time = top.time;
+  current_.seq = top.seq;
+  current_.kind = (e % 2 == 0) ? sim::EventKind::kArrival
+                               : sim::EventKind::kDeparture;
+  current_.a = top.node;
+  current_.b = e / 2;  // visit index
+}
+
+void TraceCursor::advance() {
+  DTN_ASSERT(!heap_.empty());
+  const NodeId n = heap_.front().node;
+  const std::uint32_t e = ++pos_[n];
+  if (e < 2 * trace_->visits(n).size()) {
+    // Replace the top with the node's next event and restore the heap:
+    // one sift instead of a pop + push pair.
+    heap_.front() = head_of(n, e);
+    sift_down(0);
+  } else {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+  if (!heap_.empty()) materialize_top();
+}
+
+void TraceCursor::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Head item = heap_[i];
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t child = left;
+    const std::size_t right = left + 1;
+    if (right < n && earlier_head(heap_[right].time, heap_[right].seq,
+                                  heap_[left].time, heap_[left].seq)) {
+      child = right;
+    }
+    if (!earlier_head(heap_[child].time, heap_[child].seq, item.time,
+                      item.seq)) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = item;
+}
+
+}  // namespace dtn::trace

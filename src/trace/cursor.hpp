@@ -1,0 +1,72 @@
+// Lazy trace-replay cursor.
+//
+// A finalized Trace stores, per node, a time-sorted, non-overlapping
+// visit list.  Each visit contributes exactly two simulation events —
+// an arrival at `start` and a departure at `end` — and within one node
+// those events are already in (time, seq) order (end > start, and the
+// next visit starts no earlier than the previous one ends).  So the
+// whole replay is a k-way merge of per-node event streams, advanced by
+// a small heap keyed on (time, seq): O(log num_nodes) per event, zero
+// allocations, and no materialization of the millions of upfront
+// closures the old engine pre-scheduled.
+//
+// Sequence numbers replicate the retired eager enumeration exactly
+// (node-major: node 0's visit 0 arrival, visit 0 departure, visit 1
+// arrival, ..., then node 1, ...), so tie order at identical timestamps
+// — and therefore every downstream RunCounters bit — is unchanged.
+// The engine must reserve [0, total_events()) for the cursor via
+// Simulator::set_seq_floor.
+//
+// The cursor is a cheap view: it borrows the immutable Trace (shared
+// across replicate runs) and owns only the per-node positions and the
+// merge heap, both O(num_nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "trace/trace.hpp"
+
+namespace dtn::trace {
+
+class TraceCursor final : public sim::EventSource {
+ public:
+  explicit TraceCursor(const Trace& trace);
+
+  [[nodiscard]] bool exhausted() const override { return heap_.empty(); }
+  [[nodiscard]] const sim::Event& peek() const override {
+    DTN_ASSERT(!heap_.empty());
+    return current_;
+  }
+  void advance() override;
+
+  /// Total events the full replay produces (2 per visit).
+  [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
+
+  /// Rewind to the beginning of the trace.
+  void reset();
+
+ private:
+  struct Head {
+    double time;        ///< time of the node's next event
+    std::uint64_t seq;  ///< global sequence of that event
+    NodeId node;
+  };
+
+  /// (time, seq) of node `n`'s event at per-node index `e`.
+  [[nodiscard]] Head head_of(NodeId n, std::uint32_t e) const;
+  void materialize_top();
+  void sift_down(std::size_t i);
+
+  const Trace* trace_;
+  /// Next per-node event index (2 * visit + {0 arrival, 1 departure}).
+  std::vector<std::uint32_t> pos_;
+  /// Sequence base per node: 2 * (visits of all lower-numbered nodes).
+  std::vector<std::uint64_t> seq_base_;
+  std::vector<Head> heap_;  // min-heap by (time, seq)
+  sim::Event current_;      // materialized top of the merge
+  std::uint64_t total_events_ = 0;
+};
+
+}  // namespace dtn::trace

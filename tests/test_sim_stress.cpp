@@ -19,18 +19,22 @@ TEST_P(EventQueueStressTest, RandomScheduleReplaysInOrder) {
   EventQueue q;
   struct Fired {
     double time;
-    int id;
+    std::uint32_t id;
   };
   std::vector<Fired> fired;
-  std::vector<std::pair<double, int>> scheduled;
-  for (int i = 0; i < 2000; ++i) {
+  for (std::uint32_t i = 0; i < 2000; ++i) {
     // Coarse time grid to force plenty of ties.
-    const double t = static_cast<double>(rng.uniform_index(200));
-    scheduled.emplace_back(t, i);
-    q.schedule(t, [&fired, t, i] { fired.push_back({t, i}); });
+    Event ev;
+    ev.time = static_cast<double>(rng.uniform_index(200));
+    ev.kind = EventKind::kArrival;
+    ev.a = i;
+    q.schedule(ev);
   }
-  while (!q.empty()) q.run_next();
-  ASSERT_EQ(fired.size(), scheduled.size());
+  while (!q.empty()) {
+    const Event ev = q.pop();
+    fired.push_back({ev.time, ev.a});
+  }
+  ASSERT_EQ(fired.size(), 2000u);
   for (std::size_t i = 1; i < fired.size(); ++i) {
     ASSERT_LE(fired[i - 1].time, fired[i].time);
     if (fired[i - 1].time == fired[i].time) {

@@ -1,0 +1,220 @@
+// TraceCursor: the lazy k-way merge must emit exactly the event stream
+// the retired eager enumeration produced — same times, same kinds, and
+// the same node-major sequence numbers (tie order at equal timestamps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/cursor.hpp"
+#include "trace/trace.hpp"
+
+namespace dtn::trace {
+namespace {
+
+struct Expected {
+  double time;
+  std::uint64_t seq;
+  sim::EventKind kind;
+  NodeId node;
+  std::uint32_t visit;
+};
+
+// Reference enumeration: what the old engine scheduled upfront.  Seqs
+// are node-major (node 0: visit 0 arrival, visit 0 departure, visit 1
+// arrival, ...), then the stream is sorted by (time, seq).
+std::vector<Expected> reference_stream(const Trace& t) {
+  std::vector<Expected> out;
+  std::uint64_t seq = 0;
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    const auto visits = t.visits(n);
+    for (std::uint32_t v = 0; v < visits.size(); ++v) {
+      out.push_back({visits[v].start, seq++, sim::EventKind::kArrival, n, v});
+      out.push_back({visits[v].end, seq++, sim::EventKind::kDeparture, n, v});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Expected& a, const Expected& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::vector<Expected> drain(TraceCursor& cursor) {
+  std::vector<Expected> out;
+  while (!cursor.exhausted()) {
+    const sim::Event& ev = cursor.peek();
+    out.push_back({ev.time, ev.seq, ev.kind, static_cast<NodeId>(ev.a), ev.b});
+    cursor.advance();
+  }
+  return out;
+}
+
+void expect_matches_reference(const Trace& t) {
+  TraceCursor cursor(t);
+  const auto expected = reference_stream(t);
+  EXPECT_EQ(cursor.total_events(), expected.size());
+  const auto got = drain(cursor);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].time, expected[i].time) << "event " << i;
+    EXPECT_EQ(got[i].seq, expected[i].seq) << "event " << i;
+    EXPECT_EQ(got[i].kind, expected[i].kind) << "event " << i;
+    EXPECT_EQ(got[i].node, expected[i].node) << "event " << i;
+    EXPECT_EQ(got[i].visit, expected[i].visit) << "event " << i;
+  }
+}
+
+TEST(TraceCursor, EmptyTraceIsExhaustedImmediately) {
+  Trace t(4, 2);
+  t.finalize();
+  TraceCursor cursor(t);
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.total_events(), 0u);
+  cursor.reset();  // reset on an empty cursor is a no-op, not a crash
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(TraceCursor, SingleVisitSingleNode) {
+  Trace t(1, 2);
+  t.add_visit({0, 1, 10.0, 25.0});
+  t.finalize();
+  TraceCursor cursor(t);
+  EXPECT_EQ(cursor.total_events(), 2u);
+  const auto got = drain(cursor);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].kind, sim::EventKind::kArrival);
+  EXPECT_EQ(got[0].time, 10.0);
+  EXPECT_EQ(got[0].seq, 0u);
+  EXPECT_EQ(got[1].kind, sim::EventKind::kDeparture);
+  EXPECT_EQ(got[1].time, 25.0);
+  EXPECT_EQ(got[1].seq, 1u);
+}
+
+TEST(TraceCursor, NodesWithoutVisitsAreSkipped) {
+  // Nodes 0 and 3 never appear; seq bases must still be node-major.
+  Trace t(4, 2);
+  t.add_visit({1, 0, 5.0, 6.0});
+  t.add_visit({2, 1, 1.0, 2.0});
+  t.finalize();
+  expect_matches_reference(t);
+}
+
+TEST(TraceCursor, SimultaneousArrivalsBreakTiesByNodeOrder) {
+  // All four nodes arrive and depart at identical instants at the same
+  // landmark.  Ties must resolve in node-major seq order — the order
+  // routers observed under the old engine.
+  Trace t(4, 1);
+  for (NodeId n = 0; n < 4; ++n) {
+    t.add_visit({n, 0, 100.0, 200.0});
+    t.add_visit({n, 0, 300.0, 400.0});
+  }
+  t.finalize();
+  expect_matches_reference(t);
+
+  TraceCursor cursor(t);
+  // First four events: arrivals of nodes 0..3 in that exact order.
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_FALSE(cursor.exhausted());
+    EXPECT_EQ(cursor.peek().kind, sim::EventKind::kArrival);
+    EXPECT_EQ(cursor.peek().a, n);
+    cursor.advance();
+  }
+}
+
+TEST(TraceCursor, InterleavedVisitsMatchEagerEnumeration) {
+  // Irregular interleaving incl. zero-gap (depart == next arrive) and
+  // cross-node ties.
+  Trace t(3, 3);
+  t.add_visit({0, 0, 0.0, 10.0});
+  t.add_visit({0, 1, 10.0, 20.0});  // arrives exactly when it departed
+  t.add_visit({0, 2, 30.0, 35.0});
+  t.add_visit({1, 1, 5.0, 10.0});   // departs as node 0 switches
+  t.add_visit({1, 2, 12.0, 30.0});
+  t.add_visit({2, 0, 5.0, 35.0});   // long visit spanning everything
+  t.finalize();
+  expect_matches_reference(t);
+}
+
+TEST(TraceCursor, ResetReplaysIdenticalStream) {
+  Trace t(3, 2);
+  t.add_visit({0, 0, 1.0, 4.0});
+  t.add_visit({1, 1, 2.0, 3.0});
+  t.add_visit({2, 0, 2.0, 5.0});
+  t.finalize();
+  TraceCursor cursor(t);
+  const auto first = drain(cursor);
+  cursor.reset();
+  const auto second = drain(cursor);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].seq, second[i].seq);
+    EXPECT_EQ(first[i].time, second[i].time);
+  }
+}
+
+TEST(TraceCursor, RunUntilBoundaryIsInclusive) {
+  // Visits landing exactly on the run_until deadline: the arrival at
+  // t == end runs, the departure after it stays pending.
+  Trace t(2, 2);
+  t.add_visit({0, 0, 10.0, 20.0});
+  t.add_visit({1, 1, 20.0, 30.0});  // arrival exactly at the deadline
+  t.finalize();
+  TraceCursor cursor(t);
+
+  sim::Simulator sim;
+  std::vector<std::pair<sim::EventKind, std::uint32_t>> seen;
+  sim.set_dispatcher(
+      [](void* ctx, const sim::Event& ev) {
+        static_cast<std::vector<std::pair<sim::EventKind, std::uint32_t>>*>(
+            ctx)
+            ->push_back({ev.kind, ev.a});
+      },
+      &seen);
+  sim.set_seq_floor(cursor.total_events());
+  sim.run_until(20.0, &cursor);
+
+  // Arrival(0)@10, departure(0)@20, arrival(1)@20 all run (inclusive);
+  // departure(1)@30 must still be pending in the cursor.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair{sim::EventKind::kArrival, 0u}));
+  EXPECT_EQ(seen[1], (std::pair{sim::EventKind::kDeparture, 0u}));
+  EXPECT_EQ(seen[2], (std::pair{sim::EventKind::kArrival, 1u}));
+  EXPECT_FALSE(cursor.exhausted());
+  EXPECT_EQ(cursor.peek().time, 30.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+
+  sim.run_until(30.0, &cursor);
+  EXPECT_TRUE(cursor.exhausted());
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[3], (std::pair{sim::EventKind::kDeparture, 1u}));
+}
+
+TEST(TraceCursor, LargeRandomTraceMatchesEagerEnumeration) {
+  // Property check at a size where merge-heap bugs would surface.
+  Trace t(17, 5);
+  std::uint64_t state = 0x243f6a8885a308d3ull;  // fixed xorshift stream
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (NodeId n = 0; n < 17; ++n) {
+    double at = static_cast<double>(next() % 50);
+    const int visits = 1 + static_cast<int>(next() % 60);
+    for (int v = 0; v < visits; ++v) {
+      // Coarse grid to force many cross-node ties.
+      const double start = at + static_cast<double>(next() % 8);
+      const double end = start + 1.0 + static_cast<double>(next() % 6);
+      t.add_visit({n, static_cast<LandmarkId>(next() % 5), start, end});
+      at = end + static_cast<double>(next() % 4);
+    }
+  }
+  t.finalize();
+  expect_matches_reference(t);
+}
+
+}  // namespace
+}  // namespace dtn::trace
