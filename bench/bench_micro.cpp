@@ -59,6 +59,27 @@ void BM_PredictorProbabilityOf(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictorProbabilityOf);
 
+void BM_MarkovPredict(benchmark::State& state) {
+  // The router's per-candidate query pattern at packet-dispatch time:
+  // argmax prediction plus a conditional probability toward a cycling
+  // next hop, on a trained predictor.  This is the inner loop of
+  // carrier selection, so it is the headline predictor number the
+  // perf harness tracks (>= 2x over the hash-map store).
+  const auto order = static_cast<std::size_t>(state.range(0));
+  dtn::core::MarkovPredictor p(64, order);
+  dtn::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    p.record_visit(static_cast<dtn::trace::LandmarkId>(rng.uniform_index(64)));
+  }
+  dtn::trace::LandmarkId l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.predict());
+    benchmark::DoNotOptimize(p.probability_of(l));
+    l = (l + 1) % 64;
+  }
+}
+BENCHMARK(BM_MarkovPredict)->Arg(1)->Arg(2);
+
 void BM_RoutingTableMerge(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   dtn::core::RoutingTable table(0, n);
@@ -81,6 +102,38 @@ void BM_RoutingTableMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingTableMerge)->Arg(18)->Arg(159);
 
+void BM_RoutingTableRecompute(benchmark::State& state) {
+  // The arrival hot path in miniature: a carried distance vector whose
+  // entries barely moved merges into a warm table, then one route is
+  // queried.  A full-table recompute pays O(n^2) per iteration here;
+  // the incremental recompute pays O(changed columns x n).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dtn::core::RoutingTable table(0, n);
+  dtn::Rng rng(12);
+  for (std::size_t j = 1; j < n; ++j) {
+    table.set_link_delay(static_cast<dtn::trace::LandmarkId>(j),
+                         rng.uniform(1.0, 100.0));
+  }
+  dtn::core::DistanceVector dv;
+  dv.origin = 1;
+  dv.delay.resize(n);
+  for (auto& d : dv.delay) d = rng.uniform(1.0, 100.0);
+  dv.delay[1] = 0.0;
+  // Warm the table so the loop below never pays first-touch costs.
+  (void)table.merge(dv);
+  (void)table.route(2);
+  std::size_t k = 2;
+  for (auto _ : state) {
+    ++dv.seq;
+    dv.delay[k] += 0.25;  // one destination's advertisement drifts
+    benchmark::DoNotOptimize(table.merge(dv));
+    benchmark::DoNotOptimize(
+        table.route(static_cast<dtn::trace::LandmarkId>(k)));
+    k = 2 + (k - 1) % (n - 2);
+  }
+}
+BENCHMARK(BM_RoutingTableRecompute)->Arg(18)->Arg(159);
+
 void BM_RoutingTableSnapshot(benchmark::State& state) {
   const std::size_t n = 159;
   dtn::core::RoutingTable table(0, n);
@@ -94,6 +147,33 @@ void BM_RoutingTableSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutingTableSnapshot);
+
+void BM_CarrierSelect(benchmark::State& state) {
+  // Carrier-selection-dominated end-to-end run: few landmarks, dense
+  // presence and a heavy packet workload, so nearly all the time goes
+  // into the departure/dispatch scans that score present nodes as
+  // carriers (the path the per-(landmark, next-hop) score cache
+  // serves).
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 96;
+  cfg.num_landmarks = 8;
+  cfg.num_communities = 2;
+  cfg.days = 4.0;
+  cfg.seed = 27;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  for (auto _ : state) {
+    dtn::core::DtnFlowRouter router;
+    dtn::net::WorkloadConfig wl;
+    wl.packets_per_landmark_per_day = 150.0;
+    wl.time_unit = 0.5 * dtn::trace::kDay;
+    wl.ttl = 2.0 * dtn::trace::kDay;
+    wl.node_memory_kb = 50;
+    dtn::net::Network net(trace, router, wl);
+    net.run();
+    benchmark::DoNotOptimize(net.counters().delivered);
+  }
+}
+BENCHMARK(BM_CarrierSelect);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   // Schedule-and-drain 1024 typed events: the core heap operation of

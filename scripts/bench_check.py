@@ -2,7 +2,8 @@
 """Perf-regression check for the simulator hot path.
 
 Runs the hot-path microbenchmarks (event queue, trace cursor, buffer,
-end-to-end replay) with google-benchmark's JSON output, writes the
+predictor, routing table, carrier selection, end-to-end replay) with
+google-benchmark's JSON output, writes the
 result to BENCH_hotpath.json, and compares per-benchmark real_time
 against the checked-in baseline.
 
@@ -25,6 +26,7 @@ from pathlib import Path
 # The benchmarks the harness tracks release to release.
 DEFAULT_FILTER = (
     "BM_EventQueue|BM_TraceCursor|BM_BufferAddRemove|BM_EndToEnd"
+    "|BM_MarkovPredict|BM_CarrierSelect|BM_RoutingTableRecompute"
 )
 
 

@@ -52,7 +52,10 @@ void DtnFlowRouter::on_init(Network& net) {
     landmarks_[l].prev_incoming.assign(m, 0.0);
     landmarks_[l].prev_outgoing.assign(m, 0.0);
     landmarks_[l].divert_toggle.assign(m, 0);
+    landmarks_[l].present_epoch = 1;
+    landmarks_[l].carrier_cache.assign(m, {});
   }
+  distribution_scratch_.clear();
   accuracy_ = FlatMatrix<double>(n, m, cfg_.accuracy_init);
   diag_ = DtnFlowDiagnostics{};
 }
@@ -87,6 +90,29 @@ double DtnFlowRouter::overall_transit_probability(const Network& net, NodeId n,
   return p * accuracy_.at(n, here);
 }
 
+
+std::span<const DtnFlowRouter::CarrierScore> DtnFlowRouter::carrier_scores(
+    const Network& net, LandmarkId l, LandmarkId to) {
+  LandmarkState& ls = landmarks_[l];
+  auto& entry = ls.carrier_cache[to];
+  if (entry.epoch == ls.present_epoch) return entry.scores;
+  entry.epoch = ls.present_epoch;
+  entry.scores.clear();
+  for (const NodeId n : net.nodes_at(l)) {
+    const NodeState& ns = nodes_[n];
+    const double raw = ns.predictor->probability_of(to);
+    // Identical arithmetic to overall_transit_probability (a present
+    // node's location is l), so cached scores compare bit-identically.
+    double overall = raw;
+    if (raw > 0.0 && cfg_.refine_carrier_selection) {
+      overall = raw * accuracy_.at(n, l);
+    } else if (raw <= 0.0) {
+      overall = 0.0;
+    }
+    entry.scores.push_back({n, overall, raw, ns.predicted_next == to});
+  }
+  return entry.scores;
+}
 
 double DtnFlowRouter::link_expected_delay(LandmarkId from,
                                           LandmarkId to) const {
@@ -166,13 +192,12 @@ bool DtnFlowRouter::dispatch_packet(Network& net, LandmarkId l, PacketId pid) {
   if (cfg_.direct_delivery) {
     NodeId best = trace::kNoNode;
     double best_p = 0.0;
-    for (const NodeId n : present) {
-      if (nodes_[n].predicted_next != p.dst) continue;
-      if (!net.node_buffer(n).has_space(p.size_kb)) continue;
-      const double prob = overall_transit_probability(net, n, p.dst);
-      if (prob > best_p) {
-        best_p = prob;
-        best = n;
+    for (const CarrierScore& cs : carrier_scores(net, l, p.dst)) {
+      if (!cs.predicted_to) continue;
+      if (!net.node_buffer(cs.node).has_space(p.size_kb)) continue;
+      if (cs.overall > best_p) {
+        best_p = cs.overall;
+        best = cs.node;
       }
     }
     if (best != trace::kNoNode) {
@@ -195,19 +220,15 @@ bool DtnFlowRouter::dispatch_packet(Network& net, LandmarkId l, PacketId pid) {
 
   NodeId best = trace::kNoNode;
   double best_p = 0.0;
-  for (const NodeId n : present) {
-    if (!net.node_buffer(n).has_space(p.size_kb)) continue;
+  for (const CarrierScore& cs : carrier_scores(net, l, next)) {
+    if (!net.node_buffer(cs.node).has_space(p.size_kb)) continue;
     // Only plausible carriers qualify: handing packets to visitors with
     // a token transit probability toward the next hop just bounces them
     // between stations and wandering nodes.
-    const double prob = overall_transit_probability(net, n, next);
-    if (nodes_[n].predicted_next != next &&
-        nodes_[n].predictor->probability_of(next) < kCarrierProbabilityFloor) {
-      continue;
-    }
-    if (prob > best_p) {
-      best_p = prob;
-      best = n;
+    if (!cs.predicted_to && cs.raw < kCarrierProbabilityFloor) continue;
+    if (cs.overall > best_p) {
+      best_p = cs.overall;
+      best = cs.node;
     }
   }
   if (best == trace::kNoNode) return false;
@@ -224,6 +245,14 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
   if (span.empty()) return;
   std::vector<PacketId> queue(span.begin(), span.end());
   const double now = net.now();
+  // One conditional-distribution fill covers every packet of the offer:
+  // the loop below reads P(next-hop | n's context) per packet, and n's
+  // prediction state cannot change mid-offer.  The scratch buffer keeps
+  // the fill allocation-free.
+  nodes_[n].predictor->next_distribution(distribution_scratch_);
+  const double acc_here = cfg_.refine_carrier_selection
+                              ? accuracy_.at(n, l)
+                              : 1.0;
   // §IV-D.5 forwarding priority: packets whose expected delay fits the
   // remaining TTL first, by smallest remaining TTL.
   std::vector<double> route_delay(queue.size());
@@ -268,11 +297,11 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
     LandmarkId next = kNoLandmark;
     double delay = kInfiniteDelay;
     if (!choose_next_hop(l, p.dst, next, delay)) continue;
-    if (nodes_[n].predicted_next != next &&
-        nodes_[n].predictor->probability_of(next) < kCarrierProbabilityFloor) {
+    const double raw = distribution_scratch_[next];
+    if (nodes_[n].predicted_next != next && raw < kCarrierProbabilityFloor) {
       continue;
     }
-    if (overall_transit_probability(net, n, next) <= 0.0) continue;
+    if (raw <= 0.0 || raw * acc_here <= 0.0) continue;
     if (net.station_to_node(l, n, pid)) {
       p.next_hop = next;
       p.expected_delay = delay;
@@ -346,6 +375,9 @@ bool DtnFlowRouter::landmark_uploading_mode(LandmarkId l) const {
 void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
   NodeState& ns = nodes_[node];
   const LandmarkId prev = net.previous_landmark(node);
+  // The present set (and the newcomer's prediction state, below) is
+  // changing: invalidate l's carrier-score cache.
+  ++landmarks_[l].present_epoch;
 
   if (prev != kNoLandmark && prev != l) {
     // Transit observed: bandwidth measurement (arrival side).
@@ -429,6 +461,8 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
 
 void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
   NodeState& ns = nodes_[node];
+  // The departing node leaves the present set once this hook returns.
+  ++landmarks_[l].present_epoch;
   // Snapshot the table for carriage (accounted once per leg), thinned
   // to every k-th departure *from this landmark* when the §IV-C.3
   // maintenance saving is on.

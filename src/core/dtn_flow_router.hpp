@@ -196,6 +196,21 @@ class DtnFlowRouter final : public net::Router {
     std::uint32_t total_stays = 0;
   };
 
+  /// One present node's cached suitability as a carrier toward a given
+  /// target landmark, snapshotted in present order (the scan order the
+  /// deterministic-replay contract fixes).
+  struct CarrierScore {
+    net::NodeId node;
+    /// Overall transit probability (raw x accuracy refinement) — the
+    /// ranking key of §IV-D.3/4.
+    double overall;
+    /// Raw P(next = target | node's context), for the §IV-D.3
+    /// plausibility floor.
+    double raw;
+    /// Node's predicted next landmark equals the target (§IV-D.2).
+    bool predicted_to;
+  };
+
   struct LandmarkState {
     std::optional<RoutingTable> table;
     // Per-neighbor packet rates for load balancing (current open unit
@@ -210,6 +225,21 @@ class DtnFlowRouter final : public net::Router {
     /// §IV-D.5 channel mode (meaningful when scheduled_communication):
     /// true = uplink serves node uploads, false = downlink forwards.
     bool uploading_mode = true;
+
+    /// Present-set epoch: bumped on every arrival/departure at this
+    /// landmark.  Prediction state of a *present* node only changes on
+    /// its own arrival, so the epoch covers every input of the carrier
+    /// scores below.
+    std::uint64_t present_epoch = 1;
+    /// Per-target-landmark carrier-score cache (lazy; entry valid iff
+    /// its epoch matches present_epoch).  Departure-time dispatch scans
+    /// reuse the scores across every packet of an association instead
+    /// of re-deriving per-candidate probabilities per packet.
+    struct CarrierCacheEntry {
+      std::uint64_t epoch = 0;
+      std::vector<CarrierScore> scores;
+    };
+    std::vector<CarrierCacheEntry> carrier_cache;
   };
 
   /// The node's overall probability of transiting to `to` from its
@@ -217,6 +247,14 @@ class DtnFlowRouter final : public net::Router {
   [[nodiscard]] double overall_transit_probability(const net::Network& net,
                                                    net::NodeId n,
                                                    net::LandmarkId to) const;
+
+  /// Cached carrier scores of the nodes present at `l` toward target
+  /// landmark `to`, in present order; rebuilt lazily when the present
+  /// set mutates.  The returned span is valid until the next arrival or
+  /// departure at `l`.
+  std::span<const CarrierScore> carrier_scores(const net::Network& net,
+                                               net::LandmarkId l,
+                                               net::LandmarkId to);
 
   /// Choose the next hop (and expected delay) for `dst` at landmark `l`,
   /// applying load balancing.  Returns false when unreachable.
@@ -279,6 +317,9 @@ class DtnFlowRouter final : public net::Router {
   FlatMatrix<double> accuracy_;
   DtnFlowDiagnostics diag_;
   double time_unit_ = trace::kDay;
+  /// Scratch buffer for per-node conditional distributions (reused by
+  /// offer_packets_to_node; avoids a vector allocation per offer).
+  std::vector<double> distribution_scratch_;
 };
 
 }  // namespace dtn::core

@@ -1,49 +1,88 @@
 #include "core/markov_predictor.hpp"
 
-#include <algorithm>
-
 #include "util/assert.hpp"
 
 namespace dtn::core {
 
 namespace {
-// 20 bits per landmark id allows 3 context slots + length tag in 64 bits.
+// 20 bits per landmark id allows 3 context slots in 64 bits.
 constexpr std::uint64_t kSlotBits = 20;
 constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
 }  // namespace
 
 MarkovPredictor::MarkovPredictor(std::size_t num_landmarks, std::size_t order)
-    : num_landmarks_(num_landmarks), order_(order) {
+    : num_landmarks_(num_landmarks),
+      order_(order),
+      successor_pos_(num_landmarks, 0),
+      successor_stamp_(num_landmarks, 0) {
   DTN_ASSERT(order_ >= 1 && order_ <= 3);
   DTN_ASSERT(num_landmarks_ > 0 && num_landmarks_ < (1ULL << kSlotBits));
+  context_.reserve(order_ + 1);
+  // Stamp 0 marks "never seen"; real stamps start at 1.
+  stamp_ = 0;
 }
 
 std::uint64_t MarkovPredictor::context_key() const {
-  // Key = [len tag | l_{-k} ... l_{-1}]; the tag distinguishes short
-  // histories (fewer than `order` landmarks seen yet) from real contexts.
-  std::uint64_t key = static_cast<std::uint64_t>(context_.size()) << 62;
+  // Called only on a full context (length == order): exactly `order_`
+  // 20-bit slots, injective — no tag needed, no aliasing possible.
+  DTN_ASSERT(context_.size() == order_);
+  std::uint64_t key = 0;
   for (const LandmarkId l : context_) {
     key = (key << kSlotBits) | (static_cast<std::uint64_t>(l) & kSlotMask);
   }
   return key;
 }
 
-std::uint64_t MarkovPredictor::extended_key(LandmarkId next) const {
-  // (k+1)-gram key: context key mixed with the successor in the low bits
-  // of a second multiplier — avoid collisions by hashing pairwise.
-  const std::uint64_t c = context_key();
-  return c * 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(next) + 1);
+std::uint32_t MarkovPredictor::intern_context(std::uint64_t key) {
+  const auto [it, inserted] =
+      context_ids_.try_emplace(key, static_cast<std::uint32_t>(
+                                        context_count_.size()));
+  if (inserted) {
+    context_count_.push_back(0);
+    successors_.emplace_back();
+    best_successor_.push_back(kNoLandmark);
+    best_count_.push_back(0);
+  }
+  return it->second;
+}
+
+void MarkovPredictor::switch_context(std::uint32_t ctx) {
+  current_ctx_ = ctx;
+  ++stamp_;
+  const auto& succ = successors_[ctx];
+  for (std::uint32_t i = 0; i < succ.size(); ++i) {
+    successor_pos_[succ[i].landmark] = i;
+    successor_stamp_[succ[i].landmark] = stamp_;
+  }
 }
 
 void MarkovPredictor::record_visit(LandmarkId l) {
   DTN_ASSERT(l < num_landmarks_);
   if (!context_.empty() && context_.back() == l) return;  // not a transit
   if (context_.size() == order_) {
-    // A full context precedes l: count the (k+1)-gram c.l.
-    ++gram_counts_[extended_key(l)];
-    auto& succ = successors_[context_key()];
-    if (std::find(succ.begin(), succ.end(), l) == succ.end()) {
-      succ.push_back(l);
+    // A full context precedes l: count the (k+1)-gram c.l in the
+    // current context's contiguous successor row.
+    DTN_ASSERT(current_ctx_ != kNoContext);
+    auto& succ = successors_[current_ctx_];
+    std::uint32_t pos;
+    if (successor_stamp_[l] == stamp_) {
+      pos = successor_pos_[l];
+    } else {
+      pos = static_cast<std::uint32_t>(succ.size());
+      succ.push_back({l, 0});
+      successor_pos_[l] = pos;
+      successor_stamp_[l] = stamp_;
+    }
+    const std::uint32_t count = ++succ[pos].count;
+    // Maintain the argmax incrementally.  Counts only ever grow by one,
+    // so "new count beats the best, or ties it with a smaller id" keeps
+    // best_successor_ equal to the full-scan argmax with
+    // smaller-id tie-breaking at all times.
+    if (count > best_count_[current_ctx_] ||
+        (count == best_count_[current_ctx_] &&
+         l < best_successor_[current_ctx_])) {
+      best_count_[current_ctx_] = count;
+      best_successor_[current_ctx_] = l;
     }
   }
   context_.push_back(l);
@@ -55,7 +94,9 @@ void MarkovPredictor::record_visit(LandmarkId l) {
   // just-formed context sum to (N(c)-1)/N(c), as in the Song et al.
   // predictor the paper adopts).
   if (context_.size() == order_) {
-    ++context_counts_[context_key()];
+    const std::uint32_t ctx = intern_context(context_key());
+    ++context_count_[ctx];
+    switch_context(ctx);
   }
 }
 
@@ -64,50 +105,37 @@ LandmarkId MarkovPredictor::current() const {
 }
 
 bool MarkovPredictor::can_predict() const {
-  if (context_.size() < order_) return false;
-  const auto it = successors_.find(context_key());
-  return it != successors_.end() && !it->second.empty();
+  return context_.size() == order_ && current_ctx_ != kNoContext &&
+         !successors_[current_ctx_].empty();
 }
 
 LandmarkId MarkovPredictor::predict() const {
   if (context_.size() < order_) return kNoLandmark;
-  const auto it = successors_.find(context_key());
-  if (it == successors_.end()) return kNoLandmark;
-  LandmarkId best = kNoLandmark;
-  std::uint32_t best_count = 0;
-  for (const LandmarkId l : it->second) {
-    const auto g = gram_counts_.find(extended_key(l));
-    DTN_ASSERT(g != gram_counts_.end());
-    if (g->second > best_count ||
-        (g->second == best_count && best != kNoLandmark && l < best)) {
-      best_count = g->second;
-      best = l;
-    }
-  }
-  return best;
+  return best_successor_[current_ctx_];  // kNoLandmark until a successor
 }
 
 double MarkovPredictor::probability_of(LandmarkId l) const {
   DTN_ASSERT(l < num_landmarks_);
   if (context_.size() < order_) return 0.0;
-  const auto c = context_counts_.find(context_key());
-  if (c == context_counts_.end() || c->second == 0) return 0.0;
-  const auto g = gram_counts_.find(extended_key(l));
-  if (g == gram_counts_.end()) return 0.0;
-  return static_cast<double>(g->second) / static_cast<double>(c->second);
+  if (successor_stamp_[l] != stamp_) return 0.0;  // l never followed c
+  const auto& entry = successors_[current_ctx_][successor_pos_[l]];
+  return static_cast<double>(entry.count) /
+         static_cast<double>(context_count_[current_ctx_]);
+}
+
+void MarkovPredictor::next_distribution(std::vector<double>& out) const {
+  out.assign(num_landmarks_, 0.0);
+  if (context_.size() < order_) return;
+  const auto& succ = successors_[current_ctx_];
+  const auto total = static_cast<double>(context_count_[current_ctx_]);
+  for (const SuccCount& entry : succ) {
+    out[entry.landmark] = static_cast<double>(entry.count) / total;
+  }
 }
 
 std::vector<double> MarkovPredictor::next_distribution() const {
-  std::vector<double> dist(num_landmarks_, 0.0);
-  if (context_.size() < order_) return dist;
-  const auto it = successors_.find(context_key());
-  if (it == successors_.end()) return dist;
-  const auto c = context_counts_.find(context_key());
-  DTN_ASSERT(c != context_counts_.end());
-  for (const LandmarkId l : it->second) {
-    const auto g = gram_counts_.find(extended_key(l));
-    dist[l] = static_cast<double>(g->second) / static_cast<double>(c->second);
-  }
+  std::vector<double> dist;
+  next_distribution(dist);
   return dist;
 }
 

@@ -11,6 +11,17 @@
 // when the context has never been seen there is no prediction, which is
 // how the paper's accuracy metric treats it (predictions / correct
 // predictions are only counted when a prediction is made).
+//
+// Storage is a flat per-context transition store (docs/routing-hot-path.md):
+// packed context keys are interned to dense ids the moment a context
+// forms, each context owns a contiguous array of successor counts plus
+// an incrementally maintained argmax, and a dense successor index of
+// the *current* context is refreshed on `record_visit`.  The query
+// path — `predict()`, `probability_of()`, `next_distribution()` —
+// therefore performs only array reads: the single hash lookup left in
+// the class sits on the update path (context interning), never on a
+// query.  Keys are exact (20 bits per landmark id, order <= 3), so
+// distinct (context, successor) pairs can never alias.
 #pragma once
 
 #include <cstdint>
@@ -51,30 +62,68 @@ class MarkovPredictor {
   [[nodiscard]] double probability_of(LandmarkId l) const;
 
   /// Full conditional distribution over landmarks (all zeros when the
-  /// context is unseen).
+  /// context is unseen), written into `out` (resized to num_landmarks).
+  /// Allocation-free once `out` has capacity — the router reuses one
+  /// scratch buffer across calls.
+  void next_distribution(std::vector<double>& out) const;
+
+  /// Allocating convenience overload of the above.
   [[nodiscard]] std::vector<double> next_distribution() const;
 
   /// The landmark of the most recent visit (kNoLandmark before any).
   [[nodiscard]] LandmarkId current() const;
 
  private:
-  /// Pack the last `n` context landmarks (n <= order) plus a length tag
-  /// into a 64-bit key.
+  /// A successor observed after some context, with its (k+1)-gram
+  /// count N(c . l).  Rows of these live contiguously per context, in
+  /// first-observation order.
+  struct SuccCount {
+    LandmarkId landmark;
+    std::uint32_t count;
+  };
+
+  static constexpr std::uint32_t kNoContext = 0xffffffffu;
+
+  /// Exact packed key of the current (full, length == order) context:
+  /// 20 bits per landmark id, most recent in the low bits.  Injective
+  /// for order <= 3 and ids < 2^20, so no two contexts share a key.
   [[nodiscard]] std::uint64_t context_key() const;
-  [[nodiscard]] std::uint64_t extended_key(LandmarkId next) const;
+
+  /// Dense id for `key`, allocating flat-store rows on first sight.
+  std::uint32_t intern_context(std::uint64_t key);
+
+  /// Make `ctx` the current context: refresh the dense successor index
+  /// used by the O(1) query path.
+  void switch_context(std::uint32_t ctx);
 
   std::size_t num_landmarks_;
   std::size_t order_;
   std::size_t history_len_ = 0;
   /// Last `order` landmarks, oldest first.
   std::vector<LandmarkId> context_;
-  /// N(c): occurrences of each k-context.
-  std::unordered_map<std::uint64_t, std::uint32_t> context_counts_;
-  /// N(c . l): occurrences of each (k+1)-gram.
-  std::unordered_map<std::uint64_t, std::uint32_t> gram_counts_;
-  /// Successors observed per context (for argmax/distribution without
-  /// scanning all landmarks).
-  std::unordered_map<std::uint64_t, std::vector<LandmarkId>> successors_;
+
+  // -- flat per-context transition store --------------------------------
+  /// Packed context key -> dense context id.  Touched only by
+  /// `record_visit` (update path); queries never hash.
+  std::unordered_map<std::uint64_t, std::uint32_t> context_ids_;
+  /// N(c) per context id.
+  std::vector<std::uint32_t> context_count_;
+  /// Successor-count rows per context id (contiguous, first-seen order).
+  std::vector<std::vector<SuccCount>> successors_;
+  /// Incrementally maintained argmax per context id: the most frequent
+  /// successor (ties toward the smaller landmark id) and its count.
+  std::vector<LandmarkId> best_successor_;
+  std::vector<std::uint32_t> best_count_;
+
+  // -- current-context query cache --------------------------------------
+  /// Dense id of the current context (kNoContext until one forms).
+  std::uint32_t current_ctx_ = kNoContext;
+  /// `successor_pos_[l]` is l's index in the current context's successor
+  /// row, valid iff `successor_stamp_[l] == stamp_` (stamps avoid
+  /// clearing the dense index on every context switch).
+  std::uint64_t stamp_ = 0;
+  std::vector<std::uint32_t> successor_pos_;
+  std::vector<std::uint64_t> successor_stamp_;
 };
 
 /// Measured per-node prediction accuracy over a visiting sequence:

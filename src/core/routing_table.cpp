@@ -13,7 +13,8 @@ RoutingTable::RoutingTable(LandmarkId self, std::size_t num_landmarks)
       last_seq_(num_landmarks, 0),
       pinned_(num_landmarks, 0),
       pin_route_(num_landmarks),
-      routes_(num_landmarks) {
+      routes_(num_landmarks),
+      column_dirty_(num_landmarks, 0) {
   DTN_ASSERT(self < num_landmarks);
   // A neighbor always advertises delay 0 to itself even before we have
   // merged anything from it (direct links are usable immediately).
@@ -22,13 +23,27 @@ RoutingTable::RoutingTable(LandmarkId self, std::size_t num_landmarks)
   }
 }
 
+void RoutingTable::mark_dirty(LandmarkId dst) {
+  dirty_ = true;
+  if (all_dirty_ || column_dirty_[dst] != 0) return;
+  column_dirty_[dst] = 1;
+  dirty_columns_.push_back(dst);
+}
+
+void RoutingTable::mark_all_dirty() {
+  dirty_ = true;
+  all_dirty_ = true;
+}
+
 void RoutingTable::set_link_delay(LandmarkId neighbor, double delay) {
   DTN_ASSERT(neighbor < link_delay_.size());
   DTN_ASSERT(neighbor != self_);
   DTN_ASSERT(delay >= 0.0);
   if (link_delay_[neighbor] != delay) {
     link_delay_[neighbor] = delay;
-    dirty_ = true;
+    // A changed link cost touches every destination routed (or now
+    // routable) through `neighbor`, which can be any column.
+    mark_all_dirty();
   }
 }
 
@@ -44,52 +59,71 @@ bool RoutingTable::merge(const DistanceVector& dv) {
   if (dv.seq + 1 <= last_seq_[dv.origin]) return false;  // stale
   last_seq_[dv.origin] = dv.seq + 1;
   for (std::size_t d = 0; d < dv.delay.size(); ++d) {
-    advertised_.at(dv.origin, d) = dv.delay[d];
+    // A neighbor advertises delay 0 to itself regardless of payload.
+    const double incoming = d == dv.origin ? 0.0 : dv.delay[d];
+    double& cell = advertised_.at(dv.origin, d);
+    if (cell != incoming) {
+      cell = incoming;
+      mark_dirty(static_cast<LandmarkId>(d));
+    }
   }
-  advertised_.at(dv.origin, dv.origin) = 0.0;
-  dirty_ = true;
   return true;
+}
+
+void RoutingTable::recompute_column(LandmarkId dst) const {
+  if (dst == self_) {
+    Route r;
+    r.next = self_;
+    r.delay = 0.0;
+    routes_[dst] = r;
+    return;
+  }
+  const std::size_t n = link_delay_.size();
+  Route r;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == self_) continue;
+    const double ld = link_delay_[v];
+    if (ld == kInfiniteDelay) continue;
+    const double adv = advertised_.at(v, dst);
+    if (adv == kInfiniteDelay) continue;
+    const double cost = ld + adv;
+    if (cost < r.delay) {
+      r.backup_next = r.next;
+      r.backup_delay = r.delay;
+      r.next = static_cast<LandmarkId>(v);
+      r.delay = cost;
+    } else if (cost < r.backup_delay) {
+      r.backup_next = static_cast<LandmarkId>(v);
+      r.backup_delay = cost;
+    }
+  }
+  if (pinned_[dst] != 0) {
+    // The pinned (injected) route replaces the best; the organically
+    // computed best becomes the backup so load balancing still works.
+    Route pr = pin_route_[dst];
+    pr.backup_next = r.next;
+    pr.backup_delay = r.delay;
+    routes_[dst] = pr;
+  } else {
+    routes_[dst] = r;
+  }
 }
 
 void RoutingTable::recompute() const {
   if (!dirty_) return;
-  const std::size_t n = link_delay_.size();
-  for (std::size_t d = 0; d < n; ++d) {
-    Route r;
-    if (d == self_) {
-      r.next = self_;
-      r.delay = 0.0;
-      routes_[d] = r;
-      continue;
+  if (all_dirty_) {
+    const std::size_t n = link_delay_.size();
+    for (std::size_t d = 0; d < n; ++d) {
+      recompute_column(static_cast<LandmarkId>(d));
     }
-    for (std::size_t v = 0; v < n; ++v) {
-      if (v == self_) continue;
-      const double ld = link_delay_[v];
-      if (ld == kInfiniteDelay) continue;
-      const double adv = advertised_.at(v, d);
-      if (adv == kInfiniteDelay) continue;
-      const double cost = ld + adv;
-      if (cost < r.delay) {
-        r.backup_next = r.next;
-        r.backup_delay = r.delay;
-        r.next = static_cast<LandmarkId>(v);
-        r.delay = cost;
-      } else if (cost < r.backup_delay) {
-        r.backup_next = static_cast<LandmarkId>(v);
-        r.backup_delay = cost;
-      }
-    }
-    if (pinned_[d] != 0) {
-      // The pinned (injected) route replaces the best; the organically
-      // computed best becomes the backup so load balancing still works.
-      Route pr = pin_route_[d];
-      pr.backup_next = r.next;
-      pr.backup_delay = r.delay;
-      routes_[d] = pr;
-    } else {
-      routes_[d] = r;
+    all_dirty_ = false;
+  } else {
+    for (const LandmarkId d : dirty_columns_) {
+      recompute_column(d);
     }
   }
+  for (const LandmarkId d : dirty_columns_) column_dirty_[d] = 0;
+  dirty_columns_.clear();
   dirty_ = false;
 }
 
@@ -146,14 +180,14 @@ void RoutingTable::pin(LandmarkId dst, LandmarkId next, double fake_delay) {
   r.next = next;
   r.delay = fake_delay;
   pin_route_[dst] = r;
-  dirty_ = true;
+  mark_dirty(dst);
 }
 
 void RoutingTable::unpin(LandmarkId dst) {
   DTN_ASSERT(dst < link_delay_.size());
   if (pinned_[dst] != 0) {
     pinned_[dst] = 0;
-    dirty_ = true;
+    mark_dirty(dst);
   }
 }
 

@@ -13,7 +13,11 @@
 //    discarded, exactly as §IV-C.1 discards out-of-date tokens.
 //
 // Routes are recomputed lazily as min over neighbors of
-// link_delay(self->v) + advertised_v(dst).
+// link_delay(self->v) + advertised_v(dst), and *incrementally*: a
+// merge marks only the destination columns whose advertised delay
+// actually changed, and the next query recomputes just those rows
+// instead of the whole O(n^2) table (docs/routing-hot-path.md).  Link
+// updates invalidate everything (a changed link can flip any route).
 //
 // `pin` force-overrides the next hop of one destination until `unpin`;
 // this is the controlled fault-injection hook used by the routing-loop
@@ -92,7 +96,15 @@ class RoutingTable {
   [[nodiscard]] bool is_pinned(LandmarkId dst) const;
 
  private:
+  /// Bring every dirty destination column up to date (no-op when clean).
   void recompute() const;
+  /// Recompute the route toward one destination (the full min-over-
+  /// neighbors scan for that column; pins applied).
+  void recompute_column(LandmarkId dst) const;
+  /// Mark one destination column stale.
+  void mark_dirty(LandmarkId dst);
+  /// Mark every column stale (link-delay changes can flip any route).
+  void mark_all_dirty();
 
   LandmarkId self_;
   std::vector<double> link_delay_;
@@ -103,6 +115,12 @@ class RoutingTable {
   std::uint64_t seq_ = 0;
 
   mutable std::vector<Route> routes_;
+  /// Incremental-recompute bookkeeping: the set of stale destination
+  /// columns (dense flag per column + compact list for iteration).
+  /// `all_dirty_` short-circuits the list after link updates.
+  mutable std::vector<std::uint8_t> column_dirty_;
+  mutable std::vector<LandmarkId> dirty_columns_;
+  mutable bool all_dirty_ = true;
   mutable bool dirty_ = true;
 };
 

@@ -159,6 +159,58 @@ TEST(ScoreSequence, MissingRecordsHurtHigherOrderMore) {
   EXPECT_GT(s1.accuracy(), s3.accuracy());
 }
 
+// Regression: the retired (k+1)-gram key derived gram buckets as
+// context_key * 0x9e3779b97f4a7c15 ^ (successor + 1), which can alias
+// distinct (context, successor) pairs.  The two order-3 contexts below
+// were constructed (via the multiplier's modular inverse) to collide
+// under that scheme: recording c2 -> n2 would inflate the gram count
+// of c1 -> n1, reporting P(n1 | c1) = 2.0 — a probability above one.
+// The flat transition store keys contexts exactly (dense interned ids,
+// per-context successor rows), so the pairs cannot share a counter.
+TEST(MarkovPredictor, AdversarialGramKeysDoNotAlias) {
+  constexpr std::size_t kMaxLandmarks = (1u << 20) - 1;
+  // ctx1 . n1 and ctx2 . n2 satisfy
+  //   pack(ctx1) * M ^ (n1 + 1) == pack(ctx2) * M ^ (n2 + 1).
+  const LandmarkId ctx1[3] = {281691u, 114807u, 836016u};
+  const LandmarkId n1 = 655152u;
+  const LandmarkId ctx2[3] = {547839u, 188287u, 832127u};
+  const LandmarkId n2 = 193577u;
+
+  MarkovPredictor p(kMaxLandmarks, 3);
+  for (const LandmarkId l : ctx1) p.record_visit(l);
+  p.record_visit(n1);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const LandmarkId l : ctx2) p.record_visit(l);
+    p.record_visit(n2);
+  }
+  // Return to ctx1 and query: N(ctx1) = 2 (one mid-sequence, one
+  // trailing), gram ctx1 -> n1 observed exactly once.
+  for (const LandmarkId l : ctx1) p.record_visit(l);
+  ASSERT_TRUE(p.can_predict());
+  EXPECT_DOUBLE_EQ(p.probability_of(n1), 0.5);  // old scheme: 4/2 = 2.0
+  EXPECT_DOUBLE_EQ(p.probability_of(n2), 0.0);
+  EXPECT_EQ(p.predict(), n1);
+  const auto dist = p.next_distribution();
+  double total = 0.0;
+  for (const double d : dist) total += d;
+  EXPECT_LE(total, 1.0 + 1e-12);
+}
+
+TEST(MarkovPredictor, ScratchDistributionMatchesAllocatingOverload) {
+  MarkovPredictor p(9, 2);
+  Rng rng(23);
+  std::vector<double> scratch(3, -1.0);  // wrong size + junk: must reset
+  for (int i = 0; i < 800; ++i) {
+    p.record_visit(static_cast<LandmarkId>(rng.uniform_index(9)));
+    p.next_distribution(scratch);
+    const auto fresh = p.next_distribution();
+    ASSERT_EQ(scratch.size(), fresh.size());
+    for (std::size_t l = 0; l < fresh.size(); ++l) {
+      EXPECT_EQ(scratch[l], fresh[l]) << "l=" << l << " i=" << i;
+    }
+  }
+}
+
 TEST(VisitingSequence, CollapsesDuplicates) {
   std::vector<trace::Visit> visits = {
       {0, 1, 0.0, 1.0}, {0, 1, 2.0, 3.0}, {0, 2, 4.0, 5.0}, {0, 1, 6.0, 7.0}};

@@ -194,6 +194,113 @@ TEST(RoutingTable, StaleAdvertisementsSurviveLinkRemoval) {
   EXPECT_FALSE(t0.route(2).reachable());
 }
 
+// -- incremental vs. full recompute equivalence ------------------------
+//
+// recompute() only revisits destination columns marked dirty since the
+// last query.  Feed two tables the exact same update stream, but query
+// one after every mutation (forcing many small incremental recomputes)
+// and the other only at the end (one bulk recompute): every route —
+// including backup next hops and pins — must agree exactly.
+
+void ExpectSameRoutes(const RoutingTable& interleaved,
+                      const RoutingTable& batched) {
+  ASSERT_EQ(interleaved.num_landmarks(), batched.num_landmarks());
+  for (std::size_t d = 0; d < interleaved.num_landmarks(); ++d) {
+    const auto dst = static_cast<LandmarkId>(d);
+    const Route a = interleaved.route(dst);
+    const Route b = batched.route(dst);
+    EXPECT_EQ(a.next, b.next) << "dst=" << d;
+    EXPECT_EQ(a.delay, b.delay) << "dst=" << d;
+    EXPECT_EQ(a.backup_next, b.backup_next) << "dst=" << d;
+    EXPECT_EQ(a.backup_delay, b.backup_delay) << "dst=" << d;
+    EXPECT_EQ(interleaved.is_pinned(dst), batched.is_pinned(dst));
+  }
+  EXPECT_EQ(interleaved.coverage(), batched.coverage());
+}
+
+TEST(RoutingTableIncremental, MatchesFullRecomputeWithPinsAndBackups) {
+  RoutingTable inc(0, 5);
+  RoutingTable full(0, 5);
+  const auto apply = [&](auto&& op) { op(inc); op(full); };
+  const auto touch_all = [&] {
+    for (std::size_t d = 0; d < inc.num_landmarks(); ++d) {
+      (void)inc.route(static_cast<LandmarkId>(d));
+    }
+  };
+
+  apply([](RoutingTable& t) { t.set_link_delay(1, 1.0); });
+  touch_all();
+  apply([](RoutingTable& t) { t.set_link_delay(2, 3.0); });
+  touch_all();
+  // Two neighbors both reach 3 and 4: exercises backup selection.
+  DistanceVector dv1{1, 0, {kInfiniteDelay, 0.0, 9.0, 5.0, 2.0}};
+  DistanceVector dv2{2, 0, {kInfiniteDelay, 9.0, 0.0, 1.0, 2.0}};
+  apply([&](RoutingTable& t) { ASSERT_TRUE(t.merge(dv1)); });
+  touch_all();
+  apply([&](RoutingTable& t) { ASSERT_TRUE(t.merge(dv2)); });
+  touch_all();
+  // Pin, re-merge updated vectors underneath the pin, then unpin.
+  apply([](RoutingTable& t) { t.pin(3, 4, 0.25); });
+  touch_all();
+  DistanceVector dv1b{1, 1, {kInfiniteDelay, 0.0, 9.0, 0.5, 2.0}};
+  apply([&](RoutingTable& t) { ASSERT_TRUE(t.merge(dv1b)); });
+  touch_all();
+  ExpectSameRoutes(inc, full);  // pinned route + organic backup agree
+  apply([](RoutingTable& t) { t.unpin(3); });
+  touch_all();
+  // Link-cost change after partial queries invalidates every column.
+  apply([](RoutingTable& t) { t.set_link_delay(1, 6.0); });
+  (void)inc.route(3);  // query only one column before the final sweep
+  ExpectSameRoutes(inc, full);
+}
+
+TEST(RoutingTableIncremental, RandomizedOpStreamsAgree) {
+  dtn::Rng rng(99);
+  const std::size_t n = 12;
+  RoutingTable inc(0, n);
+  RoutingTable full(0, n);
+  std::vector<std::uint64_t> seq(n, 0);
+  for (int step = 0; step < 400; ++step) {
+    const auto roll = rng.uniform_index(10);
+    if (roll < 3) {  // link change (occasionally removal)
+      const auto v = static_cast<LandmarkId>(1 + rng.uniform_index(n - 1));
+      const double d =
+          rng.uniform_index(8) == 0 ? kInfiniteDelay : rng.uniform(1.0, 20.0);
+      inc.set_link_delay(v, d);
+      full.set_link_delay(v, d);
+    } else if (roll < 8) {  // merge a random (sometimes stale) vector
+      const auto origin = static_cast<LandmarkId>(1 + rng.uniform_index(n - 1));
+      DistanceVector dv;
+      dv.origin = origin;
+      dv.seq = rng.uniform_index(4) == 0 && seq[origin] > 0
+                   ? seq[origin] - 1  // stale: must be a no-op on both
+                   : seq[origin]++;
+      dv.delay.assign(n, kInfiniteDelay);
+      dv.delay[origin] = 0.0;
+      for (std::size_t d = 0; d < n; ++d) {
+        if (rng.uniform_index(3) != 0) dv.delay[d] = rng.uniform(0.0, 30.0);
+      }
+      EXPECT_EQ(inc.merge(dv), full.merge(dv));
+    } else if (roll == 8) {  // pin / unpin
+      const auto dst = static_cast<LandmarkId>(1 + rng.uniform_index(n - 1));
+      if (rng.uniform_index(2) == 0) {
+        const auto via = static_cast<LandmarkId>(1 + rng.uniform_index(n - 1));
+        const double d = rng.uniform(0.0, 5.0);
+        inc.pin(dst, via, d);
+        full.pin(dst, via, d);
+      } else {
+        inc.unpin(dst);
+        full.unpin(dst);
+      }
+    }
+    // Query a random column on `inc` only: drains part of its dirty set
+    // so its recompute schedule diverges maximally from `full`'s.
+    (void)inc.route(static_cast<LandmarkId>(rng.uniform_index(n)));
+    if (step % 50 == 49) ExpectSameRoutes(inc, full);
+  }
+  ExpectSameRoutes(inc, full);
+}
+
 // Property: after synchronous flooding on a random connected graph, DV
 // delays equal all-pairs shortest paths (Floyd-Warshall reference).
 class DvConvergenceTest : public ::testing::TestWithParam<std::uint64_t> {};
