@@ -7,10 +7,14 @@ google-benchmark's JSON output, writes the
 result to BENCH_hotpath.json, and compares per-benchmark real_time
 against the checked-in baseline.
 
-Regressions beyond the threshold are reported as loud warnings on
-stderr but do NOT fail the build (exit code stays 0): microbenchmark
-noise on shared machines would otherwise make the target flaky.  A
-non-zero exit only means the benchmark binary itself failed to run.
+Perf regressions beyond the threshold are reported as loud warnings on
+stderr but do NOT fail the build: microbenchmark noise on shared
+machines would otherwise make the target flaky.  Everything else is a
+hard failure (non-zero exit): the benchmark binary failing to run, the
+binary emitting malformed JSON, and a missing or malformed baseline
+BENCH_hotpath.json — a harness that silently skips its comparison is
+indistinguishable from one that passed.  Use --allow-missing-baseline
+when bootstrapping a baseline for a new machine.
 
 Usage (normally via the `bench-check` CMake target):
     scripts/bench_check.py --bench build/bench/bench_micro
@@ -43,12 +47,48 @@ def run_benchmarks(bench: Path, bench_filter: str) -> dict:
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
         raise SystemExit(f"benchmark binary failed (exit {proc.returncode})")
-    return json.loads(proc.stdout)
+    try:
+        report = json.loads(proc.stdout)
+    except ValueError as e:
+        raise SystemExit(f"benchmark binary emitted malformed JSON: {e}")
+    validate_report(report, source=str(bench))
+    return report
+
+
+def load_baseline(path: Path) -> dict:
+    try:
+        text = path.read_text()
+    except OSError as e:
+        raise SystemExit(f"cannot read baseline {path}: {e}")
+    try:
+        report = json.loads(text)
+    except ValueError as e:
+        raise SystemExit(f"malformed baseline JSON in {path}: {e}")
+    validate_report(report, source=str(path))
+    return report
+
+
+def validate_report(report: object, source: str) -> None:
+    """Exit non-zero unless `report` looks like google-benchmark JSON."""
+    if not isinstance(report, dict):
+        raise SystemExit(f"{source}: top-level JSON value is not an object")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise SystemExit(f"{source}: no 'benchmarks' array (empty run?)")
+    for i, b in enumerate(benchmarks):
+        if not isinstance(b, dict) or "name" not in b:
+            raise SystemExit(f"{source}: benchmarks[{i}] has no 'name'")
+        if b.get("run_type") == "aggregate":
+            continue
+        if not isinstance(b.get("real_time"), (int, float)):
+            raise SystemExit(
+                f"{source}: benchmarks[{i}] ({b['name']}) has no numeric "
+                "'real_time'")
 
 
 def by_name(report: dict) -> dict[str, dict]:
     out = {}
-    for b in report.get("benchmarks", []):
+    for b in report["benchmarks"]:
         # Skip aggregate rows (mean/median/stddev) if repetitions are on.
         if b.get("run_type") == "aggregate":
             continue
@@ -67,6 +107,9 @@ def main() -> int:
                     help="relative real_time regression that triggers a "
                          "warning (default 0.25 = +25%%)")
     ap.add_argument("--filter", default=DEFAULT_FILTER)
+    ap.add_argument("--allow-missing-baseline", action="store_true",
+                    help="exit 0 when the baseline file does not exist "
+                         "(bootstrapping a new baseline)")
     args = ap.parse_args()
 
     report = run_benchmarks(args.bench, args.filter)
@@ -74,9 +117,14 @@ def main() -> int:
     print(f"wrote {args.out}")
 
     if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; skipping comparison")
-        return 0
-    baseline = by_name(json.loads(args.baseline.read_text()))
+        if args.allow_missing_baseline:
+            print(f"no baseline at {args.baseline}; skipping comparison")
+            return 0
+        sys.stderr.write(
+            f"ERROR: baseline {args.baseline} does not exist; pass "
+            "--allow-missing-baseline when bootstrapping one\n")
+        return 2
+    baseline = by_name(load_baseline(args.baseline))
     current = by_name(report)
 
     regressions = []

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the DTN-FLOW simulator.
+
+The replay engine guarantees bit-identical results for a given (trace,
+router, seed) triple — test_determinism.cpp pins golden digests to that
+contract.  Two bug classes silently break it without any compiler
+diagnostic, so this lint polices them statically:
+
+1. **Unordered-container iteration in replay-critical code**
+   (src/core, src/sim, src/routing, src/net).  std::unordered_map/set
+   iteration order depends on libstdc++ version, hash seeding and
+   insertion history; iterating one inside the replay path reorders
+   router decisions and flips the golden digests.  Lookups
+   (find/count/operator[]) are fine — only iteration is flagged
+   (range-for over the container, or .begin()/.cbegin()/.rbegin()).
+
+2. **Ambient nondeterminism anywhere in src/** outside src/util/rng.*:
+   rand()/srand(), time(), std::random_device, the std::chrono clocks,
+   gettimeofday, getpid.  All randomness must flow through dtn::Rng so
+   a run is a pure function of its seed; all timestamps must be
+   simulation time.
+
+Suppressing a finding: append `// det-lint: ok(<reason>)` to the line.
+A suppression without a reason is itself a finding.
+
+Exit status: 0 clean, 1 findings, 2 bad invocation.
+
+Usage:
+    scripts/determinism_lint.py [--root REPO_ROOT] [-v]
+"""
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories whose code runs inside the deterministic replay loop:
+# iteration-order hazards are findings here.
+REPLAY_CRITICAL_DIRS = ("src/core", "src/sim", "src/routing", "src/net")
+# Ambient-nondeterminism calls are findings everywhere under src/ except
+# the one sanctioned wrapper.
+SOURCE_DIR = "src"
+RNG_ALLOWLIST = ("src/util/rng.hpp", "src/util/rng.cpp")
+
+SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*ok\(([^)]*)\)")
+SUPPRESS_BARE_RE = re.compile(r"//\s*det-lint:\s*ok(?!\()")
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+# Ambient nondeterminism, with negative lookbehind so member accesses
+# (ev.time), qualified names (x::time) and identifiers ending in the
+# word (run_time() etc.) do not match.
+AMBIENT_PATTERNS = (
+    (re.compile(r"(?<![\w.:>])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0|&)"), "time()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "std::chrono wall clock"),
+    (re.compile(r"(?<![\w.:>])(?:gettimeofday|getpid)\s*\("),
+     "gettimeofday()/getpid()"),
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blank out string/char literals and // comments so patterns do not
+    match inside documentation or log text (the suppression marker is
+    read from the raw line before this runs)."""
+    out = []
+    i, n = 0, len(line)
+    in_str: str | None = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest of line is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def find_unordered_names(text: str) -> set[str]:
+    """Names of variables/members declared as unordered containers.
+
+    Pragmatic single-pass parse: from each `unordered_*` keyword, walk
+    the balanced <...> template argument list, then capture the
+    declared identifier after it.  Type aliases of unordered containers
+    are out of scope (declare them where the lint can see, or suppress
+    at the iteration site)."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        i = text.find("<", m.end())
+        if i == -1 or text[m.end():i].strip():
+            continue
+        depth, j = 0, i
+        while j < len(text):
+            if text[j] == "<":
+                depth += 1
+            elif text[j] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        if j >= len(text):
+            continue
+        decl = re.match(r"\s*[&*]?\s*(\w+)\s*[;={(,)]", text[j + 1:j + 256])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: {self.message}"
+
+
+def lint_file(path: Path, rel: str, unordered_names: set[str],
+              findings: list[Finding]) -> None:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    critical = rel.startswith(REPLAY_CRITICAL_DIRS)
+    rng_exempt = rel in RNG_ALLOWLIST
+
+    iter_patterns = []
+    if critical:
+        for name in unordered_names:
+            esc = re.escape(name)
+            iter_patterns.append((
+                re.compile(r"for\s*\([^;)]*:\s*[\w.\->]*\b" + esc + r"\s*\)"),
+                f"range-for over unordered container '{name}' "
+                "(iteration order is not deterministic)"))
+            iter_patterns.append((
+                re.compile(r"\b" + esc + r"\s*\.\s*c?r?begin\s*\("),
+                f"iterator walk of unordered container '{name}' "
+                "(iteration order is not deterministic)"))
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if SUPPRESS_BARE_RE.search(raw) and not SUPPRESS_RE.search(raw):
+            findings.append(Finding(
+                path, line_no,
+                "det-lint suppression without a reason — use "
+                "'// det-lint: ok(<reason>)'"))
+            continue
+        suppressed = SUPPRESS_RE.search(raw) is not None
+        line = strip_comments_and_strings(raw)
+
+        hits = []
+        for pat, what in iter_patterns:
+            if pat.search(line):
+                hits.append(what)
+        if not rng_exempt:
+            for pat, what in AMBIENT_PATTERNS:
+                if pat.search(line):
+                    hits.append(f"{what} outside src/util/rng.* — route "
+                                "through dtn::Rng / simulation time")
+        if suppressed and hits:
+            continue  # explicitly waived, reason recorded inline
+        for what in hits:
+            findings.append(Finding(path, line_no, what))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                    help="repository root (default: the checkout containing "
+                         "this script)")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+
+    src = args.root / SOURCE_DIR
+    if not src.is_dir():
+        print(f"determinism_lint: no such directory: {src}", file=sys.stderr)
+        return 2
+
+    files = sorted(p for p in src.rglob("*")
+                   if p.suffix in (".hpp", ".cpp", ".h", ".cc"))
+    if not files:
+        print(f"determinism_lint: no sources under {src}", file=sys.stderr)
+        return 2
+
+    # Pass 1: every unordered container declared anywhere under src/
+    # (headers declare the members the .cpp files iterate).
+    unordered_names: set[str] = set()
+    for path in files:
+        unordered_names |= find_unordered_names(path.read_text(
+            encoding="utf-8", errors="replace"))
+    if args.verbose:
+        print(f"unordered containers declared: "
+              f"{', '.join(sorted(unordered_names)) or '(none)'}")
+
+    # Pass 2: hazards.
+    findings: list[Finding] = []
+    for path in files:
+        rel = path.relative_to(args.root).as_posix()
+        lint_file(path, rel, unordered_names, findings)
+
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s):",
+              file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"determinism_lint: OK ({len(files)} files, "
+          f"{len(unordered_names)} unordered container(s) tracked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

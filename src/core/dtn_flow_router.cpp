@@ -1,7 +1,11 @@
 #include "core/dtn_flow_router.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <string>
+
+#include "sim/invariant_auditor.hpp"
 
 #include "util/logging.hpp"
 
@@ -77,6 +81,75 @@ const MarkovPredictor& DtnFlowRouter::predictor(NodeId n) const {
 
 double DtnFlowRouter::accuracy(NodeId n, LandmarkId l) const {
   return accuracy_.at(n, l);
+}
+
+void DtnFlowRouter::audit(const net::Network& net,
+                          sim::AuditReport& report) const {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeState& ns = nodes_[n];
+    if (!ns.predictor.has_value()) continue;
+    report.set_context("router.predictor[" + std::to_string(n) + "]");
+    ns.predictor->audit(report);
+  }
+  for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+    const LandmarkState& ls = landmarks_[l];
+    if (ls.table.has_value()) {
+      report.set_context("router.routing_table[" + std::to_string(l) + "]");
+      ls.table->audit(report);
+    }
+    // Carrier-cache epoch discipline: an entry may only be *valid*
+    // (epoch equal) or *stale* (epoch behind); a valid entry must mirror
+    // the present set and the per-node probabilities bit for bit, since
+    // every input of a score bumps present_epoch when it changes.
+    report.set_context("router.carrier_cache[" + std::to_string(l) + "]");
+    const auto present = net.nodes_at(static_cast<net::LandmarkId>(l));
+    for (std::size_t to = 0; to < ls.carrier_cache.size(); ++to) {
+      const auto& entry = ls.carrier_cache[to];
+      if (entry.epoch > ls.present_epoch) {
+        report.fail("target " + std::to_string(to) + ": cache epoch " +
+                    std::to_string(entry.epoch) +
+                    " is ahead of the present epoch " +
+                    std::to_string(ls.present_epoch));
+        continue;
+      }
+      if (entry.epoch != ls.present_epoch) continue;  // legitimately stale
+      if (entry.scores.size() != present.size()) {
+        report.fail("target " + std::to_string(to) + ": valid cache has " +
+                    std::to_string(entry.scores.size()) + " scores for " +
+                    std::to_string(present.size()) + " present nodes");
+        continue;
+      }
+      for (std::size_t i = 0; i < present.size(); ++i) {
+        const NodeId n = present[i];
+        const CarrierScore& cached = entry.scores[i];
+        const NodeState& ns = nodes_[n];
+        const double raw = ns.predictor->probability_of(
+            static_cast<LandmarkId>(to));
+        double overall = raw;
+        if (raw > 0.0 && cfg_.refine_carrier_selection) {
+          overall = raw * accuracy_.at(n, static_cast<LandmarkId>(l));
+        } else if (raw <= 0.0) {
+          overall = 0.0;
+        }
+        const bool predicted_to =
+            ns.predicted_next == static_cast<LandmarkId>(to);
+        if (cached.node != n ||
+            std::bit_cast<std::uint64_t>(cached.raw) !=
+                std::bit_cast<std::uint64_t>(raw) ||
+            std::bit_cast<std::uint64_t>(cached.overall) !=
+                std::bit_cast<std::uint64_t>(overall) ||
+            cached.predicted_to != predicted_to) {
+          report.fail("target " + std::to_string(to) + ", slot " +
+                      std::to_string(i) + ": valid cached score (node " +
+                      std::to_string(cached.node) + ", overall " +
+                      std::to_string(cached.overall) +
+                      ") disagrees with recomputation (node " +
+                      std::to_string(n) + ", overall " +
+                      std::to_string(overall) + ")");
+        }
+      }
+    }
+  }
 }
 
 double DtnFlowRouter::overall_transit_probability(const Network& net, NodeId n,

@@ -150,6 +150,12 @@ class DtnFlowRouter final : public net::Router {
   void on_packet_generated(net::Network& net, net::PacketId pid) override;
   void on_time_unit(net::Network& net, std::size_t unit_index) override;
 
+  /// Invariant audit hook (debug tooling, see invariant_auditor.hpp):
+  /// audits every node predictor (flat store + incremental argmax),
+  /// every landmark routing table (dirty bookkeeping + clean columns vs
+  /// from-scratch recompute) and the carrier-cache epoch discipline.
+  void audit(const net::Network& net, sim::AuditReport& report) const override;
+
   // -- introspection (tests / benches / figures) ------------------------
   [[nodiscard]] const DtnFlowConfig& config() const { return cfg_; }
   [[nodiscard]] const BandwidthEstimator& bandwidth() const { return bw_; }

@@ -1,5 +1,9 @@
 #include "core/markov_predictor.hpp"
 
+#include <algorithm>
+#include <string>
+
+#include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
 
 namespace dtn::core {
@@ -137,6 +141,102 @@ std::vector<double> MarkovPredictor::next_distribution() const {
   std::vector<double> dist;
   next_distribution(dist);
   return dist;
+}
+
+void MarkovPredictor::audit(sim::AuditReport& report) const {
+  const std::size_t contexts = context_count_.size();
+  if (successors_.size() != contexts || best_successor_.size() != contexts ||
+      best_count_.size() != contexts || context_ids_.size() != contexts) {
+    report.fail("flat-store arrays disagree in size (contexts=" +
+                std::to_string(contexts) + ")");
+    return;
+  }
+  std::vector<std::uint8_t> seen(num_landmarks_, 0);
+  for (std::size_t ctx = 0; ctx < contexts; ++ctx) {
+    const auto& row = successors_[ctx];
+    // Full-scan argmax with the same tie-break the hot path maintains
+    // incrementally; the two must agree at all times.
+    LandmarkId best = kNoLandmark;
+    std::uint32_t best_count = 0;
+    std::uint64_t row_sum = 0;
+    std::fill(seen.begin(), seen.end(), std::uint8_t{0});
+    for (const SuccCount& entry : row) {
+      if (entry.landmark >= num_landmarks_) {
+        report.fail("context " + std::to_string(ctx) +
+                    ": successor landmark out of range");
+        continue;
+      }
+      if (seen[entry.landmark] != 0) {
+        report.fail("context " + std::to_string(ctx) +
+                    ": duplicate successor row entry for landmark " +
+                    std::to_string(entry.landmark));
+      }
+      seen[entry.landmark] = 1;
+      if (entry.count == 0) {
+        report.fail("context " + std::to_string(ctx) +
+                    ": zero-count successor row entry for landmark " +
+                    std::to_string(entry.landmark));
+      }
+      row_sum += entry.count;
+      if (entry.count > best_count ||
+          (entry.count == best_count && entry.landmark < best)) {
+        best = entry.landmark;
+        best_count = entry.count;
+      }
+    }
+    if (best != best_successor_[ctx] || best_count != best_count_[ctx]) {
+      report.fail("context " + std::to_string(ctx) +
+                  ": cached argmax (landmark " +
+                  std::to_string(best_successor_[ctx]) + ", count " +
+                  std::to_string(best_count_[ctx]) +
+                  ") disagrees with full row scan (landmark " +
+                  std::to_string(best) + ", count " +
+                  std::to_string(best_count) + ")");
+    }
+    // N(c) counts every occurrence of the context, including trailing
+    // ones not (yet) followed by a successor, so the row can sum to at
+    // most N(c) and a counted context must have been seen.
+    if (context_count_[ctx] == 0) {
+      report.fail("context " + std::to_string(ctx) + ": N(c) == 0");
+    }
+    if (row_sum > context_count_[ctx]) {
+      report.fail("context " + std::to_string(ctx) + ": successor counts (" +
+                  std::to_string(row_sum) + ") exceed N(c) (" +
+                  std::to_string(context_count_[ctx]) + ")");
+    }
+  }
+  // Dense successor index of the current context, both directions.
+  if (current_ctx_ != kNoContext) {
+    if (current_ctx_ >= contexts) {
+      report.fail("current context id out of range");
+      return;
+    }
+    const auto& row = successors_[current_ctx_];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const LandmarkId l = row[i].landmark;
+      if (successor_stamp_[l] != stamp_ || successor_pos_[l] != i) {
+        report.fail("dense index stale for successor landmark " +
+                    std::to_string(l) + " of the current context");
+      }
+    }
+    for (LandmarkId l = 0; l < num_landmarks_; ++l) {
+      if (successor_stamp_[l] != stamp_) continue;
+      if (successor_pos_[l] >= row.size() ||
+          row[successor_pos_[l]].landmark != l) {
+        report.fail("dense index points landmark " + std::to_string(l) +
+                    " at the wrong successor row slot");
+      }
+    }
+  }
+}
+
+bool MarkovPredictor::debug_corrupt_argmax_for_test() {
+  for (std::size_t ctx = 0; ctx < successors_.size(); ++ctx) {
+    if (successors_[ctx].empty()) continue;
+    ++best_count_[ctx];  // a count the row cannot justify
+    return true;
+  }
+  return false;
 }
 
 PredictionScore score_sequence(std::size_t num_landmarks, std::size_t order,

@@ -30,6 +30,10 @@
 
 #include "trace/trace.hpp"
 
+namespace dtn::sim {
+class AuditReport;
+}
+
 namespace dtn::core {
 
 using trace::LandmarkId;
@@ -72,6 +76,20 @@ class MarkovPredictor {
 
   /// The landmark of the most recent visit (kNoLandmark before any).
   [[nodiscard]] LandmarkId current() const;
+
+  // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
+  /// Re-derive every incrementally maintained structure from the flat
+  /// store and compare: per-context argmax (count + smaller-id
+  /// tie-break) vs best_successor_/best_count_, successor-row count
+  /// sums vs N(c), row uniqueness, and the stamped dense index of the
+  /// current context (both directions).
+  void audit(sim::AuditReport& report) const;
+
+  /// Test-only fault injection for the auditor's negative tests: skew
+  /// the cached argmax of the first context that has successors (the
+  /// bug class this simulates is a missed incremental argmax update).
+  /// Returns false when no context has a successor yet.
+  bool debug_corrupt_argmax_for_test();
 
  private:
   /// A successor observed after some context, with its (k+1)-gram

@@ -1,7 +1,10 @@
 #include "core/routing_table.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <string>
 
+#include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
 
 namespace dtn::core {
@@ -70,13 +73,12 @@ bool RoutingTable::merge(const DistanceVector& dv) {
   return true;
 }
 
-void RoutingTable::recompute_column(LandmarkId dst) const {
+Route RoutingTable::compute_column(LandmarkId dst) const {
   if (dst == self_) {
     Route r;
     r.next = self_;
     r.delay = 0.0;
-    routes_[dst] = r;
-    return;
+    return r;
   }
   const std::size_t n = link_delay_.size();
   Route r;
@@ -103,10 +105,13 @@ void RoutingTable::recompute_column(LandmarkId dst) const {
     Route pr = pin_route_[dst];
     pr.backup_next = r.next;
     pr.backup_delay = r.delay;
-    routes_[dst] = pr;
-  } else {
-    routes_[dst] = r;
+    return pr;
   }
+  return r;
+}
+
+void RoutingTable::recompute_column(LandmarkId dst) const {
+  routes_[dst] = compute_column(dst);
 }
 
 void RoutingTable::recompute() const {
@@ -194,6 +199,75 @@ void RoutingTable::unpin(LandmarkId dst) {
 bool RoutingTable::is_pinned(LandmarkId dst) const {
   DTN_ASSERT(dst < link_delay_.size());
   return pinned_[dst] != 0;
+}
+
+void RoutingTable::audit(sim::AuditReport& report) const {
+  const std::size_t n = link_delay_.size();
+  const auto prefix = [this](LandmarkId dst) {
+    return "table " + std::to_string(self_) + ", destination " +
+           std::to_string(dst) + ": ";
+  };
+  // Bookkeeping: the compact dirty list and the dense flag array must
+  // describe the same set, and a clean table must have an empty set.
+  std::size_t flagged = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (column_dirty_[d] != 0) ++flagged;
+  }
+  std::vector<std::uint8_t> listed(n, 0);
+  for (const LandmarkId d : dirty_columns_) {
+    if (d >= n) {
+      report.fail("dirty list names an out-of-range column");
+      continue;
+    }
+    if (listed[d] != 0) {
+      report.fail(prefix(d) + "column listed dirty twice");
+    }
+    listed[d] = 1;
+    if (column_dirty_[d] == 0) {
+      report.fail(prefix(d) + "column in the dirty list but not flagged");
+    }
+  }
+  if (flagged != dirty_columns_.size()) {
+    report.fail("dirty flag count (" + std::to_string(flagged) +
+                ") disagrees with the dirty list (" +
+                std::to_string(dirty_columns_.size()) + " entries)");
+  }
+  if (!dirty_ && (all_dirty_ || !dirty_columns_.empty())) {
+    report.fail("table claims clean while columns are marked dirty");
+  }
+  if (all_dirty_ && !dirty_) {
+    report.fail("all_dirty_ set on a clean table");
+  }
+  // Correctness: every column *not* marked stale must already equal the
+  // from-scratch min-over-neighbors scan, bit for bit.
+  if (all_dirty_) return;  // every column is legitimately stale
+  for (std::size_t d = 0; d < n; ++d) {
+    if (column_dirty_[d] != 0) continue;
+    const auto dst = static_cast<LandmarkId>(d);
+    const Route fresh = compute_column(dst);
+    const Route& cached = routes_[d];
+    if (fresh.next != cached.next ||
+        std::bit_cast<std::uint64_t>(fresh.delay) !=
+            std::bit_cast<std::uint64_t>(cached.delay) ||
+        fresh.backup_next != cached.backup_next ||
+        std::bit_cast<std::uint64_t>(fresh.backup_delay) !=
+            std::bit_cast<std::uint64_t>(cached.backup_delay)) {
+      report.fail(prefix(dst) +
+                  "clean column disagrees with from-scratch recompute "
+                  "(cached next " + std::to_string(cached.next) + ", delay " +
+                  std::to_string(cached.delay) + "; fresh next " +
+                  std::to_string(fresh.next) + ", delay " +
+                  std::to_string(fresh.delay) + ")");
+    }
+  }
+}
+
+void RoutingTable::debug_corrupt_advertised_for_test(LandmarkId origin,
+                                                     LandmarkId dst,
+                                                     double delay) {
+  DTN_ASSERT(origin < link_delay_.size());
+  DTN_ASSERT(dst < link_delay_.size());
+  advertised_.at(origin, dst) = delay;  // deliberately NOT marked dirty
 }
 
 }  // namespace dtn::core

@@ -32,6 +32,10 @@
 #include "trace/trace.hpp"
 #include "util/flat_matrix.hpp"
 
+namespace dtn::sim {
+class AuditReport;
+}
+
 namespace dtn::core {
 
 using trace::LandmarkId;
@@ -95,11 +99,27 @@ class RoutingTable {
   void unpin(LandmarkId dst);
   [[nodiscard]] bool is_pinned(LandmarkId dst) const;
 
+  // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
+  /// Validate the dirty-column bookkeeping (flag array vs compact list)
+  /// and recompute every *clean* column from scratch, comparing the
+  /// cached route bit-for-bit — a clean column that disagrees with the
+  /// full min-over-neighbors scan means a merge/link update forgot to
+  /// mark it dirty.
+  void audit(sim::AuditReport& report) const;
+
+  /// Test-only fault injection for the auditor's negative tests: change
+  /// an advertised delay *without* marking the destination column dirty
+  /// (the exact bug class the incremental recompute invites).
+  void debug_corrupt_advertised_for_test(LandmarkId origin, LandmarkId dst,
+                                         double delay);
+
  private:
   /// Bring every dirty destination column up to date (no-op when clean).
   void recompute() const;
-  /// Recompute the route toward one destination (the full min-over-
-  /// neighbors scan for that column; pins applied).
+  /// The full min-over-neighbors scan for one destination (pins
+  /// applied); pure — shared by recompute_column and audit.
+  [[nodiscard]] Route compute_column(LandmarkId dst) const;
+  /// Recompute the route toward one destination into routes_.
   void recompute_column(LandmarkId dst) const;
   /// Mark one destination column stale.
   void mark_dirty(LandmarkId dst);

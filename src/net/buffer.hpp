@@ -33,6 +33,15 @@ class Buffer {
   /// Remove a packet that must be present.
   void remove(PacketId pid, std::uint32_t size_kb);
 
+  /// Test-only fault injection for the invariant auditor's negative
+  /// tests: skew the byte accounting without touching the id list (the
+  /// bug class this simulates is a transfer that accounted the wrong
+  /// packet size).
+  void debug_corrupt_used_kb_for_test(int delta) {
+    used_kb_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(used_kb_) + delta);
+  }
+
  private:
   std::uint64_t capacity_kb_;
   std::uint64_t used_kb_ = 0;

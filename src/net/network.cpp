@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "trace/cursor.hpp"
 #include "util/logging.hpp"
@@ -14,6 +16,27 @@ Network::Network(const trace::Trace& trace, Router& router,
   DTN_ASSERT(trace.finalized());
   DTN_ASSERT(cfg_.warmup_fraction >= 0.0 && cfg_.warmup_fraction < 1.0);
   DTN_ASSERT(cfg_.time_unit > 0.0);
+  // Periodic invariant auditing: the per-run config can enable it; the
+  // DTN_AUDIT environment flag (already folded into the default-constructed
+  // auditor) enables it for whole test/CI runs without touching code.
+  if (cfg_.audit_period_events > 0) {
+    auto acfg = auditor_.config();
+    acfg.enabled = true;
+    acfg.period_events = cfg_.audit_period_events;
+    auditor_ = sim::InvariantAuditor(acfg);
+  }
+  auditor_.register_check(
+      "event_queue.heap",
+      [this](sim::AuditReport& r) { sim_.queue().audit(r); });
+  auditor_.register_check(
+      "network.present_sets",
+      [this](sim::AuditReport& r) { audit_present_sets(r); });
+  auditor_.register_check(
+      "network.buffer_accounting",
+      [this](sim::AuditReport& r) { audit_buffer_accounting(r); });
+  auditor_.register_check(
+      "router.state",
+      [this](sim::AuditReport& r) { router_.audit(*this, r); });
   nodes_.reserve(trace.num_nodes());
   for (std::size_t n = 0; n < trace.num_nodes(); ++n) {
     nodes_.emplace_back(cfg_.node_memory_kb);
@@ -79,9 +102,13 @@ void Network::run() {
 
   sim_.run_until(trace_end_, &cursor);
   drop_expired();
+  // One final audit so short runs (fewer events than the period) still
+  // get checked at least once when auditing is on.
+  if (auditor_.enabled()) auditor_.audit_now();
 }
 
 void Network::dispatch(const sim::Event& ev) {
+  auditor_.on_event();
   switch (ev.kind) {
     case sim::EventKind::kArrival:
       handle_arrival(trace_.visits(ev.a)[ev.b]);
@@ -396,6 +423,131 @@ void Network::validate_invariants() const {
   // logical was counted exactly once.
   DTN_ASSERT(counters_.delivered == counters_.delivery_delays.size());
   DTN_ASSERT(counters_.delivered <= counters_.generated);
+  // The auditor's checks (heap property, present-set index, byte
+  // accounting, router state) are part of the contract too.
+  sim::AuditReport report;
+  audit(report);
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "Network::validate_invariants: %zu violation(s):\n%s",
+                 report.failures().size(), report.to_string().c_str());
+    DTN_ASSERT(report.ok());
+  }
+}
+
+void Network::audit(sim::AuditReport& report) const {
+  report.set_context("event_queue.heap");
+  sim_.queue().audit(report);
+  report.set_context("network.present_sets");
+  audit_present_sets(report);
+  report.set_context("network.buffer_accounting");
+  audit_buffer_accounting(report);
+  report.set_context("router.state");
+  router_.audit(*this, report);
+}
+
+void Network::audit_present_sets(sim::AuditReport& report) const {
+  // Direction 1: every present-list entry names a node whose location
+  // and indexed position agree with its slot.
+  std::vector<std::uint8_t> listed(nodes_.size(), 0);
+  for (std::size_t l = 0; l < stations_.size(); ++l) {
+    const auto& present = stations_[l].present;
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      const NodeId n = present[i];
+      if (n >= nodes_.size()) {
+        report.fail("station " + std::to_string(l) +
+                    " lists an out-of-range node");
+        continue;
+      }
+      if (listed[n] != 0) {
+        report.fail("node " + std::to_string(n) +
+                    " appears in more than one present slot");
+      }
+      listed[n] = 1;
+      if (nodes_[n].location != static_cast<LandmarkId>(l)) {
+        report.fail("node " + std::to_string(n) + " listed present at " +
+                    std::to_string(l) + " but located at " +
+                    std::to_string(nodes_[n].location));
+      }
+      if (present_pos_[n] != i) {
+        report.fail("node " + std::to_string(n) + " at present slot " +
+                    std::to_string(i) + " of station " + std::to_string(l) +
+                    " but present_pos_ says " +
+                    std::to_string(present_pos_[n]));
+      }
+    }
+  }
+  // Direction 2: every node that claims a location is listed there.
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].location == kNoLandmark) continue;
+    if (listed[n] == 0) {
+      report.fail("node " + std::to_string(n) + " located at " +
+                  std::to_string(nodes_[n].location) +
+                  " but missing from that station's present list");
+    }
+  }
+}
+
+void Network::audit_buffer_accounting(sim::AuditReport& report) const {
+  // Re-derive each buffer's byte usage from the packets it holds; the
+  // incrementally maintained used_kb must match exactly, every held id
+  // must be unique across all buffers, and bounded buffers must respect
+  // their capacity.
+  std::vector<std::uint8_t> held(packets_.size(), 0);
+  const auto audit_one = [&](const Buffer& buf, const std::string& what) {
+    std::uint64_t bytes = 0;
+    for (const PacketId pid : buf.packets()) {
+      if (pid >= packets_.size()) {
+        report.fail(what + " holds an out-of-range packet id");
+        continue;
+      }
+      if (held[pid] != 0) {
+        report.fail("packet " + std::to_string(pid) +
+                    " held by more than one buffer (" + what + ")");
+      }
+      held[pid] = 1;
+      bytes += packets_[pid].size_kb;
+    }
+    if (bytes != buf.used_kb()) {
+      report.fail(what + ": used_kb " + std::to_string(buf.used_kb()) +
+                  " but held packets sum to " + std::to_string(bytes) +
+                  " kB");
+    }
+    if (!buf.unbounded() && buf.used_kb() > buf.capacity_kb()) {
+      report.fail(what + ": used_kb " + std::to_string(buf.used_kb()) +
+                  " exceeds capacity " + std::to_string(buf.capacity_kb()));
+    }
+  };
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    audit_one(nodes_[n].buffer, "node " + std::to_string(n) + " buffer");
+  }
+  for (std::size_t l = 0; l < stations_.size(); ++l) {
+    audit_one(stations_[l].storage,
+              "station " + std::to_string(l) + " storage");
+  }
+}
+
+bool Network::debug_corrupt_for_test(Corruption kind, int delta) {
+  switch (kind) {
+    case Corruption::kPresentPos:
+      for (auto& station : stations_) {
+        if (station.present.empty()) continue;
+        // The bug class this simulates: a departure renumbered the
+        // shifted suffix wrong.
+        present_pos_[station.present.front()] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(present_pos_[station.present.front()]) +
+            delta);
+        return true;
+      }
+      return false;
+    case Corruption::kBufferBytes:
+      if (nodes_.empty()) return false;
+      // The bug class this simulates: a transfer updated the id list
+      // but accounted the wrong size.
+      nodes_.front().buffer.debug_corrupt_used_kb_for_test(delta);
+      return true;
+  }
+  return false;
 }
 
 void Network::schedule_generation(LandmarkId l, double from_time) {

@@ -15,6 +15,7 @@
 #include "net/buffer.hpp"
 #include "net/packet.hpp"
 #include "net/router.hpp"
+#include "sim/invariant_auditor.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -36,6 +37,11 @@ struct WorkloadConfig {
   /// (paper: 3 days for DART, 0.5 day for DNET).
   double time_unit = 3.0 * trace::kDay;
   std::uint64_t seed = 7;
+
+  /// >0 runs the invariant auditor every N dispatched events during the
+  /// replay (see invariant_auditor.hpp; DTN_AUDIT / DTN_AUDIT_PERIOD in
+  /// the environment also enable it).  0 = disabled (default).
+  std::uint64_t audit_period_events = 0;
 
   /// Optional per-landmark destination weights for the Poisson
   /// workload; empty = uniform over the other landmarks.  Skewed
@@ -157,6 +163,34 @@ class Network {
   /// DTN_ASSERT on violation; cheap enough for tests after every run.
   void validate_invariants() const;
 
+  // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
+  /// Run every engine-level invariant check into `report` (no abort):
+  /// event-queue heap property, station present-set vs present-position
+  /// index consistency, buffer byte accounting, plus the router's own
+  /// audit hook.  The periodic auditor runs exactly these checks.
+  void audit(sim::AuditReport& report) const;
+
+  /// The periodic auditor driving this run (enabled via
+  /// WorkloadConfig::audit_period_events or DTN_AUDIT; see above).
+  [[nodiscard]] const sim::InvariantAuditor& auditor() const {
+    return auditor_;
+  }
+  [[nodiscard]] sim::InvariantAuditor& auditor() { return auditor_; }
+
+  /// Test-only fault injection for the auditor's negative tests.
+  enum class Corruption {
+    /// Skew the present-position index of one currently present node.
+    kPresentPos,
+    /// Skew one node buffer's byte accounting.
+    kBufferBytes,
+  };
+  /// Seed `kind` by skewing the targeted counter by `delta`; returns
+  /// false when no eligible state exists (e.g. no node is present
+  /// anywhere for kPresentPos).  Target selection is deterministic, so
+  /// a test can corrupt (+1), observe detection and revert (-1) within
+  /// one callback to leave the replay unharmed.
+  bool debug_corrupt_for_test(Corruption kind, int delta = 1);
+
  private:
   /// Typed-event dispatch: the simulator hands every engine event
   /// (arrival/departure from the trace cursor, generation ticks, manual
@@ -199,10 +233,14 @@ class Network {
     std::vector<NodeId> present;
   };
 
+  void audit_present_sets(sim::AuditReport& report) const;
+  void audit_buffer_accounting(sim::AuditReport& report) const;
+
   const trace::Trace& trace_;
   Router& router_;
   WorkloadConfig cfg_;
   sim::Simulator sim_;
+  sim::InvariantAuditor auditor_;
   Rng rng_;
 
   std::vector<NodeState> nodes_;

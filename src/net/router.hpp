@@ -11,6 +11,10 @@
 
 #include "net/packet.hpp"
 
+namespace dtn::sim {
+class AuditReport;
+}
+
 namespace dtn::net {
 
 class Network;
@@ -57,6 +61,15 @@ class Router {
   /// Periodic tick at each measurement time-unit boundary (§IV-C.1).
   virtual void on_time_unit(Network& net, std::size_t unit_index) {
     (void)net; (void)unit_index;
+  }
+
+  /// Invariant audit hook (debug tooling, see invariant_auditor.hpp):
+  /// re-derive any incrementally maintained router state from scratch
+  /// and report disagreements.  Called by Network::audit and by the
+  /// periodic invariant auditor when enabled.  Default: stateless
+  /// routers have nothing to audit.
+  virtual void audit(const Network& net, sim::AuditReport& report) const {
+    (void)net; (void)report;
   }
 };
 

@@ -1,6 +1,9 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/invariant_auditor.hpp"
 
 namespace dtn::sim {
 
@@ -13,6 +16,52 @@ void EventQueue::grow_if_full() {
   const std::size_t want = std::max<std::size_t>(64, keys_.capacity() * 2);
   keys_.reserve(want);
   pay_.reserve(want);
+}
+
+void EventQueue::audit(AuditReport& report) const {
+  const std::size_t n = keys_.size();
+  if (pay_.size() != n) {
+    report.fail("key/payload arrays disagree in size: " +
+                std::to_string(n) + " keys vs " + std::to_string(pay_.size()) +
+                " payloads");
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keys_[i].time_bits != std::bit_cast<std::uint64_t>(pay_[i].time) ||
+        keys_[i].seq != pay_[i].seq) {
+      report.fail("slot " + std::to_string(i) +
+                  ": packed key does not match its payload (time " +
+                  std::to_string(std::bit_cast<double>(keys_[i].time_bits)) +
+                  " vs " + std::to_string(pay_[i].time) + ", seq " +
+                  std::to_string(keys_[i].seq) + " vs " +
+                  std::to_string(pay_[i].seq) + ")");
+    }
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (less(keys_[i], keys_[parent])) {
+        report.fail("heap property violated at slot " + std::to_string(i) +
+                    ": child (t=" +
+                    std::to_string(std::bit_cast<double>(keys_[i].time_bits)) +
+                    ", seq=" + std::to_string(keys_[i].seq) +
+                    ") orders before parent slot " + std::to_string(parent));
+      }
+    }
+  }
+  if (n > 0) {
+    const double head = std::bit_cast<double>(keys_[0].time_bits);
+    if (head < last_popped_) {
+      report.fail("pending minimum t=" + std::to_string(head) +
+                  " is earlier than the last popped event t=" +
+                  std::to_string(last_popped_));
+    }
+  }
+}
+
+void EventQueue::debug_corrupt_key_for_test(std::size_t index,
+                                            double new_time) {
+  DTN_ASSERT(index < keys_.size());
+  keys_[index].time_bits = std::bit_cast<std::uint64_t>(new_time);
+  pay_[index].time = new_time;
 }
 
 }  // namespace dtn::sim

@@ -38,6 +38,8 @@
 
 namespace dtn::sim {
 
+class AuditReport;
+
 class EventQueue {
  public:
   /// Schedule `ev` at `ev.time`; the queue assigns `ev.seq`.  Returns
@@ -145,6 +147,19 @@ class EventQueue {
     pay_.reserve(n);
   }
   [[nodiscard]] std::size_t capacity() const { return keys_.capacity(); }
+
+  // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
+  /// Validate the packed-key heap from scratch: the heap property over
+  /// every parent/child pair, key/payload (time, seq) agreement, and
+  /// that the pending minimum is not earlier than the last popped
+  /// event.  Out of line — never on the hot path.
+  void audit(AuditReport& report) const;
+
+  /// Test-only fault injection for the auditor's negative tests:
+  /// overwrite the packed key *and* payload time of one heap slot,
+  /// bypassing every scheduling check (the bug class this simulates is
+  /// a sift that wrote the wrong slot).
+  void debug_corrupt_key_for_test(std::size_t index, double new_time);
 
  private:
   /// 16-byte heap key: (time bit pattern, seq).  For times >= 0 the

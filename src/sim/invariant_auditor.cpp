@@ -1,0 +1,62 @@
+#include "sim/invariant_auditor.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtn::sim {
+
+void AuditReport::fail(std::string detail) {
+  failures_.push_back({context_, std::move(detail)});
+}
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const AuditFailure& f : failures_) {
+    out += "  [";
+    out += f.check;
+    out += "] ";
+    out += f.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+InvariantAuditor::Config InvariantAuditor::config_from_env() {
+  Config cfg;
+  // getenv is fine determinism-wise: it only gates *whether* the audit
+  // runs, never what the simulation computes.
+  if (const char* on = std::getenv("DTN_AUDIT")) {
+    cfg.enabled = on[0] != '\0' && on[0] != '0';
+  }
+  if (const char* period = std::getenv("DTN_AUDIT_PERIOD")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(period, &end, 10);
+    if (end != period && v > 0) {
+      cfg.period_events = v;
+      cfg.enabled = true;
+    }
+  }
+  return cfg;
+}
+
+void InvariantAuditor::register_check(std::string name, Check fn) {
+  checks_.emplace_back(std::move(name), std::move(fn));
+}
+
+AuditReport InvariantAuditor::audit_now() {
+  AuditReport report;
+  for (const auto& [name, fn] : checks_) {
+    report.set_context(name);
+    fn(report);
+  }
+  ++audits_run_;
+  if (!report.ok() && cfg_.abort_on_failure) {
+    std::fprintf(stderr,
+                 "InvariantAuditor: %zu invariant violation(s) detected:\n%s",
+                 report.failures().size(), report.to_string().c_str());
+    std::abort();
+  }
+  return report;
+}
+
+}  // namespace dtn::sim

@@ -74,6 +74,10 @@ class Simulator {
   /// Pre-size the queue storage.
   void reserve(std::size_t n) { queue_.reserve(n); }
 
+  /// Read access to the underlying queue for invariant audits
+  /// (EventQueue::audit) and introspection.
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
  private:
   void dispatch(const Event& ev);
 

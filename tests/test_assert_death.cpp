@@ -1,0 +1,46 @@
+// DTN_ASSERT is the library's always-on contract check (it fires in
+// release builds too).  These death tests pin its contract: a false
+// condition prints the condition text with its location and aborts; a
+// true condition is a no-op; the macro expands to a single statement
+// usable in un-braced if/else branches.
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtn {
+namespace {
+
+TEST(DtnAssertDeathTest, FalseConditionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(DTN_ASSERT(1 + 1 == 3), "DTN_ASSERT failed: 1 \\+ 1 == 3");
+}
+
+TEST(DtnAssertDeathTest, MessageNamesFileAndLine) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(DTN_ASSERT(false), "test_assert_death\\.cpp:[0-9]+");
+}
+
+TEST(DtnAssertDeathTest, SideEffectsInConditionRunOnce) {
+  int evaluations = 0;
+  DTN_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(DtnAssert, TrueConditionIsNoOp) {
+  DTN_ASSERT(true);
+  DTN_ASSERT(2 > 1);
+  SUCCEED();
+}
+
+TEST(DtnAssert, ExpandsToSingleStatement) {
+  // Regression guard for the classic dangling-else macro bug: the
+  // do/while wrapper must let the macro sit in an un-braced branch.
+  if (true)
+    DTN_ASSERT(true);
+  else
+    DTN_ASSERT(false);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dtn

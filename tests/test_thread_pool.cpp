@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace dtn {
@@ -67,6 +69,80 @@ TEST(SerialFor, MatchesParallelSemantics) {
   std::vector<int> hits(50, 0);
   serial_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+// -- sanitizer stress ---------------------------------------------------
+// Written to give ThreadSanitizer material: many threads, many rounds,
+// shared state touched through the intended synchronisation only.  Under
+// the tsan preset these catch ordering bugs in submit/wait_idle and the
+// parallel_for chunking; under plain builds they are ordinary
+// correctness tests.
+
+TEST(ThreadPoolStress, ManyRoundsOfSmallBatches) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();  // a racy wait_idle shows up as a short count here
+  }
+  EXPECT_EQ(sum.load(), 200u * 16u);
+}
+
+TEST(ThreadPoolStress, SubmitFromWorkerThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> children{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&pool, &children] {
+      pool.submit([&children] { children.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(children.load(), 64);
+}
+
+TEST(ParallelForStress, DisjointWritesAreRaceFree) {
+  ThreadPool pool(8);
+  std::vector<std::uint64_t> out(10'000, 0);
+  for (int round = 0; round < 20; ++round) {
+    parallel_for(pool, out.size(),
+                 [&](std::size_t i) { out[i] += i; });
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 20u * i);
+  }
+}
+
+TEST(ParallelForStress, NestedSharedAccumulator) {
+  ThreadPool pool(6);
+  std::atomic<std::uint64_t> total{0};
+  parallel_for(pool, 5'000, [&](std::size_t i) {
+    total.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 5'000u * 4'999u / 2u);
+}
+
+TEST(ParallelForStress, PoolOutlivesManyConcurrentUsers) {
+  // Two host threads sharing one pool concurrently: parallel_for must
+  // not assume it is the pool's only client.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::thread t1([&] {
+    for (int r = 0; r < 10; ++r) {
+      parallel_for(pool, 500, [&](std::size_t) { a.fetch_add(1); });
+    }
+  });
+  std::thread t2([&] {
+    for (int r = 0; r < 10; ++r) {
+      parallel_for(pool, 500, [&](std::size_t) { b.fetch_add(1); });
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 5'000u);
+  EXPECT_EQ(b.load(), 5'000u);
 }
 
 }  // namespace
