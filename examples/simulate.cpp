@@ -5,6 +5,8 @@
 //   $ ./simulate --router DTN-FLOW --kind campus --nodes 64
 //         --landmarks 30 --days 32 --rate 30 --memory 40 --ttl-days 4
 //         [--input trace.csv] [--replicates 3] [--seed 1]
+//         [--fault-node-crash-rate 0.05 --fault-station-outage-rate 0.1
+//          --fault-transfer-fail 0.02 ...]   (docs/fault-injection.md)
 //
 // Routers: DTN-FLOW, SimBet, PROPHET, PGR, GeoComm, PER, Direct,
 // Epidemic, SprayWait, or "all".
@@ -12,6 +14,7 @@
 
 #include "metrics/experiment.hpp"
 #include "routing/factory.hpp"
+#include "sim/fault_injector.hpp"
 #include "trace/bus_generator.hpp"
 #include "trace/campus_generator.hpp"
 #include "trace/trace_io.hpp"
@@ -58,6 +61,15 @@ int main(int argc, char** argv) {
       opts.get_double("unit-days", 1.0) * dtn::trace::kDay;
   workload.warmup_fraction = opts.get_double("warmup", 0.25);
   workload.seed = opts.get_seed(1) * 97 + 3;
+  workload.faults = dtn::sim::fault_plan_from_cli(opts);
+  if (workload.faults.has_value()) {
+    std::printf("faults: seeded plan %llu (crash rate %.3f/day, outage rate "
+                "%.3f/day, transfer fail %.3f)\n",
+                static_cast<unsigned long long>(workload.faults->seed),
+                workload.faults->node_crash_rate_per_day,
+                workload.faults->station_outage_rate_per_day,
+                workload.faults->transfer_failure_prob);
+  }
 
   std::vector<std::string> routers;
   const std::string choice = opts.get("router", "DTN-FLOW");
@@ -75,9 +87,13 @@ int main(int argc, char** argv) {
   for (const auto& name : routers) {
     dtn::RunningStats success, delay, fwd, total;
     std::vector<double> all_delays;
+    std::uint64_t crashes = 0, outages = 0, lost = 0, interrupted = 0;
     for (std::size_t r = 0; r < replicates; ++r) {
       auto wl = workload;
       wl.seed = workload.seed + r * 1237;
+      if (wl.faults.has_value()) {
+        wl.faults->seed ^= 0x5bd1e995ULL * (r + 1);
+      }
       const auto router = dtn::routing::make_router(name);
       const auto res = dtn::metrics::run_experiment(trace, *router, wl);
       success.add(res.success_rate);
@@ -86,6 +102,18 @@ int main(int argc, char** argv) {
       total.add(res.total_cost);
       all_delays.insert(all_delays.end(), res.delivery_delays.begin(),
                         res.delivery_delays.end());
+      crashes += res.node_crashes;
+      outages += res.station_outages;
+      lost += res.packets_lost_fault;
+      interrupted += res.transfers_interrupted;
+    }
+    if (workload.faults.has_value()) {
+      std::printf("%s resilience: %llu crashes, %llu outages, %llu packets "
+                  "lost to faults, %llu transfers interrupted\n",
+                  name.c_str(), static_cast<unsigned long long>(crashes),
+                  static_cast<unsigned long long>(outages),
+                  static_cast<unsigned long long>(lost),
+                  static_cast<unsigned long long>(interrupted));
     }
     const double p50 =
         all_delays.empty() ? 0.0 : dtn::quantile(all_delays, 0.5);

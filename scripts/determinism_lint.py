@@ -42,6 +42,15 @@ REPLAY_CRITICAL_DIRS = ("src/core", "src/sim", "src/routing", "src/net")
 # the one sanctioned wrapper.
 SOURCE_DIR = "src"
 RNG_ALLOWLIST = ("src/util/rng.hpp", "src/util/rng.cpp")
+# Files whose replay-critical coverage is load-bearing: the golden
+# determinism tests assume the lint sees these (the fault injector owns
+# RNG streams whose draw order is part of the bit-identical contract).
+# Moving or renaming one must keep it inside a replay-critical
+# directory and update this list — a silent drop is a lint error.
+REQUIRED_COVERED_FILES = (
+    "src/sim/fault_injector.hpp",
+    "src/sim/fault_injector.cpp",
+)
 
 SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*ok\(([^)]*)\)")
 SUPPRESS_BARE_RE = re.compile(r"//\s*det-lint:\s*ok(?!\()")
@@ -194,6 +203,19 @@ def main() -> int:
     if not files:
         print(f"determinism_lint: no sources under {src}", file=sys.stderr)
         return 2
+
+    rels = {p.relative_to(args.root).as_posix() for p in files}
+    for req in REQUIRED_COVERED_FILES:
+        if req not in rels:
+            print(f"determinism_lint: required replay-critical file "
+                  f"missing: {req} (moved without updating "
+                  "REQUIRED_COVERED_FILES?)", file=sys.stderr)
+            return 2
+        if not req.startswith(REPLAY_CRITICAL_DIRS):
+            print(f"determinism_lint: {req} is listed as required but "
+                  "lies outside the replay-critical directories",
+                  file=sys.stderr)
+            return 2
 
     # Pass 1: every unordered container declared anywhere under src/
     # (headers declare the members the .cpp files iterate).

@@ -29,6 +29,7 @@ DtnFlowRouter::DtnFlowRouter(DtnFlowConfig config) : cfg_(config) {
   DTN_ASSERT(cfg_.dead_end_theta >= 1.0);
   DTN_ASSERT(cfg_.overload_lambda >= 1.0);
   DTN_ASSERT(cfg_.dv_exchange_every >= 1);
+  DTN_ASSERT(cfg_.route_staleness_units >= 0.0);
 }
 
 void DtnFlowRouter::on_init(Network& net) {
@@ -60,6 +61,8 @@ void DtnFlowRouter::on_init(Network& net) {
     landmarks_[l].carrier_cache.assign(m, {});
   }
   distribution_scratch_.clear();
+  station_down_.assign(m, 0);
+  needs_reconvergence_.assign(m, 0);
   accuracy_ = FlatMatrix<double>(n, m, cfg_.accuracy_init);
   diag_ = DtnFlowDiagnostics{};
 }
@@ -123,16 +126,20 @@ void DtnFlowRouter::audit(const net::Network& net,
         const NodeId n = present[i];
         const CarrierScore& cached = entry.scores[i];
         const NodeState& ns = nodes_[n];
-        const double raw = ns.predictor->probability_of(
-            static_cast<LandmarkId>(to));
-        double overall = raw;
-        if (raw > 0.0 && cfg_.refine_carrier_selection) {
-          overall = raw * accuracy_.at(n, static_cast<LandmarkId>(l));
-        } else if (raw <= 0.0) {
-          overall = 0.0;
+        double raw = 0.0;
+        double overall = 0.0;
+        bool predicted_to = false;
+        // Mirror carrier_scores exactly: a crashed node scores zero.
+        if (!net.node_down(n)) {
+          raw = ns.predictor->probability_of(static_cast<LandmarkId>(to));
+          overall = raw;
+          if (raw > 0.0 && cfg_.refine_carrier_selection) {
+            overall = raw * accuracy_.at(n, static_cast<LandmarkId>(l));
+          } else if (raw <= 0.0) {
+            overall = 0.0;
+          }
+          predicted_to = ns.predicted_next == static_cast<LandmarkId>(to);
         }
-        const bool predicted_to =
-            ns.predicted_next == static_cast<LandmarkId>(to);
         if (cached.node != n ||
             std::bit_cast<std::uint64_t>(cached.raw) !=
                 std::bit_cast<std::uint64_t>(raw) ||
@@ -148,6 +155,18 @@ void DtnFlowRouter::audit(const net::Network& net,
                       std::to_string(overall) + ")");
         }
       }
+    }
+  }
+  // The outage mirror (read by choose_next_hop, which has no Network
+  // access) must agree with the injector's ground truth.
+  report.set_context("router.fault_mirror");
+  for (std::size_t l = 0; l < station_down_.size(); ++l) {
+    const bool mine = station_down_[l] != 0;
+    const bool truth = net.station_down(static_cast<net::LandmarkId>(l));
+    if (mine != truth) {
+      report.fail("station " + std::to_string(l) + ": router mirror says " +
+                  (mine ? "down" : "up") + " but the injector says " +
+                  (truth ? "down" : "up"));
     }
   }
 }
@@ -172,6 +191,13 @@ std::span<const DtnFlowRouter::CarrierScore> DtnFlowRouter::carrier_scores(
   entry.epoch = ls.present_epoch;
   entry.scores.clear();
   for (const NodeId n : net.nodes_at(l)) {
+    // A crashed node is no carrier at all; Network bumps the present
+    // epoch through the crash/reboot hooks, so the zero score is
+    // invalidated the instant the radio comes back.
+    if (net.node_down(n)) {
+      entry.scores.push_back({n, 0.0, 0.0, false});
+      continue;
+    }
     const NodeState& ns = nodes_[n];
     const double raw = ns.predictor->probability_of(to);
     // Identical arithmetic to overall_transit_probability (a present
@@ -211,6 +237,21 @@ bool DtnFlowRouter::choose_next_hop(LandmarkId l, LandmarkId dst,
   if (!r.reachable() || r.delay == kInfiniteDelay) return false;
   next = r.next;
   delay = r.delay;
+  // Graceful degradation: the primary next hop's station is in an
+  // injected outage.  Fall back to the backup route when it is alive
+  // and finite rather than parking traffic on a dead relay; the
+  // fallback skips load balancing (there is no second alternative left
+  // to divert to).
+  if (station_down_[next] != 0) {
+    if (r.backup_next == kNoLandmark || r.backup_delay == kInfiniteDelay ||
+        station_down_[r.backup_next] != 0) {
+      return false;
+    }
+    next = r.backup_next;
+    delay = r.backup_delay;
+    ++diag_.fallback_next_hops;
+    return true;
+  }
   // Load balancing (§IV-E.3): when the link's incoming rate exceeds
   // lambda x its outgoing rate, offload the *excess* to the backup next
   // hop.  Diverting everything would just overload the (usually slower)
@@ -252,6 +293,9 @@ void DtnFlowRouter::on_packet_generated(Network& net, PacketId pid) {
 }
 
 bool DtnFlowRouter::dispatch_packet(Network& net, LandmarkId l, PacketId pid) {
+  // A station in an outage forwards nothing; its storage is a frozen
+  // durable queue until recovery.
+  if (station_down_[l] != 0) return false;
   Packet& p = net.packet(pid);
   DTN_ASSERT(p.state == net::PacketState::kAtStation && p.holder == l);
   // A node-addressed packet that has reached its target landmark waits
@@ -452,6 +496,22 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
   // changing: invalidate l's carrier-score cache.
   ++landmarks_[l].present_epoch;
 
+  // A crashed node associates with nothing: its radio is dead.  The
+  // stay clock still starts (the body is physically here).
+  if (net.node_down(node)) {
+    ns.arrived_at = net.now();
+    return;
+  }
+  // Station outage: the whole association protocol (measurement,
+  // vector exchange, uploads, offers) runs through the station, so the
+  // visit is a no-op.  The node keeps any carried distance vector — it
+  // will deliver it wherever it next finds a live station, which is
+  // exactly the delayed propagation an outage causes.
+  if (station_down_[l] != 0) {
+    ns.arrived_at = net.now();
+    return;
+  }
+
   if (prev != kNoLandmark && prev != l) {
     // Transit observed: bandwidth measurement (arrival side).
     bw_.record_transit(prev, l);
@@ -472,10 +532,24 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
 
   // Deliver the distance vector carried from the previous landmark.
   if (ns.carried_dv.has_value() && ns.carried_dv->origin != l) {
-    net.account_control(static_cast<double>(ns.carried_dv->entries()));
-    landmarks_[l].table->merge(*ns.carried_dv);
+    sim::FaultInjector* faults = net.faults();
+    if (faults != nullptr && faults->draw_dv_delay()) {
+      // Injected control-plane delay: the exchange at this association
+      // fails, the node keeps carrying the vector to a later landmark.
+      ++diag_.dv_deliveries_deferred;
+    } else {
+      net.account_control(static_cast<double>(ns.carried_dv->entries()));
+      const bool merged =
+          landmarks_[l].table->merge(*ns.carried_dv, net.now());
+      if (merged && needs_reconvergence_[l] != 0) {
+        needs_reconvergence_[l] = 0;
+        ++diag_.post_outage_reconvergences;
+      }
+      ns.carried_dv.reset();
+    }
+  } else {
+    ns.carried_dv.reset();
   }
-  ns.carried_dv.reset();
 
   // Deliver the §IV-C.1 reverse-notification token, if we are the
   // landmark it was addressed to (mispredicted carriers discard it).
@@ -536,6 +610,21 @@ void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
   NodeState& ns = nodes_[node];
   // The departing node leaves the present set once this hook returns.
   ++landmarks_[l].present_epoch;
+  // A crashed node departs carrying nothing new (its crash already
+  // dropped the control state it held).
+  if (net.node_down(node)) return;
+  if (station_down_[l] != 0) {
+    // No station to snapshot from; any vector still carried (deferred
+    // delivery) rides along.  The stay completed normally.
+    const double outage_stay = net.now() - ns.arrived_at;
+    if (outage_stay > 0.0) {
+      ns.stay_sum[l] += outage_stay;
+      ns.stay_count[l] += 1;
+      ns.total_stay += outage_stay;
+      ns.total_stays += 1;
+    }
+    return;
+  }
   // Snapshot the table for carriage (accounted once per leg), thinned
   // to every k-th departure *from this landmark* when the §IV-C.3
   // maintenance saving is on.
@@ -544,6 +633,13 @@ void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
     ns.departures_since_dv[l] = 0;
     ns.carried_dv = landmarks_[l].table->snapshot();
     net.account_control(static_cast<double>(ns.carried_dv->entries()));
+    // Injected control-plane loss: the carrier picked the vector up but
+    // it never survives the leg (models a corrupted/dropped exchange).
+    sim::FaultInjector* faults = net.faults();
+    if (faults != nullptr && faults->draw_dv_loss()) {
+      ns.carried_dv.reset();
+      ++diag_.dv_carriers_lost;
+    }
   } else {
     ns.carried_dv.reset();
   }
@@ -565,6 +661,37 @@ void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
   }
 }
 
+void DtnFlowRouter::on_node_crash(Network& net, NodeId node) {
+  NodeState& ns = nodes_[node];
+  // Control state in transit dies with the carrier.
+  if (ns.carried_dv.has_value()) {
+    ns.carried_dv.reset();
+    ++diag_.dv_carriers_lost;
+  }
+  ns.carried_token.reset();
+  // A present node's carrier score just collapsed to zero.
+  const LandmarkId here = net.location(node);
+  if (here != kNoLandmark) ++landmarks_[here].present_epoch;
+}
+
+void DtnFlowRouter::on_node_reboot(Network& net, NodeId node) {
+  const LandmarkId here = net.location(node);
+  if (here != kNoLandmark) ++landmarks_[here].present_epoch;
+}
+
+void DtnFlowRouter::on_station_outage(Network& net, LandmarkId l) {
+  (void)net;
+  station_down_[l] = 1;
+  ++diag_.station_outages_seen;
+}
+
+void DtnFlowRouter::on_station_recovery(Network& net, LandmarkId l) {
+  (void)net;
+  station_down_[l] = 0;
+  needs_reconvergence_[l] = 1;
+  ++diag_.station_recoveries_seen;
+}
+
 bool DtnFlowRouter::stay_is_dead_end(const NodeState& ns, LandmarkId l,
                                      double stay) const {
   if (ns.total_stays < cfg_.dead_end_min_records) return false;
@@ -583,6 +710,9 @@ void DtnFlowRouter::check_parked_dead_end(Network& net, NodeId n) {
   if (net.node_packets(n).empty()) return;
   const LandmarkId here = net.location(n);
   if (here == kNoLandmark) return;
+  // A crashed node can't hand anything over, and a down station can't
+  // receive the §IV-E.1 force-upload; re-checked after recovery.
+  if (net.node_down(n) || station_down_[here] != 0) return;
   NodeState& ns = nodes_[n];
   const double stay = net.now() - ns.arrived_at;
   if (!stay_is_dead_end(ns, here, stay)) return;
@@ -625,18 +755,24 @@ void DtnFlowRouter::correct_loop(Network& net, LandmarkId dst,
   // repeatedly until the next hop for `dst` settles (§IV-E.2's T_stable
   // is modelled as bounded synchronous rounds; each round is a real
   // table transfer and is accounted as control traffic).
+  // Landmarks in an injected outage sit the exchange out (their frozen
+  // tables keep any poisoned entry until a later detection after
+  // recovery) — the correction degrades gracefully instead of writing
+  // into dead stations.
   for (const LandmarkId lm : cycle) {
+    if (station_down_[lm] != 0) continue;
     landmarks_[lm].table->unpin(dst);
   }
   for (std::size_t round = 0; round < cfg_.loop_correction_rounds; ++round) {
     bool changed = false;
     for (const LandmarkId from : cycle) {
+      if (station_down_[from] != 0) continue;
       const DistanceVector dv = landmarks_[from].table->snapshot();
       for (const LandmarkId to : cycle) {
-        if (to == from) continue;
+        if (to == from || station_down_[to] != 0) continue;
         net.account_control(static_cast<double>(dv.entries()));
         const auto before = landmarks_[to].table->route(dst).next;
-        landmarks_[to].table->merge(dv);
+        landmarks_[to].table->merge(dv, net.now());
         if (landmarks_[to].table->route(dst).next != before) changed = true;
       }
     }
@@ -701,6 +837,10 @@ void DtnFlowRouter::on_time_unit(Network& net, std::size_t unit_index) {
   const std::size_t m = landmarks_.size();
   for (LandmarkId l = 0; l < m; ++l) {
     LandmarkState& ls = landmarks_[l];
+    // A station in an outage is frozen whole: no link refresh, no
+    // monitor roll, no expiry sweep — it resumes with its durable
+    // pre-outage state (and stale routes age out naturally afterwards).
+    if (station_down_[l] != 0) continue;
     for (LandmarkId j = 0; j < m; ++j) {
       if (j == l) continue;
       ls.table->set_link_delay(j, link_expected_delay(l, j));
@@ -710,6 +850,13 @@ void DtnFlowRouter::on_time_unit(Network& net, std::size_t unit_index) {
     ls.prev_outgoing.swap(ls.outgoing);
     std::fill(ls.incoming.begin(), ls.incoming.end(), 0.0);
     std::fill(ls.outgoing.begin(), ls.outgoing.end(), 0.0);
+    // Graceful degradation: withdraw routes advertised by landmarks
+    // that have stayed silent too long (e.g. through a dead station).
+    if (cfg_.route_staleness_units > 0.0) {
+      const double cutoff =
+          net.now() - cfg_.route_staleness_units * time_unit_;
+      diag_.stale_origins_expired += ls.table->expire_stale(cutoff);
+    }
   }
   if (cfg_.dead_end_prevention) {
     for (NodeId n = 0; n < nodes_.size(); ++n) {

@@ -112,6 +112,15 @@ struct DtnFlowConfig {
   /// (§IV-D.5's B_up); 0 = unlimited.
   std::size_t max_uploads_per_arrival = 50;
 
+  // -- graceful degradation under faults (docs/fault-injection.md) ------
+  /// Expire routes learned from landmarks that have stayed silent for
+  /// this many measurement units (their advertised rows are withdrawn,
+  /// so traffic stops being steered through a dead station on ancient
+  /// promises).  0 disables expiry — with no fault plan attached the
+  /// replay is bit-identical either way, since nothing ever goes
+  /// silent for a full unit in a healthy run only when enabled.
+  double route_staleness_units = 0.0;
+
   /// Scheduled fault injection (Table VII): at time unit `at_unit`, pin
   /// the routing cycle `cycle` for destination `dst`.
   struct LoopInjection {
@@ -131,6 +140,22 @@ struct DtnFlowDiagnostics {
   std::uint64_t loops_detected = 0;
   std::uint64_t loops_corrected = 0;
   std::uint64_t balancing_diversions = 0;
+  // -- resilience (nonzero only when a fault plan is attached) ----------
+  std::uint64_t station_outages_seen = 0;
+  std::uint64_t station_recoveries_seen = 0;
+  /// Distance vectors destroyed in transit (carrier crash or injected
+  /// control-plane loss).
+  std::uint64_t dv_carriers_lost = 0;
+  /// Distance vectors whose delivery was deferred to a later landmark
+  /// by an injected propagation delay.
+  std::uint64_t dv_deliveries_deferred = 0;
+  /// Origins whose advertised routes were withdrawn by staleness expiry.
+  std::uint64_t stale_origins_expired = 0;
+  /// Dispatches that fell back to the backup next hop because the
+  /// primary next hop's station was down.
+  std::uint64_t fallback_next_hops = 0;
+  /// First accepted distance vector at a landmark after its recovery.
+  std::uint64_t post_outage_reconvergences = 0;
 };
 
 class DtnFlowRouter final : public net::Router {
@@ -149,6 +174,10 @@ class DtnFlowRouter final : public net::Router {
                   net::NodeId present, net::LandmarkId l) override;
   void on_packet_generated(net::Network& net, net::PacketId pid) override;
   void on_time_unit(net::Network& net, std::size_t unit_index) override;
+  void on_node_crash(net::Network& net, net::NodeId node) override;
+  void on_node_reboot(net::Network& net, net::NodeId node) override;
+  void on_station_outage(net::Network& net, net::LandmarkId l) override;
+  void on_station_recovery(net::Network& net, net::LandmarkId l) override;
 
   /// Invariant audit hook (debug tooling, see invariant_auditor.hpp):
   /// audits every node predictor (flat store + incremental argmax),
@@ -320,6 +349,14 @@ class DtnFlowRouter final : public net::Router {
   std::optional<DistributedBandwidth> dbw_;
   std::vector<NodeState> nodes_;
   std::vector<LandmarkState> landmarks_;
+  /// Mirror of the injector's station-outage set (maintained through the
+  /// fault hooks; all zeros without a fault plan).  choose_next_hop has
+  /// no Network access, so the fallback check reads this mirror — the
+  /// audit hook cross-checks it against the injector's ground truth.
+  std::vector<std::uint8_t> station_down_;
+  /// Landmarks recovered from an outage and waiting for their first
+  /// accepted distance vector (re-convergence accounting).
+  std::vector<std::uint8_t> needs_reconvergence_;
   FlatMatrix<double> accuracy_;
   DtnFlowDiagnostics diag_;
   double time_unit_ = trace::kDay;

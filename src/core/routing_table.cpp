@@ -14,6 +14,8 @@ RoutingTable::RoutingTable(LandmarkId self, std::size_t num_landmarks)
       link_delay_(num_landmarks, kInfiniteDelay),
       advertised_(num_landmarks, num_landmarks, kInfiniteDelay),
       last_seq_(num_landmarks, 0),
+      advertised_time_(num_landmarks, 0.0),
+      expired_(num_landmarks, 0),
       pinned_(num_landmarks, 0),
       pin_route_(num_landmarks),
       routes_(num_landmarks),
@@ -55,12 +57,14 @@ double RoutingTable::link_delay(LandmarkId neighbor) const {
   return link_delay_[neighbor];
 }
 
-bool RoutingTable::merge(const DistanceVector& dv) {
+bool RoutingTable::merge(const DistanceVector& dv, double now) {
   DTN_ASSERT(dv.origin < link_delay_.size());
   DTN_ASSERT(dv.delay.size() == link_delay_.size());
   if (dv.origin == self_) return false;
   if (dv.seq + 1 <= last_seq_[dv.origin]) return false;  // stale
   last_seq_[dv.origin] = dv.seq + 1;
+  advertised_time_[dv.origin] = now;
+  expired_[dv.origin] = 0;  // a fresh vector revives a withdrawn origin
   for (std::size_t d = 0; d < dv.delay.size(); ++d) {
     // A neighbor advertises delay 0 to itself regardless of payload.
     const double incoming = d == dv.origin ? 0.0 : dv.delay[d];
@@ -174,6 +178,35 @@ std::vector<LandmarkId> RoutingTable::next_hops() const {
     out[d] = routes_[d].next;
   }
   return out;
+}
+
+std::size_t RoutingTable::expire_stale(double cutoff) {
+  const std::size_t n = link_delay_.size();
+  std::size_t expired = 0;
+  for (std::size_t o = 0; o < n; ++o) {
+    if (o == self_) continue;
+    if (last_seq_[o] == 0) continue;  // never advertised: bootstrap row stays
+    if (expired_[o] != 0) continue;
+    if (advertised_time_[o] >= cutoff) continue;
+    for (std::size_t d = 0; d < n; ++d) {
+      advertised_.at(o, d) = kInfiniteDelay;
+    }
+    expired_[o] = 1;
+    ++expired;
+  }
+  // A withdrawn origin can have been the best hop toward any column.
+  if (expired != 0) mark_all_dirty();
+  return expired;
+}
+
+bool RoutingTable::origin_expired(LandmarkId origin) const {
+  DTN_ASSERT(origin < link_delay_.size());
+  return expired_[origin] != 0;
+}
+
+double RoutingTable::advertised_time(LandmarkId origin) const {
+  DTN_ASSERT(origin < link_delay_.size());
+  return advertised_time_[origin];
 }
 
 void RoutingTable::pin(LandmarkId dst, LandmarkId next, double fake_delay) {

@@ -75,8 +75,24 @@ class RoutingTable {
   [[nodiscard]] double link_delay(LandmarkId neighbor) const;
 
   /// Merge a neighbor's advertised vector; returns false when the
-  /// vector is stale (or self-originated) and was discarded.
-  bool merge(const DistanceVector& dv);
+  /// vector is stale (or self-originated) and was discarded.  `now`
+  /// stamps the origin's row for the staleness expiry below (callers
+  /// without a clock pass the default and never expire anything).
+  bool merge(const DistanceVector& dv, double now = 0.0);
+
+  // -- graceful degradation under faults (docs/fault-injection.md) ------
+  /// Withdraw every route advertised by origins whose last merged
+  /// vector is older than `cutoff`: their whole advertised row (the
+  /// origin's own delay-0 diagonal included) goes to infinity, so
+  /// routes *to* and *through* a silent — possibly dead — landmark
+  /// expire instead of being trusted forever.  Origins that never
+  /// advertised keep their bootstrap diagonal (direct links stay
+  /// usable before the first exchange).  A later fresh vector from the
+  /// origin restores it.  Returns how many origins were expired.
+  std::size_t expire_stale(double cutoff);
+  [[nodiscard]] bool origin_expired(LandmarkId origin) const;
+  /// Time of the last accepted vector from `origin` (0 before any).
+  [[nodiscard]] double advertised_time(LandmarkId origin) const;
 
   /// Best/backup route toward `dst` (self -> {self, 0}).
   [[nodiscard]] Route route(LandmarkId dst) const;
@@ -130,6 +146,8 @@ class RoutingTable {
   std::vector<double> link_delay_;
   FlatMatrix<double> advertised_;        // [origin][dst]
   std::vector<std::uint64_t> last_seq_;  // last merged seq + 1 per origin
+  std::vector<double> advertised_time_;  // when each origin last advertised
+  std::vector<std::uint8_t> expired_;    // origins withdrawn by expire_stale
   std::vector<std::uint8_t> pinned_;
   std::vector<Route> pin_route_;
   std::uint64_t seq_ = 0;

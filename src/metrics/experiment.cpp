@@ -62,6 +62,12 @@ std::vector<CellResult> run_sweep(
     if (sweep.apply) sweep.apply(workload, job.value);
     // Replicates differ only in workload seed; the trace is fixed.
     workload.seed = base_workload.seed + 0x9e37 * (job.replicate + 1);
+    // Fault plans replicate too: perturb the plan seed the same way so
+    // each replicate draws an independent (but reproducible) fault
+    // realization.
+    if (workload.faults.has_value()) {
+      workload.faults->seed ^= 0x5bd1e995ULL * (job.replicate + 1);
+    }
     auto router = (*job.factory)();
     cells[job.cell].replicates[job.replicate] =
         run_experiment(trace, *router, workload, cost);

@@ -35,6 +35,18 @@ RunResult summarize(const net::Network& network,
     for (const auto h : c.delivery_hops) total_hops += h;
     r.mean_hops = total_hops / static_cast<double>(c.delivery_hops.size());
   }
+  r.node_crashes = c.node_crashes;
+  r.station_outages = c.station_outages;
+  r.packets_lost_fault = c.packets_lost_fault;
+  r.kb_lost_fault = static_cast<double>(c.kb_lost_fault);
+  r.transfers_interrupted = c.transfers_interrupted;
+  r.transfers_resumed = c.transfers_resumed;
+  if (!c.outage_recovery_delays.empty()) {
+    double total = 0.0;
+    for (const double d : c.outage_recovery_delays) total += d;
+    r.mean_outage_recovery =
+        total / static_cast<double>(c.outage_recovery_delays.size());
+  }
   return r;
 }
 

@@ -41,6 +41,17 @@ struct RunResult {
   std::vector<double> delivery_delays;  ///< seconds, for quantile figures
   /// Mean forwarding operations per delivered packet (path length).
   double mean_hops = 0.0;
+
+  // -- resilience (all zero unless a fault plan was attached) -----------
+  std::uint64_t node_crashes = 0;
+  std::uint64_t station_outages = 0;
+  std::uint64_t packets_lost_fault = 0;
+  double kb_lost_fault = 0.0;
+  std::uint64_t transfers_interrupted = 0;
+  std::uint64_t transfers_resumed = 0;
+  /// Mean seconds from a station's recovery to its first successful
+  /// transfer (0 when no recovery was exercised).
+  double mean_outage_recovery = 0.0;
 };
 
 /// Derive a RunResult from a finished network.

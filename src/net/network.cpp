@@ -37,6 +37,16 @@ Network::Network(const trace::Trace& trace, Router& router,
   auditor_.register_check(
       "router.state",
       [this](sim::AuditReport& r) { router_.audit(*this, r); });
+  auditor_.register_check(
+      "network.fault_state",
+      [this](sim::AuditReport& r) { audit_fault_state(r); });
+  // Fault plan: engage the injector (which validates the plan against
+  // the trace's node/landmark universe, throwing std::invalid_argument
+  // on malformed config).
+  if (cfg_.faults.has_value()) {
+    faults_.emplace(*cfg_.faults, trace.num_nodes(), trace.num_landmarks());
+  }
+  outage_recovery_pending_.assign(trace.num_landmarks(), -1.0);
   nodes_.reserve(trace.num_nodes());
   for (std::size_t n = 0; n < trace.num_nodes(); ++n) {
     nodes_.emplace_back(cfg_.node_memory_kb);
@@ -100,6 +110,11 @@ void Network::run() {
     sim_.schedule(t, tick);
   }
 
+  // Fault events last: a plan with nothing to inject schedules nothing,
+  // and the workload events above keep the sequence numbers they would
+  // have in a fault-free run.
+  schedule_faults();
+
   sim_.run_until(trace_end_, &cursor);
   drop_expired();
   // One final audit so short runs (fewer events than the period) still
@@ -134,9 +149,214 @@ void Network::dispatch(const sim::Event& ev) {
     case sim::EventKind::kTimeUnitTick:
       router_.on_time_unit(*this, ev.a);
       break;
+    case sim::EventKind::kNodeCrash:
+      apply_node_crash(ev);
+      break;
+    case sim::EventKind::kNodeReboot:
+      apply_node_reboot(ev);
+      break;
+    case sim::EventKind::kStationDown:
+      apply_station_down(ev);
+      break;
+    case sim::EventKind::kStationUp:
+      apply_station_up(ev);
+      break;
     default:
       DTN_ASSERT(false);
   }
+}
+
+void Network::schedule_faults() {
+  if (!faults_.has_value()) return;
+  const sim::FaultPlan& plan = faults_->plan();
+  for (std::size_t i = 0; i < plan.node_crashes.size(); ++i) {
+    const auto& c = plan.node_crashes[i];
+    if (c.time > trace_end_) continue;
+    sim::Event ev;
+    ev.kind = sim::EventKind::kNodeCrash;
+    ev.a = c.node;
+    ev.b = static_cast<std::uint32_t>(i) + 1;
+    sim_.schedule(c.time, ev);
+  }
+  for (std::size_t i = 0; i < plan.station_outages.size(); ++i) {
+    const auto& o = plan.station_outages[i];
+    if (o.start > trace_end_) continue;
+    sim::Event ev;
+    ev.kind = sim::EventKind::kStationDown;
+    ev.a = o.station;
+    ev.b = static_cast<std::uint32_t>(i) + 1;
+    sim_.schedule(o.start, ev);
+  }
+  // Stochastic processes: first occurrence per node/station drawn here
+  // (in id order, part of the deterministic-replay contract); each
+  // reboot/recovery draws the next one.
+  if (plan.node_crash_rate_per_day > 0.0) {
+    for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+      const double t = trace_begin_ + faults_->draw_crash_gap();
+      if (t > trace_end_) continue;
+      sim::Event ev;
+      ev.kind = sim::EventKind::kNodeCrash;
+      ev.a = n;
+      sim_.schedule(t, ev);
+    }
+  }
+  if (plan.station_outage_rate_per_day > 0.0) {
+    for (std::uint32_t l = 0; l < stations_.size(); ++l) {
+      const double t = trace_begin_ + faults_->draw_outage_gap();
+      if (t > trace_end_) continue;
+      sim::Event ev;
+      ev.kind = sim::EventKind::kStationDown;
+      ev.a = l;
+      sim_.schedule(t, ev);
+    }
+  }
+}
+
+void Network::apply_node_crash(const sim::Event& ev) {
+  const NodeId node = ev.a;
+  DTN_ASSERT(node < nodes_.size());
+  // Scheduled crashes carry their downtime in the plan; stochastic ones
+  // draw it now (dispatch order is deterministic, so so is the draw).
+  const double downtime = ev.b != 0
+                              ? faults_->plan().node_crashes[ev.b - 1].downtime
+                              : faults_->draw_downtime();
+  ++counters_.node_crashes;
+  // Buffer loss: every buffered packet independently survives or dies.
+  NodeState& ns = nodes_[node];
+  std::vector<PacketId>& doomed = scratch_;
+  doomed.clear();
+  for (const PacketId pid : ns.buffer.packets()) {
+    if (faults_->draw_crash_packet_loss()) doomed.push_back(pid);
+  }
+  for (const PacketId pid : doomed) {
+    Packet& p = packets_[pid];
+    ns.buffer.remove(pid, p.size_kb);
+    ledger_erase(pid);
+    if (logical_delivered_[p.logical] != 0) {
+      p.state = PacketState::kObsoleteCopy;
+    } else {
+      p.state = PacketState::kLostFault;
+      ++counters_.packets_lost_fault;
+      counters_.kb_lost_fault += p.size_kb;
+    }
+  }
+  faults_->mark_node_down(node);
+  router_.on_node_crash(*this, node);
+  sim::Event up;
+  up.kind = sim::EventKind::kNodeReboot;
+  up.a = node;
+  up.b = ev.b;  // reboot remembers the crash source (scheduled/stochastic)
+  sim_.schedule(sim_.now() + downtime, up);
+}
+
+void Network::apply_node_reboot(const sim::Event& ev) {
+  const NodeId node = ev.a;
+  faults_->mark_node_up(node);
+  ++counters_.node_reboots;
+  router_.on_node_reboot(*this, node);
+  // A stochastic crash chain continues after the reboot (never while
+  // down, so a double crash is impossible by construction).
+  if (ev.b == 0 && faults_->plan().node_crash_rate_per_day > 0.0) {
+    const double t = sim_.now() + faults_->draw_crash_gap();
+    if (t > trace_end_) return;
+    sim::Event ev2;
+    ev2.kind = sim::EventKind::kNodeCrash;
+    ev2.a = node;
+    sim_.schedule(t, ev2);
+  }
+}
+
+void Network::apply_station_down(const sim::Event& ev) {
+  const LandmarkId l = ev.a;
+  DTN_ASSERT(l < stations_.size());
+  ++counters_.station_outages;
+  // A pending recovery-time measurement dies with the new outage.
+  outage_recovery_pending_[l] = -1.0;
+  faults_->mark_station_down(l);
+  router_.on_station_outage(*this, l);
+  const double end = ev.b != 0
+                         ? faults_->plan().station_outages[ev.b - 1].end
+                         : sim_.now() + faults_->draw_outage_duration();
+  sim::Event up;
+  up.kind = sim::EventKind::kStationUp;
+  up.a = l;
+  up.b = ev.b;
+  sim_.schedule(end, up);
+}
+
+void Network::apply_station_up(const sim::Event& ev) {
+  const LandmarkId l = ev.a;
+  faults_->mark_station_up(l);
+  ++counters_.station_recoveries;
+  outage_recovery_pending_[l] = sim_.now();
+  router_.on_station_recovery(*this, l);
+  if (ev.b == 0 && faults_->plan().station_outage_rate_per_day > 0.0) {
+    const double t = sim_.now() + faults_->draw_outage_gap();
+    if (t > trace_end_) return;
+    sim::Event ev2;
+    ev2.kind = sim::EventKind::kStationDown;
+    ev2.a = l;
+    sim_.schedule(t, ev2);
+  }
+}
+
+std::uint32_t Network::ledger_slot(PacketId pid) const {
+  if (pid >= ledger_index_.size()) return kNoLedgerSlot;
+  return ledger_index_[pid];
+}
+
+void Network::ledger_erase(PacketId pid) {
+  const std::uint32_t slot = ledger_slot(pid);
+  if (slot == kNoLedgerSlot) return;
+  ledger_index_[pid] = kNoLedgerSlot;
+  const auto last = static_cast<std::uint32_t>(ledger_.size() - 1);
+  if (slot != last) {
+    ledger_[slot] = ledger_[last];
+    ledger_index_[ledger_[slot].pid] = slot;
+  }
+  ledger_.pop_back();
+}
+
+bool Network::transfer_interrupted(PacketId pid) {
+  if (!faults_.has_value() || !faults_->transfer_faults_enabled()) {
+    return false;
+  }
+  const double now = sim_.now();
+  const std::uint32_t slot = ledger_slot(pid);
+  if (slot != kNoLedgerSlot && now < ledger_[slot].next_retry) {
+    // Still backing off from the last mid-contact break.
+    ++counters_.transfers_blocked_fault;
+    return true;
+  }
+  if (faults_->draw_transfer_failure()) {
+    ++counters_.transfers_interrupted;
+    if (slot == kNoLedgerSlot) {
+      if (ledger_index_.size() < packets_.size()) {
+        ledger_index_.resize(packets_.size(), kNoLedgerSlot);
+      }
+      ledger_index_[pid] = static_cast<std::uint32_t>(ledger_.size());
+      ledger_.push_back({pid, 1, now + faults_->retry_backoff(1)});
+    } else {
+      LedgerEntry& e = ledger_[slot];
+      ++e.attempts;
+      e.next_retry = now + faults_->retry_backoff(e.attempts);
+    }
+    return true;
+  }
+  if (slot != kNoLedgerSlot) {
+    // The retry made it across: the interrupted transfer resumed.
+    ++counters_.transfers_resumed;
+    ledger_erase(pid);
+  }
+  return false;
+}
+
+void Network::note_station_activity(LandmarkId l) {
+  if (!faults_.has_value()) return;
+  double& pending = outage_recovery_pending_[l];
+  if (pending < 0.0) return;
+  counters_.outage_recovery_delays.push_back(sim_.now() - pending);
+  pending = -1.0;
 }
 
 std::span<const NodeId> Network::nodes_at(LandmarkId l) const {
@@ -214,6 +434,7 @@ bool Network::drop_if_expired(PacketId pid) {
   DTN_ASSERT(!is_terminal(p.state));
   if (!p.expired(sim_.now())) return false;
   detach_from_holder(p);
+  ledger_erase(pid);
   if (logical_delivered_[p.logical] != 0) {
     p.state = PacketState::kObsoleteCopy;
   } else {
@@ -228,6 +449,11 @@ bool Network::pickup_from_origin(NodeId node, PacketId pid) {
   DTN_ASSERT(p.state == PacketState::kAtOrigin);
   DTN_ASSERT(nodes_[node].location == p.holder);
   if (drop_if_expired(pid)) return false;
+  if (node_down(node)) {
+    ++counters_.transfers_blocked_fault;
+    return false;
+  }
+  if (transfer_interrupted(pid)) return false;
   if (p.dst_node == node) {
     // Picked up by its destination: delivered on the spot.
     detach_from_holder(p);
@@ -257,11 +483,17 @@ bool Network::station_to_node(LandmarkId l, NodeId node, PacketId pid) {
   DTN_ASSERT(p.holder == l);
   DTN_ASSERT(nodes_[node].location == l);
   if (drop_if_expired(pid)) return false;
+  if (station_down(l) || node_down(node)) {
+    ++counters_.transfers_blocked_fault;
+    return false;
+  }
+  if (transfer_interrupted(pid)) return false;
   if (p.dst_node == node) {
     detach_from_holder(p);
     ++p.hops;
     ++counters_.packet_forwards;
     deliver(pid);
+    note_station_activity(l);
     return true;
   }
   if (!nodes_[node].buffer.add(pid, p.size_kb)) {
@@ -273,34 +505,44 @@ bool Network::station_to_node(LandmarkId l, NodeId node, PacketId pid) {
   p.holder = node;
   ++p.hops;
   ++counters_.packet_forwards;
+  note_station_activity(l);
   return true;
 }
 
-void Network::node_to_station(NodeId node, PacketId pid) {
+bool Network::node_to_station(NodeId node, PacketId pid) {
   Packet& p = packet(pid);
   DTN_ASSERT(p.state == PacketState::kOnNode);
   DTN_ASSERT(p.holder == node);
   const LandmarkId l = nodes_[node].location;
   DTN_ASSERT(l != kNoLandmark);
-  if (drop_if_expired(pid)) return;
+  if (drop_if_expired(pid)) return false;
+  if (node_down(node) || station_down(l)) {
+    ++counters_.transfers_blocked_fault;
+    return false;
+  }
+  if (transfer_interrupted(pid)) return false;
   nodes_[node].buffer.remove(pid, p.size_kb);
   ++p.hops;
   ++counters_.packet_forwards;
   if (p.dst == l && p.dst_node == trace::kNoNode) {
     deliver(pid);
-    return;
+    note_station_activity(l);
+    return true;
   }
   if (p.dst_node != trace::kNoNode &&
       nodes_[p.dst_node].location == l) {
     // The destination node is connected right here: hand over.
     deliver(pid);
-    return;
+    note_station_activity(l);
+    return true;
   }
   const bool ok = stations_[l].storage.add(pid, p.size_kb);
   DTN_ASSERT(ok);  // stations are unbounded
   p.state = PacketState::kAtStation;
   p.holder = l;
   p.station_path.push_back(l);
+  note_station_activity(l);
+  return true;
 }
 
 bool Network::node_to_node(NodeId from, NodeId to, PacketId pid) {
@@ -311,6 +553,11 @@ bool Network::node_to_node(NodeId from, NodeId to, PacketId pid) {
   DTN_ASSERT(nodes_[from].location != kNoLandmark);
   DTN_ASSERT(nodes_[from].location == nodes_[to].location);
   if (drop_if_expired(pid)) return false;
+  if (node_down(from) || node_down(to)) {
+    ++counters_.transfers_blocked_fault;
+    return false;
+  }
+  if (transfer_interrupted(pid)) return false;
   if (p.dst_node == to) {
     detach_from_holder(p);
     ++p.hops;
@@ -339,6 +586,11 @@ PacketId Network::replicate_node_to_node(NodeId from, NodeId to,
   DTN_ASSERT(nodes_[from].location == nodes_[to].location);
   if (logical_delivered_[src.logical] != 0) return kNoPacket;
   if (drop_if_expired(pid)) return kNoPacket;
+  if (node_down(from) || node_down(to)) {
+    ++counters_.transfers_blocked_fault;
+    return kNoPacket;
+  }
+  if (transfer_interrupted(pid)) return kNoPacket;
   if (!nodes_[to].buffer.has_space(src.size_kb)) {
     ++counters_.refused_buffer;
     return kNoPacket;
@@ -444,6 +696,88 @@ void Network::audit(sim::AuditReport& report) const {
   audit_buffer_accounting(report);
   report.set_context("router.state");
   router_.audit(*this, report);
+  report.set_context("network.fault_state");
+  audit_fault_state(report);
+}
+
+void Network::audit_fault_state(sim::AuditReport& report) const {
+  // Ledger <-> index bijection: every indexed packet names a live slot
+  // that points back at it, and every slot is indexed exactly once.
+  std::size_t indexed = 0;
+  for (std::size_t pid = 0; pid < ledger_index_.size(); ++pid) {
+    const std::uint32_t slot = ledger_index_[pid];
+    if (slot == kNoLedgerSlot) continue;
+    ++indexed;
+    if (slot >= ledger_.size()) {
+      report.fail("ledger_index_[" + std::to_string(pid) +
+                  "] points past the ledger (" + std::to_string(slot) + ")");
+      continue;
+    }
+    if (ledger_[slot].pid != pid) {
+      report.fail("ledger slot " + std::to_string(slot) + " holds packet " +
+                  std::to_string(ledger_[slot].pid) + " but is indexed by " +
+                  std::to_string(pid));
+    }
+  }
+  if (indexed != ledger_.size()) {
+    report.fail("ledger has " + std::to_string(ledger_.size()) +
+                " entries but " + std::to_string(indexed) +
+                " index slots point into it");
+  }
+  for (const LedgerEntry& e : ledger_) {
+    if (e.pid >= packets_.size()) {
+      report.fail("ledger entry names out-of-range packet " +
+                  std::to_string(e.pid));
+      continue;
+    }
+    if (is_terminal(packets_[e.pid].state)) {
+      report.fail("ledger entry for packet " + std::to_string(e.pid) +
+                  " outlived the packet (terminal state)");
+    }
+    if (e.attempts == 0) {
+      report.fail("ledger entry for packet " + std::to_string(e.pid) +
+                  " has zero attempts");
+    }
+  }
+  // Fault-loss counters must match a recount over the packet table.
+  std::uint64_t lost = 0;
+  std::uint64_t lost_kb = 0;
+  for (const Packet& p : packets_) {
+    if (p.state != PacketState::kLostFault) continue;
+    ++lost;
+    lost_kb += p.size_kb;
+  }
+  if (lost != counters_.packets_lost_fault) {
+    report.fail("packets_lost_fault counter " +
+                std::to_string(counters_.packets_lost_fault) +
+                " but packet table holds " + std::to_string(lost) +
+                " fault-lost packets");
+  }
+  if (lost_kb != counters_.kb_lost_fault) {
+    report.fail("kb_lost_fault counter " +
+                std::to_string(counters_.kb_lost_fault) +
+                " but fault-lost packets sum to " + std::to_string(lost_kb) +
+                " kB");
+  }
+  if (faults_.has_value()) {
+    faults_->audit(report);
+    // A pending recovery-delay measurement implies the station is up
+    // (it is cleared the instant a new outage starts).
+    for (std::size_t l = 0; l < outage_recovery_pending_.size(); ++l) {
+      if (outage_recovery_pending_[l] >= 0.0 &&
+          faults_->station_down(static_cast<LandmarkId>(l))) {
+        report.fail("station " + std::to_string(l) +
+                    " is down but has a pending recovery measurement");
+      }
+    }
+  } else {
+    if (!ledger_.empty()) {
+      report.fail("in-flight transfer ledger nonempty without a fault plan");
+    }
+    if (counters_.packets_lost_fault != 0) {
+      report.fail("fault-loss counter nonzero without a fault plan");
+    }
+  }
 }
 
 void Network::audit_present_sets(sim::AuditReport& report) const {
@@ -546,6 +880,20 @@ bool Network::debug_corrupt_for_test(Corruption kind, int delta) {
       // but accounted the wrong size.
       nodes_.front().buffer.debug_corrupt_used_kb_for_test(delta);
       return true;
+    case Corruption::kLedgerIndex:
+      if (ledger_.empty()) return false;
+      // The bug class this simulates: a swap-erase renumbered the moved
+      // entry's back-pointer wrong.
+      ledger_index_[ledger_.front().pid] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(ledger_index_[ledger_.front().pid]) +
+          delta);
+      return true;
+    case Corruption::kFaultLossCounter:
+      // The bug class this simulates: a crash flush double-counted (or
+      // missed) a lost packet.
+      counters_.packets_lost_fault = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(counters_.packets_lost_fault) + delta);
+      return true;
   }
   return false;
 }
@@ -611,7 +959,9 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
   Packet& placed = packets_.back();
   if (placed.dst_node != trace::kNoNode &&
       placed.dst_node < nodes_.size() &&
-      nodes_[placed.dst_node].location == src) {
+      nodes_[placed.dst_node].location == src &&
+      !node_down(placed.dst_node) &&
+      (placed.state != PacketState::kAtStation || !station_down(src))) {
     if (placed.state == PacketState::kAtStation) {
       stations_[src].storage.remove(pid, placed.size_kb);
     } else {
@@ -633,6 +983,7 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
 void Network::deliver(PacketId pid) {
   Packet& p = packet(pid);
   DTN_ASSERT(!is_terminal(p.state));
+  ledger_erase(pid);
   p.delivered_at = sim_.now();
   if (logical_delivered_[p.logical] != 0) {
     // Another copy got there first: retire silently.
@@ -650,18 +1001,21 @@ void Network::deliver(PacketId pid) {
 
 void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
   const double now = sim_.now();
-  // Station packets addressed to the arriving node.
-  std::vector<PacketId> ready;
-  for (const PacketId pid : stations_[l].storage.packets()) {
-    if (packets_[pid].dst_node == arriving) ready.push_back(pid);
-  }
-  for (const PacketId pid : ready) {
-    Packet& p = packets_[pid];
-    if (p.expired(now)) continue;
-    stations_[l].storage.remove(pid, p.size_kb);
-    ++p.hops;
-    ++counters_.packet_forwards;
-    deliver(pid);
+  // Station packets addressed to the arriving node (frozen while the
+  // station is in an injected outage).
+  if (!station_down(l)) {
+    std::vector<PacketId> ready;
+    for (const PacketId pid : stations_[l].storage.packets()) {
+      if (packets_[pid].dst_node == arriving) ready.push_back(pid);
+    }
+    for (const PacketId pid : ready) {
+      Packet& p = packets_[pid];
+      if (p.expired(now)) continue;
+      stations_[l].storage.remove(pid, p.size_kb);
+      ++p.hops;
+      ++counters_.packet_forwards;
+      deliver(pid);
+    }
   }
   // Packets carried by co-located nodes and addressed to the arriving
   // node, plus packets carried by the arriving node addressed to a
@@ -676,6 +1030,7 @@ void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
   }
   std::vector<PacketId> handover;
   for (const NodeId other : stations_[l].present) {
+    if (node_down(other)) continue;
     for (const NodeId holder : {other, arriving}) {
       const NodeId target = holder == arriving ? other : arriving;
       if (holder == target) continue;
@@ -724,6 +1079,7 @@ void Network::drop_expired() {
       default:
         break;
     }
+    ledger_erase(p.id);
     if (obsolete) {
       p.state = PacketState::kObsoleteCopy;
     } else {
@@ -744,37 +1100,49 @@ void Network::handle_arrival(const trace::Visit& visit) {
   // Automatic delivery: every router hands over packets destined to the
   // landmark the carrier just reached (DTN-FLOW step 5; for baselines
   // this *is* delivery — the carrier reached the destination area).
+  // A crashed carrier delivers nothing; for station architectures the
+  // landmark's station is the sink, so an outage defers delivery too.
   // `scratch_` is a reused member: this runs once per trace event, and
   // a fresh vector here would mean one allocation per arrival.
-  std::vector<PacketId>& arrived = scratch_;
-  arrived.clear();
-  for (PacketId pid : node.buffer.packets()) {
-    if (packets_[pid].dst == visit.landmark &&
-        packets_[pid].dst_node == trace::kNoNode) {
-      arrived.push_back(pid);
+  const bool arriving_up = !node_down(visit.node);
+  const bool sink_up =
+      !router_.uses_stations() || !station_down(visit.landmark);
+  if (arriving_up && sink_up) {
+    std::vector<PacketId>& arrived = scratch_;
+    arrived.clear();
+    for (PacketId pid : node.buffer.packets()) {
+      if (packets_[pid].dst == visit.landmark &&
+          packets_[pid].dst_node == trace::kNoNode) {
+        arrived.push_back(pid);
+      }
     }
-  }
-  for (PacketId pid : arrived) {
-    Packet& p = packets_[pid];
-    if (p.expired(sim_.now())) continue;  // swept later
-    node.buffer.remove(pid, p.size_kb);
-    ++p.hops;
-    ++counters_.packet_forwards;
-    deliver(pid);
+    for (PacketId pid : arrived) {
+      Packet& p = packets_[pid];
+      if (p.expired(sim_.now())) continue;  // swept later
+      node.buffer.remove(pid, p.size_kb);
+      ++p.hops;
+      ++counters_.packet_forwards;
+      deliver(pid);
+    }
   }
 
   // Node-addressed packets (§IV-E.4) waiting anywhere at this landmark
   // for the arriving node, or carried by it toward a co-located node.
   // No such packet has ever been generated in the standard workload, so
   // the whole handover pass is skipped there.
-  if (any_node_addressed_) deliver_node_addressed(visit.node, visit.landmark);
+  if (any_node_addressed_ && arriving_up) {
+    deliver_node_addressed(visit.node, visit.landmark);
+  }
 
   router_.on_arrival(*this, visit.node, visit.landmark);
 
-  // Node-node contacts with everyone already present.
-  for (NodeId other : station.present) {
-    if (other == visit.node) continue;
-    router_.on_contact(*this, visit.node, other, visit.landmark);
+  // Node-node contacts with everyone already present (crashed radios,
+  // either side, make no contact).
+  if (arriving_up) {
+    for (NodeId other : station.present) {
+      if (other == visit.node || node_down(other)) continue;
+      router_.on_contact(*this, visit.node, other, visit.landmark);
+    }
   }
 }
 

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "net/buffer.hpp"
 #include "net/packet.hpp"
 #include "net/router.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/invariant_auditor.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
@@ -61,6 +63,11 @@ struct WorkloadConfig {
     trace::NodeId dst_node = trace::kNoNode;
   };
   std::vector<ManualPacket> manual_packets;
+
+  /// Optional fault plan (sim/fault_injector.hpp).  No plan, or a plan
+  /// with zero probabilities and empty schedules, leaves the replay
+  /// bit-identical to the fault-free engine (golden determinism tests).
+  std::optional<sim::FaultPlan> faults;
 };
 
 /// Raw counters produced by a run; `metrics::` derives the paper's
@@ -86,6 +93,25 @@ struct RunCounters {
   std::vector<double> delivery_delays;
   /// Forwarding operations each delivered packet took (path length).
   std::vector<std::uint32_t> delivery_hops;
+
+  // -- resilience counters (all zero unless a FaultPlan is attached) ----
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_reboots = 0;
+  std::uint64_t station_outages = 0;
+  std::uint64_t station_recoveries = 0;
+  /// Packets destroyed by crash buffer loss, and the bytes they held.
+  std::uint64_t packets_lost_fault = 0;
+  std::uint64_t kb_lost_fault = 0;
+  /// Transfer attempts broken mid-contact, and packets that later made
+  /// it across after at least one such break (retry/backoff resumption).
+  std::uint64_t transfers_interrupted = 0;
+  std::uint64_t transfers_resumed = 0;
+  /// Attempts refused outright: an endpoint was down, or the packet was
+  /// still inside its retry-backoff window.
+  std::uint64_t transfers_blocked_fault = 0;
+  /// Per-outage recovery times: station recovery -> first successful
+  /// station transfer there (seconds).
+  std::vector<double> outage_recovery_delays;
 
   /// Bit-exact comparison, vectors included — two runs with the same
   /// trace, router and seed must compare equal (determinism guard).
@@ -133,14 +159,37 @@ class Network {
   [[nodiscard]] std::span<const PacketId> node_packets(NodeId node) const;
   [[nodiscard]] const Buffer& node_buffer(NodeId node) const;
 
+  // -- faults (meaningful only when WorkloadConfig::faults is set) ------
+  /// Is `node` currently crashed (radio dead)?  Always false without a
+  /// fault plan.
+  [[nodiscard]] bool node_down(NodeId node) const {
+    return faults_.has_value() && faults_->node_down(node);
+  }
+  /// Is landmark `l`'s station currently down?
+  [[nodiscard]] bool station_down(LandmarkId l) const {
+    return faults_.has_value() && faults_->station_down(l);
+  }
+  /// The run's fault injector, or nullptr when no plan is attached.
+  [[nodiscard]] sim::FaultInjector* faults() {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
+  [[nodiscard]] const sim::FaultInjector* faults() const {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
+
   // -- transfers (routers call these; all enforce state/buffers) --------
+  // Every transfer is a radio operation: it is refused while either
+  // endpoint is down and may break mid-contact under an injected
+  // transfer-failure probability (the packet then stays with the sender
+  // and retries after an exponential backoff on a later contact).
   /// Origin queue -> node at the same landmark.  False if no space.
   bool pickup_from_origin(NodeId node, PacketId pid);
   /// Station -> node at the same landmark.  False if no space.
   bool station_to_node(LandmarkId l, NodeId node, PacketId pid);
   /// Node -> station of the landmark the node is at; delivers if it is
-  /// the destination.  Always succeeds (stations are unbounded).
-  void node_to_station(NodeId node, PacketId pid);
+  /// the destination.  Stations are unbounded, so this fails (false)
+  /// only on TTL expiry or an injected fault.
+  bool node_to_station(NodeId node, PacketId pid);
   /// Node -> node, both at the same landmark.  False if no space.
   bool node_to_node(NodeId from, NodeId to, PacketId pid);
 
@@ -183,6 +232,11 @@ class Network {
     kPresentPos,
     /// Skew one node buffer's byte accounting.
     kBufferBytes,
+    /// Skew the in-flight transfer ledger's per-packet index (needs a
+    /// live ledger entry, i.e. a faulted run with pending retries).
+    kLedgerIndex,
+    /// Skew the packets_lost_fault counter away from the recount.
+    kFaultLossCounter,
   };
   /// Seed `kind` by skewing the targeted counter by `delta`; returns
   /// false when no eligible state exists (e.g. no node is present
@@ -215,6 +269,26 @@ class Network {
   void handle_arrival(const trace::Visit& visit);
   void handle_departure(const trace::Visit& visit);
 
+  // -- fault machinery (see docs/fault-injection.md) --------------------
+  /// Schedule the plan's initial fault events (after the workload, so
+  /// non-fault event sequence numbers match a fault-free run).
+  void schedule_faults();
+  void apply_node_crash(const sim::Event& ev);
+  void apply_node_reboot(const sim::Event& ev);
+  void apply_station_down(const sim::Event& ev);
+  void apply_station_up(const sim::Event& ev);
+  /// Transfer-failure gate shared by every transfer: true when the
+  /// attempt must fail now (mid-contact break drawn, or the packet is
+  /// still inside its retry-backoff window).  Updates the ledger and
+  /// the interrupted/resumed/blocked counters.
+  bool transfer_interrupted(PacketId pid);
+  /// A station transfer at `l` just succeeded: close a pending
+  /// recovery-time measurement, if any.
+  void note_station_activity(LandmarkId l);
+  [[nodiscard]] std::uint32_t ledger_slot(PacketId pid) const;
+  void ledger_erase(PacketId pid);
+  void audit_fault_state(sim::AuditReport& report) const;
+
   struct NodeState {
     Buffer buffer;
     LandmarkId location = kNoLandmark;
@@ -242,6 +316,29 @@ class Network {
   sim::Simulator sim_;
   sim::InvariantAuditor auditor_;
   Rng rng_;
+  /// Engaged iff cfg_.faults is set; owns the outage sets and all
+  /// fault randomness (its streams are split from the plan seed, so the
+  /// workload RNG above never sees a fault-dependent draw).
+  std::optional<sim::FaultInjector> faults_;
+
+  /// In-flight transfer ledger: one entry per packet whose last
+  /// transfer attempt broke mid-contact, holding the attempt count and
+  /// the earliest retry time (exponential backoff).  `ledger_index_`
+  /// maps packet id -> slot (kNoLedgerSlot when absent); removal
+  /// swap-erases, which is fine because replay never iterates the
+  /// ledger (only the auditor does, order-insensitively).
+  struct LedgerEntry {
+    PacketId pid = kNoPacket;
+    std::uint32_t attempts = 0;
+    double next_retry = 0.0;
+  };
+  static constexpr std::uint32_t kNoLedgerSlot =
+      static_cast<std::uint32_t>(-1);
+  std::vector<LedgerEntry> ledger_;
+  std::vector<std::uint32_t> ledger_index_;
+  /// Per-landmark pending recovery-time measurement: the time the
+  /// station recovered, or a negative sentinel when none is pending.
+  std::vector<double> outage_recovery_pending_;
 
   std::vector<NodeState> nodes_;
   std::vector<StationState> stations_;

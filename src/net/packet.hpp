@@ -29,11 +29,14 @@ enum class PacketState : std::uint8_t {
   /// A copy whose logical packet was already delivered by another copy
   /// (removed from circulation without counting a second delivery).
   kObsoleteCopy,
+  /// Destroyed by an injected fault (buffer loss in a node crash; see
+  /// sim/fault_injector.hpp).
+  kLostFault,
 };
 
 [[nodiscard]] constexpr bool is_terminal(PacketState s) {
   return s == PacketState::kDelivered || s == PacketState::kDroppedTtl ||
-         s == PacketState::kObsoleteCopy;
+         s == PacketState::kObsoleteCopy || s == PacketState::kLostFault;
 }
 
 struct Packet {

@@ -63,6 +63,28 @@ class Router {
     (void)net; (void)unit_index;
   }
 
+  // -- fault hooks (fired only when a FaultPlan is attached; see
+  //    sim/fault_injector.hpp and docs/fault-injection.md) --------------
+  /// `node` crashed (radio dead, surviving buffer frozen until reboot).
+  /// Fired after the engine flushed the lost packets and marked the
+  /// node down.  Routers drop in-flight control state the node carried.
+  virtual void on_node_crash(Network& net, NodeId node) {
+    (void)net; (void)node;
+  }
+  /// A crashed node rebooted (radio live again, learned state intact —
+  /// the device restarted, the protocol history did not reset).
+  virtual void on_node_reboot(Network& net, NodeId node) {
+    (void)net; (void)node;
+  }
+  /// Landmark `l`'s station went down: storage is frozen (durable, not
+  /// wiped) and all station transfers at `l` are refused until recovery.
+  virtual void on_station_outage(Network& net, LandmarkId l) {
+    (void)net; (void)l;
+  }
+  virtual void on_station_recovery(Network& net, LandmarkId l) {
+    (void)net; (void)l;
+  }
+
   /// Invariant audit hook (debug tooling, see invariant_auditor.hpp):
   /// re-derive any incrementally maintained router state from scratch
   /// and report disagreements.  Called by Network::audit and by the

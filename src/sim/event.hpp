@@ -31,6 +31,17 @@ enum class EventKind : std::uint8_t {
   /// Opaque closure held in the Simulator's callback pool
   /// (a = pool slot).  Cold path: tests, examples, ad-hoc scheduling.
   kCallback,
+  // -- fault events (scheduled only when a FaultPlan is attached and
+  //    non-empty; see sim/fault_injector.hpp) --------------------------
+  /// A node crashes (a = node; b = scheduled-crash index + 1, or 0 for
+  /// a stochastic crash whose downtime is drawn at dispatch).
+  kNodeCrash,
+  /// A crashed node reboots (a = node).
+  kNodeReboot,
+  /// A landmark station goes down (a = station; b as kNodeCrash).
+  kStationDown,
+  /// A downed station recovers (a = station).
+  kStationUp,
 };
 
 /// One scheduled occurrence.  `seq` breaks time ties: the queue pops in

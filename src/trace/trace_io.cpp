@@ -47,22 +47,24 @@ std::vector<std::string_view> split_fields(std::string_view line) {
   return fields;
 }
 
-double parse_double(std::string_view s, int line_no) {
+double parse_double(std::string_view s, const std::string& source,
+                    int line_no) {
   // std::from_chars for double is available in GCC 11+.
   double v = 0.0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw std::runtime_error("trace CSV: bad number at line " +
+    throw std::runtime_error("trace CSV: " + source + ": bad number at line " +
                              std::to_string(line_no));
   }
   return v;
 }
 
-std::uint32_t parse_u32(std::string_view s, int line_no) {
+std::uint32_t parse_u32(std::string_view s, const std::string& source,
+                        int line_no) {
   std::uint32_t v = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw std::runtime_error("trace CSV: bad id at line " +
+    throw std::runtime_error("trace CSV: " + source + ": bad id at line " +
                              std::to_string(line_no));
   }
   return v;
@@ -70,13 +72,14 @@ std::uint32_t parse_u32(std::string_view s, int line_no) {
 
 }  // namespace
 
-Trace read_trace_csv(std::istream& in) {
+Trace read_trace_csv(std::istream& in, const std::string& source) {
   std::string line;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("trace CSV: empty input");
+    throw std::runtime_error("trace CSV: " + source + ": empty input");
   }
   if (line != "node,landmark,start,end") {
-    throw std::runtime_error("trace CSV: unexpected header: " + line);
+    throw std::runtime_error("trace CSV: " + source +
+                             ": unexpected header: " + line);
   }
   std::vector<RawVisit> raw;
   std::uint32_t max_node = 0;
@@ -87,13 +90,17 @@ Trace read_trace_csv(std::istream& in) {
     if (line.empty()) continue;
     const auto fields = split_fields(line);
     if (fields.size() != 4) {
-      throw std::runtime_error("trace CSV: expected 4 fields at line " +
+      throw std::runtime_error("trace CSV: " + source +
+                               ": expected 4 fields at line " +
                                std::to_string(line_no));
     }
-    RawVisit v{parse_u32(fields[0], line_no), parse_u32(fields[1], line_no),
-               parse_double(fields[2], line_no), parse_double(fields[3], line_no)};
+    RawVisit v{parse_u32(fields[0], source, line_no),
+               parse_u32(fields[1], source, line_no),
+               parse_double(fields[2], source, line_no),
+               parse_double(fields[3], source, line_no)};
     if (v.end <= v.start) {
-      throw std::runtime_error("trace CSV: end <= start at line " +
+      throw std::runtime_error("trace CSV: " + source +
+                               ": end <= start at line " +
                                std::to_string(line_no));
     }
     max_node = std::max(max_node, v.node);
@@ -111,7 +118,9 @@ Trace read_trace_csv(std::istream& in) {
 Trace read_trace_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_trace_csv: cannot open " + path);
-  return read_trace_csv(in);
+  // Thread the path into every parse error: "bad number at line 7" is
+  // useless in a batch run over a directory of traces.
+  return read_trace_csv(in, path);
 }
 
 }  // namespace dtn::trace

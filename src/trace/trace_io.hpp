@@ -18,8 +18,11 @@ void write_trace_csv(const Trace& trace, std::ostream& out);
 
 /// Read a CSV trace.  Node/landmark universe sizes are taken as
 /// (max id + 1) unless explicit sizes are given.  Throws
-/// std::runtime_error on malformed input.
+/// std::runtime_error on malformed input; the message names the file
+/// (or `source` for the stream overload) and the offending line, so a
+/// bad row in a multi-trace batch is attributable without re-running.
 [[nodiscard]] Trace read_trace_csv(const std::string& path);
-[[nodiscard]] Trace read_trace_csv(std::istream& in);
+[[nodiscard]] Trace read_trace_csv(std::istream& in,
+                                   const std::string& source = "<stream>");
 
 }  // namespace dtn::trace

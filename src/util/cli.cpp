@@ -64,4 +64,13 @@ bool CliOptions::full_scale() const { return get("scale", "quick") == "full"; }
 
 std::string CliOptions::csv_dir() const { return get("csv", ""); }
 
+std::vector<std::string> CliOptions::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : values_) {
+    if (key.rfind(prefix, 0) == 0) keys.push_back(key);
+  }
+  return keys;  // std::map iteration is already sorted
+}
+
 }  // namespace dtn

@@ -34,6 +34,11 @@ class CliOptions {
   /// Directory for CSV mirrors ("" disables CSV output).
   [[nodiscard]] std::string csv_dir() const;
 
+  /// All parsed option keys starting with `prefix`, in sorted order
+  /// (lets grouped parsers like the --fault-* family reject typos).
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -15,6 +15,7 @@
 #include "metrics/experiment.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
+#include "sim/fault_injector.hpp"
 #include "trace/trace.hpp"
 
 namespace dtn {
@@ -150,6 +151,43 @@ TEST(Determinism, RepeatedRunsAreBitIdentical) {
   const auto a = run_chain("DTN-FLOW");
   const auto b = run_chain("DTN-FLOW");
   EXPECT_EQ(a, b);  // defaulted operator==: every field, vectors included
+}
+
+// The fault injector's zero-impact contract: attaching a FaultPlan with
+// nothing to inject (no scheduled faults, every rate and probability at
+// zero) is bit-identical to attaching no plan at all — same counters,
+// same per-packet digests, same golden router-state digests.  The
+// injector owns its own RNG streams precisely so that an inert plan
+// never perturbs a workload draw.
+TEST(Determinism, EmptyFaultPlanIsBitIdenticalToNoPlan) {
+  const auto chain = relay_chain(10.0);
+
+  core::DtnFlowRouter baseline_router;
+  net::Network baseline(chain, baseline_router, chain_workload());
+  baseline.run();
+  baseline.validate_invariants();
+
+  auto faulted_cfg = chain_workload();
+  faulted_cfg.faults.emplace();  // default plan: zero-probability faults
+  ASSERT_FALSE(faulted_cfg.faults->any());
+  core::DtnFlowRouter faulted_router;
+  net::Network faulted(chain, faulted_router, faulted_cfg);
+  faulted.run();
+  faulted.validate_invariants();
+
+  EXPECT_EQ(baseline.counters(), faulted.counters());
+  EXPECT_EQ(digest(baseline.counters()), digest(faulted.counters()));
+  // The faulted run must still hit the pre-fault-subsystem golden
+  // digests (the same values GoldenPredictorAndRoutingStateStable pins).
+  EXPECT_EQ(predictor_digest(faulted_router, faulted),
+            0x8f5ef46e87227297ull);
+  EXPECT_EQ(routing_digest(faulted_router, faulted), 0x2bce8bffc466e3ccull);
+  EXPECT_EQ(digest(faulted.counters()), 0x02c0425471db77c3ull);
+  // No fault ever fired, and nothing was charged to the fault counters.
+  EXPECT_EQ(faulted.counters().node_crashes, 0u);
+  EXPECT_EQ(faulted.counters().station_outages, 0u);
+  EXPECT_EQ(faulted.counters().packets_lost_fault, 0u);
+  EXPECT_EQ(faulted.counters().transfers_interrupted, 0u);
 }
 
 TEST(Determinism, GoldenCountersStableAcrossEngineGenerations) {

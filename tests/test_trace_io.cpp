@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace dtn::trace {
@@ -85,6 +86,47 @@ TEST(TraceIo, FileRoundTrip) {
 TEST(TraceIo, ThrowsOnMissingFile) {
   EXPECT_THROW(read_trace_csv(std::string("/no/such/file.csv")),
                std::runtime_error);
+}
+
+// Parse errors must be attributable: loading a broken file names the
+// file (and the line) in the exception, not just "bad number somewhere".
+TEST(TraceIo, ParseErrorNamesTheFile) {
+  const std::string path = ::testing::TempDir() + "trace_io_broken.csv";
+  {
+    std::ofstream out(path);
+    out << "node,landmark,start,end\n0,zero,0,1\n";
+  }
+  try {
+    (void)read_trace_csv(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+// The stream overload labels errors with the caller-supplied source
+// name (default "<stream>").
+TEST(TraceIo, StreamParseErrorUsesSourceLabel) {
+  std::stringstream bad("node,landmark,start,end\n0,0,5,3\n");
+  try {
+    (void)read_trace_csv(bad, "unit-test-buffer");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unit-test-buffer"),
+              std::string::npos)
+        << e.what();
+  }
+  std::stringstream also_bad("node,landmark,start,end\n0,0,5,3\n");
+  try {
+    (void)read_trace_csv(also_bad);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("<stream>"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
