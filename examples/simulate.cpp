@@ -4,12 +4,17 @@
 //
 //   $ ./simulate --router DTN-FLOW --kind campus --nodes 64
 //         --landmarks 30 --days 32 --rate 30 --memory 40 --ttl-days 4
-//         [--input trace.csv] [--replicates 3] [--seed 1]
+//         [--input trace.csv] [--replicates 3] [--seed 1] [--shards 4]
 //         [--fault-node-crash-rate 0.05 --fault-station-outage-rate 0.1
 //          --fault-transfer-fail 0.02 ...]   (docs/fault-injection.md)
 //
 // Routers: DTN-FLOW, SimBet, PROPHET, PGR, GeoComm, PER, Direct,
 // Epidemic, SprayWait, or "all".
+//
+// --kind city generates the city-scale tier (districts + buses); with
+// --shards N > 1 the replay runs on the sharded parallel engine
+// (docs/parallel-engine.md), falling back to the serial engine —
+// bit-identically — when the router or workload is not shard-safe.
 #include <cstdio>
 
 #include "metrics/experiment.hpp"
@@ -17,6 +22,7 @@
 #include "sim/fault_injector.hpp"
 #include "trace/bus_generator.hpp"
 #include "trace/campus_generator.hpp"
+#include "trace/city_generator.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -37,6 +43,17 @@ int main(int argc, char** argv) {
     cfg.days = opts.get_double("days", 26.0);
     cfg.seed = opts.get_seed(1);
     trace = dtn::trace::generate_bus_trace(cfg);
+  } else if (opts.get("kind", "campus") == "city") {
+    dtn::trace::CityTraceConfig cfg;
+    cfg.num_pedestrians = static_cast<std::size_t>(opts.get_int("nodes", 2000));
+    cfg.num_buses = static_cast<std::size_t>(opts.get_int("buses", 40));
+    cfg.num_landmarks =
+        static_cast<std::size_t>(opts.get_int("landmarks", 400));
+    cfg.num_districts =
+        static_cast<std::size_t>(opts.get_int("districts", 16));
+    cfg.days = opts.get_double("days", 2.0);
+    cfg.seed = opts.get_seed(1);
+    trace = dtn::trace::generate_city_trace(cfg);
   } else {
     dtn::trace::CampusTraceConfig cfg;
     cfg.num_nodes = static_cast<std::size_t>(opts.get_int("nodes", 64));
@@ -81,6 +98,17 @@ int main(int argc, char** argv) {
 
   const auto replicates =
       static_cast<std::size_t>(opts.get_int("replicates", 1));
+  const auto num_shards = static_cast<std::size_t>(opts.get_int("shards", 1));
+  if (num_shards > 1) {
+    if (workload.faults.has_value()) {
+      std::printf("shards: %zu requested, but fault plans are serial-only — "
+                  "running the serial engine (results are identical)\n",
+                  num_shards);
+    } else {
+      std::printf("shards: %zu (sharded engine where the router allows; "
+                  "bit-identical to serial)\n", num_shards);
+    }
+  }
   dtn::TablePrinter table({"router", "success", "avg delay (d)",
                            "P50 delay (d)", "P90 delay (d)", "fwd cost",
                            "total cost"});
@@ -95,7 +123,8 @@ int main(int argc, char** argv) {
         wl.faults->seed ^= 0x5bd1e995ULL * (r + 1);
       }
       const auto router = dtn::routing::make_router(name);
-      const auto res = dtn::metrics::run_experiment(trace, *router, wl);
+      const auto res =
+          dtn::metrics::run_experiment(trace, *router, wl, {}, num_shards);
       success.add(res.success_rate);
       delay.add(res.avg_delay);
       fwd.add(res.forwarding_cost);

@@ -7,14 +7,16 @@ google-benchmark's JSON output, writes the
 result to BENCH_hotpath.json, and compares per-benchmark real_time
 against the checked-in baseline.
 
-Perf regressions beyond the threshold are reported as loud warnings on
-stderr but do NOT fail the build: microbenchmark noise on shared
-machines would otherwise make the target flaky.  Everything else is a
-hard failure (non-zero exit): the benchmark binary failing to run, the
-binary emitting malformed JSON, and a missing or malformed baseline
-BENCH_hotpath.json — a harness that silently skips its comparison is
-indistinguishable from one that passed.  Use --allow-missing-baseline
-when bootstrapping a baseline for a new machine.
+Perf regressions beyond the tolerance band (--threshold, default +25%
+real_time) FAIL the check with a non-zero exit; --warn-only restores
+the old advisory behaviour for noisy or borrowed machines.  Also hard
+failures: the benchmark binary failing to run, malformed JSON, a
+baseline entry missing from the current run (deleting a benchmark must
+be accompanied by a baseline refresh), and a missing or malformed
+baseline BENCH_hotpath.json — a harness that silently skips its
+comparison is indistinguishable from one that passed.  Use
+--allow-missing-baseline when bootstrapping a baseline for a new
+machine.
 
 Usage (normally via the `bench-check` CMake target):
     scripts/bench_check.py --bench build/bench/bench_micro
@@ -31,6 +33,7 @@ from pathlib import Path
 DEFAULT_FILTER = (
     "BM_EventQueue|BM_TraceCursor|BM_BufferAddRemove|BM_EndToEnd"
     "|BM_MarkovPredict|BM_CarrierSelect|BM_RoutingTableRecompute"
+    "|BM_ShardedReplay|BM_CityReplay"
 )
 
 
@@ -104,8 +107,12 @@ def main() -> int:
                     default=Path("bench/baseline/BENCH_hotpath.json"))
     ap.add_argument("--out", type=Path, default=Path("BENCH_hotpath.json"))
     ap.add_argument("--threshold", type=float, default=0.25,
-                    help="relative real_time regression that triggers a "
-                         "warning (default 0.25 = +25%%)")
+                    help="relative real_time regression tolerance band "
+                         "(default 0.25 = +25%%); beyond it the check "
+                         "fails unless --warn-only")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (advisory mode "
+                         "for noisy machines)")
     ap.add_argument("--filter", default=DEFAULT_FILTER)
     ap.add_argument("--allow-missing-baseline", action="store_true",
                     help="exit 0 when the baseline file does not exist "
@@ -128,10 +135,12 @@ def main() -> int:
     current = by_name(report)
 
     regressions = []
+    missing = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
             print(f"  {name}: missing from current run")
+            missing.append(name)
             continue
         base_t, cur_t = base["real_time"], cur["real_time"]
         ratio = cur_t / base_t if base_t > 0 else float("inf")
@@ -141,24 +150,33 @@ def main() -> int:
             regressions.append((name, ratio))
         elif ratio < 1.0 - args.threshold:
             marker = "  (improved; consider refreshing the baseline)"
-        print(f"  {name}: {base_t:.0f} -> {cur_t:.0f} ns "
+        unit = base.get("time_unit", "ns")
+        print(f"  {name}: {base_t:.0f} -> {cur_t:.0f} {unit} "
               f"({ratio:.2f}x baseline){marker}")
 
+    if missing:
+        sys.stderr.write(
+            "\nERROR: baseline benchmark(s) absent from the current run: "
+            + ", ".join(missing)
+            + "\nRemoving or renaming a tracked benchmark requires a "
+            "baseline refresh.\n")
+        return 1
     if regressions:
+        severity = "WARNING" if args.warn_only else "FAILURE"
         sys.stderr.write(
             "\n" + "=" * 70 + "\n"
-            "WARNING: hot-path benchmark regression(s) vs "
+            f"{severity}: hot-path benchmark regression(s) vs "
             f"{args.baseline}:\n")
         for name, ratio in regressions:
             sys.stderr.write(f"  {name}: {ratio:.2f}x baseline real_time "
-                             f"(threshold {1.0 + args.threshold:.2f}x)\n")
+                             f"(tolerance {1.0 + args.threshold:.2f}x)\n")
         sys.stderr.write(
             "Re-run on an idle machine; if the slowdown is real, fix it or "
             "update\nthe baseline with scripts/bench_check.py --bench ... "
             "and copy the\noutput over bench/baseline/BENCH_hotpath.json "
             "with justification.\n" + "=" * 70 + "\n")
-    else:
-        print("no regressions beyond threshold")
+        return 0 if args.warn_only else 1
+    print("no regressions beyond threshold")
     return 0
 
 

@@ -60,11 +60,32 @@ void DtnFlowRouter::on_init(Network& net) {
     landmarks_[l].present_epoch = 1;
     landmarks_[l].carrier_cache.assign(m, {});
   }
-  distribution_scratch_.clear();
+  for (auto& scratch : scratch_slots_) scratch.clear();
   station_down_.assign(m, 0);
   needs_reconvergence_.assign(m, 0);
   accuracy_ = FlatMatrix<double>(n, m, cfg_.accuracy_init);
-  diag_ = DtnFlowDiagnostics{};
+  for (auto& slot : diag_slots_) slot = DtnFlowDiagnostics{};
+}
+
+DtnFlowDiagnostics DtnFlowRouter::diagnostics() const {
+  DtnFlowDiagnostics total;
+  for (const DtnFlowDiagnostics& d : diag_slots_) {
+    total.transits_observed += d.transits_observed;
+    total.predictions_scored += d.predictions_scored;
+    total.predictions_correct += d.predictions_correct;
+    total.dead_ends_detected += d.dead_ends_detected;
+    total.loops_detected += d.loops_detected;
+    total.loops_corrected += d.loops_corrected;
+    total.balancing_diversions += d.balancing_diversions;
+    total.station_outages_seen += d.station_outages_seen;
+    total.station_recoveries_seen += d.station_recoveries_seen;
+    total.dv_carriers_lost += d.dv_carriers_lost;
+    total.dv_deliveries_deferred += d.dv_deliveries_deferred;
+    total.stale_origins_expired += d.stale_origins_expired;
+    total.fallback_next_hops += d.fallback_next_hops;
+    total.post_outage_reconvergences += d.post_outage_reconvergences;
+  }
+  return total;
 }
 
 const RoutingTable& DtnFlowRouter::routing_table(LandmarkId l) const {
@@ -249,7 +270,7 @@ bool DtnFlowRouter::choose_next_hop(LandmarkId l, LandmarkId dst,
     }
     next = r.backup_next;
     delay = r.backup_delay;
-    ++diag_.fallback_next_hops;
+    ++diag().fallback_next_hops;
     return true;
   }
   // Load balancing (§IV-E.3): when the link's incoming rate exceeds
@@ -264,7 +285,7 @@ bool DtnFlowRouter::choose_next_hop(LandmarkId l, LandmarkId dst,
     if (++ls.divert_toggle[r.next] % 2 == 1) {
       next = r.backup_next;
       delay = r.backup_delay;
-      ++diag_.balancing_diversions;
+      ++diag().balancing_diversions;
       // The diverted demand now loads the backup link; recording it
       // keeps the backup's own overload check honest, which caps the
       // diverted volume at the backup's demonstrated capacity.
@@ -366,7 +387,7 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
   // the loop below reads P(next-hop | n's context) per packet, and n's
   // prediction state cannot change mid-offer.  The scratch buffer keeps
   // the fill allocation-free.
-  nodes_[n].predictor->next_distribution(distribution_scratch_);
+  nodes_[n].predictor->next_distribution(distribution_scratch());
   const double acc_here = cfg_.refine_carrier_selection
                               ? accuracy_.at(n, l)
                               : 1.0;
@@ -414,7 +435,7 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
     LandmarkId next = kNoLandmark;
     double delay = kInfiniteDelay;
     if (!choose_next_hop(l, p.dst, next, delay)) continue;
-    const double raw = distribution_scratch_[next];
+    const double raw = distribution_scratch()[next];
     if (nodes_[n].predicted_next != next && raw < kCarrierProbabilityFloor) {
       continue;
     }
@@ -516,13 +537,13 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
     // Transit observed: bandwidth measurement (arrival side).
     bw_.record_transit(prev, l);
     if (dbw_.has_value()) dbw_->record_arrival(prev, l);
-    ++diag_.transits_observed;
+    ++diag().transits_observed;
     // Score the prediction made when the node sat at `prev`.
     if (ns.predicted_from == prev && ns.predicted_next != kNoLandmark) {
-      ++diag_.predictions_scored;
+      ++diag().predictions_scored;
       double& acc = accuracy_.at(node, prev);
       if (ns.predicted_next == l) {
-        ++diag_.predictions_correct;
+        ++diag().predictions_correct;
         acc = std::min(1.0, acc * cfg_.accuracy_gain);
       } else {
         acc = std::max(0.05, acc * cfg_.accuracy_loss);
@@ -536,14 +557,14 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
     if (faults != nullptr && faults->draw_dv_delay()) {
       // Injected control-plane delay: the exchange at this association
       // fails, the node keeps carrying the vector to a later landmark.
-      ++diag_.dv_deliveries_deferred;
+      ++diag().dv_deliveries_deferred;
     } else {
       net.account_control(static_cast<double>(ns.carried_dv->entries()));
       const bool merged =
           landmarks_[l].table->merge(*ns.carried_dv, net.now());
       if (merged && needs_reconvergence_[l] != 0) {
         needs_reconvergence_[l] = 0;
-        ++diag_.post_outage_reconvergences;
+        ++diag().post_outage_reconvergences;
       }
       ns.carried_dv.reset();
     }
@@ -638,7 +659,7 @@ void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
     sim::FaultInjector* faults = net.faults();
     if (faults != nullptr && faults->draw_dv_loss()) {
       ns.carried_dv.reset();
-      ++diag_.dv_carriers_lost;
+      ++diag().dv_carriers_lost;
     }
   } else {
     ns.carried_dv.reset();
@@ -666,7 +687,7 @@ void DtnFlowRouter::on_node_crash(Network& net, NodeId node) {
   // Control state in transit dies with the carrier.
   if (ns.carried_dv.has_value()) {
     ns.carried_dv.reset();
-    ++diag_.dv_carriers_lost;
+    ++diag().dv_carriers_lost;
   }
   ns.carried_token.reset();
   // A present node's carrier score just collapsed to zero.
@@ -682,14 +703,14 @@ void DtnFlowRouter::on_node_reboot(Network& net, NodeId node) {
 void DtnFlowRouter::on_station_outage(Network& net, LandmarkId l) {
   (void)net;
   station_down_[l] = 1;
-  ++diag_.station_outages_seen;
+  ++diag().station_outages_seen;
 }
 
 void DtnFlowRouter::on_station_recovery(Network& net, LandmarkId l) {
   (void)net;
   station_down_[l] = 0;
   needs_reconvergence_[l] = 1;
-  ++diag_.station_recoveries_seen;
+  ++diag().station_recoveries_seen;
 }
 
 bool DtnFlowRouter::stay_is_dead_end(const NodeState& ns, LandmarkId l,
@@ -716,7 +737,7 @@ void DtnFlowRouter::check_parked_dead_end(Network& net, NodeId n) {
   NodeState& ns = nodes_[n];
   const double stay = net.now() - ns.arrived_at;
   if (!stay_is_dead_end(ns, here, stay)) return;
-  ++diag_.dead_ends_detected;
+  ++diag().dead_ends_detected;
   // Hand everything to the station; the landmark re-routes (§IV-E.1).
   const auto uploaded = upload_packets(net, n, here, /*force_all=*/true);
   for (const PacketId pid : uploaded) {
@@ -740,7 +761,7 @@ void DtnFlowRouter::check_loop(Network& net, LandmarkId l, PacketId pid) {
     }
   }
   if (prev_idx < 0) return;
-  ++diag_.loops_detected;
+  ++diag().loops_detected;
   if (!cfg_.loop_correction) return;
   const std::vector<LandmarkId> cycle(
       path.begin() + prev_idx, path.end() - 1);  // the looped landmarks
@@ -749,7 +770,7 @@ void DtnFlowRouter::check_loop(Network& net, LandmarkId l, PacketId pid) {
 
 void DtnFlowRouter::correct_loop(Network& net, LandmarkId dst,
                                  std::span<const LandmarkId> cycle) {
-  ++diag_.loops_corrected;
+  ++diag().loops_corrected;
   // The loop-correction packet clears the poisoned state and makes the
   // involved landmarks exchange their updated distance vectors
   // repeatedly until the next hop for `dst` settles (§IV-E.2's T_stable
@@ -855,7 +876,7 @@ void DtnFlowRouter::on_time_unit(Network& net, std::size_t unit_index) {
     if (cfg_.route_staleness_units > 0.0) {
       const double cutoff =
           net.now() - cfg_.route_staleness_units * time_unit_;
-      diag_.stale_origins_expired += ls.table->expire_stale(cutoff);
+      diag().stale_origins_expired += ls.table->expire_stale(cutoff);
     }
   }
   if (cfg_.dead_end_prevention) {

@@ -42,6 +42,7 @@
 #include "core/routing_table.hpp"
 #include "net/network.hpp"
 #include "net/router.hpp"
+#include "sim/shard_coordinator.hpp"
 #include "util/flat_matrix.hpp"
 
 namespace dtn::core {
@@ -156,6 +157,9 @@ struct DtnFlowDiagnostics {
   std::uint64_t fallback_next_hops = 0;
   /// First accepted distance vector at a landmark after its recovery.
   std::uint64_t post_outage_reconvergences = 0;
+
+  friend bool operator==(const DtnFlowDiagnostics&,
+                         const DtnFlowDiagnostics&) = default;
 };
 
 class DtnFlowRouter final : public net::Router {
@@ -164,6 +168,18 @@ class DtnFlowRouter final : public net::Router {
 
   [[nodiscard]] std::string name() const override { return "DTN-FLOW"; }
   [[nodiscard]] bool uses_stations() const override { return true; }
+  /// Every per-event write lands in shard-owned state (the landmark's
+  /// table/cache, the arriving node, the (prev, l) bandwidth cell, the
+  /// current shard's diagnostics/scratch slot) — except loop correction
+  /// (rewrites remote landmarks' tables) and the distributed-bandwidth
+  /// protocol (shared token counters), which stay serial-only.
+  [[nodiscard]] bool shard_safe() const override {
+    return !cfg_.loop_correction && !cfg_.distributed_bandwidth;
+  }
+  void prepare_shards(std::size_t num_shards) override {
+    diag_slots_.assign(num_shards, DtnFlowDiagnostics{});
+    scratch_slots_.assign(num_shards, {});
+  }
 
   void on_init(net::Network& net) override;
   void on_arrival(net::Network& net, net::NodeId node,
@@ -197,7 +213,8 @@ class DtnFlowRouter final : public net::Router {
   [[nodiscard]] RoutingTable& mutable_routing_table(net::LandmarkId l);
   [[nodiscard]] const MarkovPredictor& predictor(net::NodeId n) const;
   [[nodiscard]] double accuracy(net::NodeId n, net::LandmarkId l) const;
-  [[nodiscard]] const DtnFlowDiagnostics& diagnostics() const { return diag_; }
+  /// Diagnostics summed over all shard slots (one slot in serial runs).
+  [[nodiscard]] DtnFlowDiagnostics diagnostics() const;
 
   /// Fault injection for the Table VII experiment: pin a routing cycle
   /// for `dst` through `cycle` (cycle[i] -> cycle[i+1], wrapping).
@@ -358,11 +375,20 @@ class DtnFlowRouter final : public net::Router {
   /// accepted distance vector (re-convergence accounting).
   std::vector<std::uint8_t> needs_reconvergence_;
   FlatMatrix<double> accuracy_;
-  DtnFlowDiagnostics diag_;
+  /// Diagnostics, one slot per shard so concurrent shard loops never
+  /// contend (serial runs and the shard coordinator use slot 0).
+  std::vector<DtnFlowDiagnostics> diag_slots_{1};
+  [[nodiscard]] DtnFlowDiagnostics& diag() {
+    return diag_slots_[sim::current_shard()];
+  }
   double time_unit_ = trace::kDay;
-  /// Scratch buffer for per-node conditional distributions (reused by
-  /// offer_packets_to_node; avoids a vector allocation per offer).
-  std::vector<double> distribution_scratch_;
+  /// Scratch buffers for per-node conditional distributions (reused by
+  /// offer_packets_to_node; avoids a vector allocation per offer), one
+  /// per shard like diag_slots_.
+  std::vector<std::vector<double>> scratch_slots_{1};
+  [[nodiscard]] std::vector<double>& distribution_scratch() {
+    return scratch_slots_[sim::current_shard()];
+  }
 };
 
 }  // namespace dtn::core

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <string>
 
 #include "trace/cursor.hpp"
+#include "trace/shard_cursor.hpp"
 #include "util/logging.hpp"
 
 namespace dtn::net {
@@ -59,6 +62,61 @@ Network::Network(const trace::Trace& trace, Router& router,
       trace_begin_ + cfg_.warmup_fraction * (trace_end_ - trace_begin_);
 }
 
+void Network::build_workload() {
+  workload_.clear();
+  if (cfg_.packets_per_landmark_per_day <= 0.0 || trace_.num_landmarks() <= 1) {
+    return;
+  }
+  // Independent Poisson process per landmark, starting after the
+  // initialization phase (paper: first 1/4 of the trace).  Every draw
+  // comes from a per-landmark split stream and happens before the
+  // replay, so the randomness a landmark's workload consumes is
+  // independent of event interleaving — the property that lets the
+  // sharded engine replay the identical workload.
+  const double mean_gap = trace::kDay / cfg_.packets_per_landmark_per_day;
+  const auto num_landmarks = trace_.num_landmarks();
+  if (!cfg_.destination_weights.empty()) {
+    DTN_ASSERT(cfg_.destination_weights.size() == num_landmarks);
+  }
+  std::vector<double> weights;
+  for (LandmarkId l = 0; l < num_landmarks; ++l) {
+    Rng stream = rng_.split(l);
+    const double* weight_data = nullptr;
+    if (!cfg_.destination_weights.empty()) {
+      weights = cfg_.destination_weights;
+      weights[l] = 0.0;
+      double total = 0.0;
+      for (const double w : weights) total += w;
+      // All demand from this landmark targets itself (e.g. the
+      // collection sink): nothing to send.
+      if (total <= 0.0) continue;
+      weight_data = weights.data();
+    }
+    double t = workload_start_;
+    while (true) {
+      t += stream.exponential(mean_gap);
+      if (t > trace_end_) break;
+      LandmarkId dst;
+      if (weight_data == nullptr) {
+        // Uniformly random destination among the others (§V-A.1).
+        dst = static_cast<LandmarkId>(stream.uniform_index(num_landmarks - 1));
+        if (dst >= l) ++dst;
+      } else {
+        dst = static_cast<LandmarkId>(
+            stream.discrete({weight_data, num_landmarks}));
+      }
+      workload_.push_back({t, l, dst, kNoPacket});
+    }
+  }
+  // Rank order = global time order (ties by source landmark; within one
+  // landmark the stable sort keeps the generation order).
+  std::stable_sort(workload_.begin(), workload_.end(),
+                   [](const WorkloadEntry& a, const WorkloadEntry& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.src < b.src;
+                   });
+}
+
 void Network::run() {
   DTN_ASSERT(!ran_);
   ran_ = true;
@@ -73,15 +131,11 @@ void Network::run() {
   sim_.set_dispatcher(&Network::dispatch_trampoline, this);
   sim_.set_seq_floor(cursor.total_events());
 
-  // Packet workload: independent Poisson process per landmark, starting
-  // after the initialization phase (paper: first 1/4 of the trace).
-  if (cfg_.packets_per_landmark_per_day > 0.0 && trace_.num_landmarks() > 1) {
-    for (LandmarkId l = 0; l < trace_.num_landmarks(); ++l) {
-      schedule_generation(l, workload_start_);
-    }
-  }
-
-  // Deterministic extra workload.
+  // Dynamic events take the sequence range above the cursor's in a
+  // fixed scheduling order — manual packets, then sweep/tick pairs,
+  // then the pre-drawn Poisson workload — so every event's (time, seq)
+  // key is a static function of the config.  The sharded engine
+  // recomputes exactly these ranks (docs/parallel-engine.md).
   for (std::size_t i = 0; i < cfg_.manual_packets.size(); ++i) {
     const auto& mp = cfg_.manual_packets[i];
     DTN_ASSERT(mp.src < trace_.num_landmarks());
@@ -110,6 +164,15 @@ void Network::run() {
     sim_.schedule(t, tick);
   }
 
+  build_workload();
+  for (std::size_t j = 0; j < workload_.size(); ++j) {
+    sim::Event ev;
+    ev.kind = sim::EventKind::kPacketGen;
+    ev.a = workload_[j].src;
+    ev.b = static_cast<std::uint32_t>(j);
+    sim_.schedule(workload_[j].time, ev);
+  }
+
   // Fault events last: a plan with nothing to inject schedules nothing,
   // and the workload events above keep the sequence numbers they would
   // have in a fault-free run.
@@ -122,6 +185,313 @@ void Network::run() {
   if (auditor_.enabled()) auditor_.audit_now();
 }
 
+void Network::run_sharded(std::size_t num_shards, ThreadPool* pool) {
+  if (num_shards <= 1) {
+    run();
+    return;
+  }
+  DTN_ASSERT(!ran_);
+  // Preconditions of the parallel path (docs/parallel-engine.md):
+  // a shard-safe router, no fault plan (fault events are global), no
+  // periodic event-count auditing (the shared event counter would
+  // race; barrier audits below cover the DTN_AUDIT use case) and a
+  // landmark-addressed workload (node-addressed generation reads the
+  // destination node's location, which another shard may own).
+  DTN_ASSERT(router_.shard_safe());
+  DTN_ASSERT(!cfg_.faults.has_value());
+  DTN_ASSERT(cfg_.audit_period_events == 0);
+  for (const auto& mp : cfg_.manual_packets) {
+    DTN_ASSERT(mp.src < trace_.num_landmarks());
+    DTN_ASSERT(mp.dst < trace_.num_landmarks());
+    DTN_ASSERT(mp.src != mp.dst);
+    DTN_ASSERT(mp.dst_node == trace::kNoNode);
+    (void)mp;
+  }
+  ran_ = true;
+
+  // Shard map: balance landmarks by visit count, then split the trace
+  // into per-shard (time, seq)-sorted event streams.
+  const auto weights = trace::landmark_visit_weights(trace_);
+  const auto landmark_shard = sim::assign_shards(weights, num_shards);
+  auto split = trace::split_trace_events(trace_, landmark_shard, num_shards);
+  const std::uint64_t seq_floor = split.total_events;
+
+  // Static sequence ranks mirroring run()'s scheduling order exactly:
+  // manual packets, then sweep/tick pairs, then the Poisson workload.
+  const std::size_t num_manual = cfg_.manual_packets.size();
+  const auto max_units = static_cast<std::size_t>(
+      std::ceil((trace_end_ - trace_begin_) / cfg_.time_unit));
+  std::vector<sim::EventKey> unit_bounds;
+  for (std::size_t u = 1; u <= max_units; ++u) {
+    const double t = trace_begin_ + static_cast<double>(u) * cfg_.time_unit;
+    if (t > trace_end_) break;
+    // The bound sits at the sweep's own key; the coordinator executes
+    // the sweep and the tick (rank + 1) as its barrier phase.
+    unit_bounds.push_back({t, seq_floor + num_manual + 2 * (u - 1)});
+  }
+  build_workload();
+  const std::uint64_t gen_rank0 =
+      seq_floor + num_manual + 2 * unit_bounds.size();
+
+  // Pre-assign packet ids: generation-type events execute in (time,
+  // rank) order, and serial ids are exactly that append order.  Manual
+  // packets scheduled past the trace end keep their rank but never
+  // dispatch, so they get no id.
+  std::vector<sim::Event> dyn;
+  dyn.reserve(num_manual + workload_.size());
+  for (std::size_t i = 0; i < num_manual; ++i) {
+    const auto& mp = cfg_.manual_packets[i];
+    if (mp.time > trace_end_) continue;
+    sim::Event ev{};
+    ev.time = mp.time;
+    ev.seq = seq_floor + i;
+    ev.kind = sim::EventKind::kManualPacket;
+    ev.a = static_cast<std::uint32_t>(i);
+    dyn.push_back(ev);
+  }
+  for (std::size_t j = 0; j < workload_.size(); ++j) {
+    sim::Event ev{};
+    ev.time = workload_[j].time;
+    ev.seq = gen_rank0 + j;
+    ev.kind = sim::EventKind::kPacketGen;
+    ev.a = workload_[j].src;
+    ev.b = static_cast<std::uint32_t>(j);
+    dyn.push_back(ev);
+  }
+  std::sort(dyn.begin(), dyn.end(), [](const sim::Event& a,
+                                       const sim::Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  manual_pids_.assign(num_manual, kNoPacket);
+  Packet unborn;
+  unborn.state = PacketState::kUnborn;
+  packets_.assign(dyn.size(), unborn);
+  logical_delivered_.assign(dyn.size(), 0);
+  for (std::size_t k = 0; k < dyn.size(); ++k) {
+    const auto pid = static_cast<PacketId>(k);
+    if (dyn[k].kind == sim::EventKind::kManualPacket) {
+      manual_pids_[dyn[k].a] = pid;
+    } else {
+      workload_[dyn[k].b].pid = pid;
+    }
+  }
+
+  // Generation events run on the shard owning their source landmark
+  // (dyn is globally sorted, so each per-shard stream stays sorted).
+  std::vector<std::vector<sim::Event>> dyn_streams(num_shards);
+  for (const sim::Event& ev : dyn) {
+    const LandmarkId src = ev.kind == sim::EventKind::kManualPacket
+                               ? cfg_.manual_packets[ev.a].src
+                               : workload_[ev.b].src;
+    dyn_streams[landmark_shard[src]].push_back(ev);
+  }
+
+  const auto epochs = sim::plan_barriers(
+      std::move(split.migrations), unit_bounds,
+      {trace_end_, std::numeric_limits<std::uint64_t>::max()});
+
+  contexts_ = std::vector<ShardContext>(num_shards);
+  router_.prepare_shards(num_shards);
+  sharded_run_ = true;
+  router_.on_init(*this);
+
+  std::optional<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(num_shards);
+    pool = &*owned_pool;
+  }
+
+  std::vector<std::size_t> trace_pos(num_shards, 0);
+  std::vector<std::size_t> dyn_pos(num_shards, 0);
+
+  // Two-pointer merge of one shard's trace and generation streams,
+  // processed strictly below the epoch bound.  Safe to run from any
+  // thread: every write lands in shard-owned state (ScopedShard routes
+  // the counter/diagnostic slots), so the inline fast path below and
+  // the pool path execute identical work.
+  const auto process_shard = [&](std::size_t s, const sim::EventKey& bound) {
+    sim::ScopedShard guard(s);
+    ShardContext& ctx = contexts_[s];
+    const auto& trace_stream = split.events[s];
+    const auto& dyn_stream = dyn_streams[s];
+    std::size_t ti = trace_pos[s];
+    std::size_t di = dyn_pos[s];
+    while (true) {
+      const bool has_trace = ti < trace_stream.size();
+      const bool has_dyn = di < dyn_stream.size();
+      if (!has_trace && !has_dyn) break;
+      bool take_trace = has_trace;
+      if (has_trace && has_dyn) {
+        take_trace = trace_stream[ti].key() <
+                     sim::EventKey{dyn_stream[di].time, dyn_stream[di].seq};
+      }
+      if (take_trace) {
+        const trace::ShardEventRef& ref = trace_stream[ti];
+        if (!(ref.key() < bound)) break;
+        ctx.now = ref.time;
+        ctx.cur_seq = ref.seq;
+        ++ctx.events;
+        dispatch_sharded(trace::materialize(ref));
+        ++ti;
+      } else {
+        const sim::Event& ev = dyn_stream[di];
+        if (!(sim::EventKey{ev.time, ev.seq} < bound)) break;
+        ctx.now = ev.time;
+        ctx.cur_seq = ev.seq;
+        ++ctx.events;
+        dispatch_sharded(ev);
+        ++di;
+      }
+    }
+    trace_pos[s] = ti;
+    dyn_pos[s] = di;
+  };
+  // Events pending in shard s strictly below the bound (both streams
+  // are key-sorted, so this is two binary searches).
+  const auto pending_below = [&](std::size_t s, const sim::EventKey& bound) {
+    const auto& trace_stream = split.events[s];
+    const auto& dyn_stream = dyn_streams[s];
+    const auto tit = std::lower_bound(
+        trace_stream.begin() + static_cast<std::ptrdiff_t>(trace_pos[s]),
+        trace_stream.end(), bound,
+        [](const trace::ShardEventRef& e, const sim::EventKey& k) {
+          return e.key() < k;
+        });
+    const auto dit = std::lower_bound(
+        dyn_stream.begin() + static_cast<std::ptrdiff_t>(dyn_pos[s]),
+        dyn_stream.end(), bound,
+        [](const sim::Event& e, const sim::EventKey& k) {
+          return sim::EventKey{e.time, e.seq} < k;
+        });
+    return static_cast<std::size_t>(
+        (tit - trace_stream.begin()) - static_cast<std::ptrdiff_t>(trace_pos[s]) +
+        (dit - dyn_stream.begin()) - static_cast<std::ptrdiff_t>(dyn_pos[s]));
+  };
+  // Below this many total pending events an epoch runs inline on the
+  // coordinator thread: a pool barrier costs more than dispatching a
+  // handful of events, and migration stabs usually open sliver epochs
+  // where a single node hands over between two shards.  Shard state is
+  // disjoint, so processing shards sequentially from one thread is
+  // execution-equivalent to the parallel path.
+  constexpr std::size_t kInlineEpochThreshold = 128;
+
+  std::vector<std::size_t> active;
+  active.reserve(num_shards);
+  for (const sim::EpochBound& bound : epochs) {
+    active.clear();
+    std::size_t pending = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t p = pending_below(s, bound.key);
+      if (p > 0) active.push_back(s);
+      pending += p;
+    }
+    if (active.size() == 1 || pending <= kInlineEpochThreshold) {
+      for (const std::size_t s : active) process_shard(s, bound.key);
+    } else {
+      parallel_for(*pool, active.size(), [&](std::size_t i) {
+        process_shard(active[i], bound.key);
+      });
+    }
+    // Barrier phase, on the coordinator thread under shard slot 0: the
+    // global TTL sweep and router tick run exactly where their serial
+    // (time, seq) keys place them.
+    if (bound.kind == sim::EpochKind::kUnit) {
+      ShardContext& coord = contexts_[0];
+      coord.now = bound.key.time;
+      coord.cur_seq = bound.key.seq;
+      ++coord.events;
+      drop_expired();
+      coord.cur_seq = bound.key.seq + 1;
+      ++coord.events;
+      router_.on_time_unit(*this, bound.unit_index);
+    }
+    if (auditor_.enabled()) auditor_.audit_now();
+  }
+
+  // Horizon sweep, as run() does after run_until.
+  contexts_[0].now = trace_end_;
+  drop_expired();
+  merge_shard_contexts();
+  if (auditor_.enabled()) auditor_.audit_now();
+}
+
+void Network::dispatch_sharded(const sim::Event& ev) {
+  switch (ev.kind) {
+    case sim::EventKind::kArrival:
+      handle_arrival(trace_.visits(ev.a)[ev.b]);
+      break;
+    case sim::EventKind::kDeparture:
+      handle_departure(trace_.visits(ev.a)[ev.b]);
+      break;
+    case sim::EventKind::kPacketGen: {
+      const WorkloadEntry& w = workload_[ev.b];
+      generate_packet(w.src, w.dst, cfg_.ttl, trace::kNoNode, w.pid);
+      break;
+    }
+    case sim::EventKind::kManualPacket: {
+      const auto& mp = cfg_.manual_packets[ev.a];
+      const double ttl = mp.ttl > 0.0 ? mp.ttl : cfg_.ttl;
+      generate_packet(mp.src, mp.dst, ttl, trace::kNoNode,
+                      manual_pids_[ev.a]);
+      break;
+    }
+    default:
+      // Sweeps/ticks run at barriers; faults are rejected up front.
+      DTN_ASSERT(false);
+  }
+}
+
+void Network::merge_shard_contexts() {
+  RunCounters total;
+  std::vector<DeliveryRecord> records;
+  std::size_t num_records = 0;
+  for (const ShardContext& ctx : contexts_) {
+    num_records += ctx.records.size();
+  }
+  records.reserve(num_records);
+  std::uint64_t events = 0;
+  for (const ShardContext& ctx : contexts_) {
+    const RunCounters& c = ctx.counters;
+    total.generated += c.generated;
+    total.delivered += c.delivered;
+    total.dropped_ttl += c.dropped_ttl;
+    total.refused_buffer += c.refused_buffer;
+    total.packet_forwards += c.packet_forwards;
+    total.replications += c.replications;
+    // Every account_control summand is an integer-valued double (entry
+    // counts), so all partial sums are exact and the per-shard
+    // regrouping cannot change the total's bits.
+    total.control_entries += c.control_entries;
+    // Faults are rejected in sharded runs; the resilience counters must
+    // all still be zero.
+    DTN_ASSERT(c.node_crashes == 0 && c.station_outages == 0 &&
+               c.packets_lost_fault == 0 && c.transfers_interrupted == 0 &&
+               c.transfers_blocked_fault == 0);
+    events += ctx.events;
+    records.insert(records.end(), ctx.records.begin(), ctx.records.end());
+  }
+  // Restore the serial delivery order: records sort by the delivering
+  // event's (time, seq) key; several deliveries inside one event share
+  // a key and sit contiguously in one shard's log, so the stable sort
+  // keeps their intra-event order.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const DeliveryRecord& a, const DeliveryRecord& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.seq < b.seq;
+                   });
+  total.delivery_delays.reserve(records.size());
+  total.delivery_hops.reserve(records.size());
+  for (const DeliveryRecord& r : records) {
+    total.total_delay += r.delay;
+    total.delivery_delays.push_back(r.delay);
+    total.delivery_hops.push_back(r.hops);
+  }
+  DTN_ASSERT(total.delivered == records.size());
+  counters_ = std::move(total);
+  sharded_events_ = events;
+}
+
 void Network::dispatch(const sim::Event& ev) {
   auditor_.on_event();
   switch (ev.kind) {
@@ -132,15 +502,16 @@ void Network::dispatch(const sim::Event& ev) {
       handle_departure(trace_.visits(ev.a)[ev.b]);
       break;
     case sim::EventKind::kPacketGen: {
-      const auto l = static_cast<LandmarkId>(ev.a);
-      generate_random_packet(l);
-      schedule_generation(l, sim_.now());
+      const WorkloadEntry& w = workload_[ev.b];
+      generate_packet(w.src, w.dst, cfg_.ttl, trace::kNoNode, w.pid);
       break;
     }
     case sim::EventKind::kManualPacket: {
       const auto& mp = cfg_.manual_packets[ev.a];
       const double ttl = mp.ttl > 0.0 ? mp.ttl : cfg_.ttl;
-      generate_packet(mp.src, mp.dst, ttl, mp.dst_node);
+      const PacketId slot =
+          manual_pids_.empty() ? kNoPacket : manual_pids_[ev.a];
+      generate_packet(mp.src, mp.dst, ttl, mp.dst_node, slot);
       break;
     }
     case sim::EventKind::kTtlSweep:
@@ -325,7 +696,7 @@ bool Network::transfer_interrupted(PacketId pid) {
   const std::uint32_t slot = ledger_slot(pid);
   if (slot != kNoLedgerSlot && now < ledger_[slot].next_retry) {
     // Still backing off from the last mid-contact break.
-    ++counters_.transfers_blocked_fault;
+    ++ctr().transfers_blocked_fault;
     return true;
   }
   if (faults_->draw_transfer_failure()) {
@@ -432,14 +803,14 @@ void Network::detach_from_holder(Packet& p) {
 bool Network::drop_if_expired(PacketId pid) {
   Packet& p = packet(pid);
   DTN_ASSERT(!is_terminal(p.state));
-  if (!p.expired(sim_.now())) return false;
+  if (!p.expired(now_())) return false;
   detach_from_holder(p);
   ledger_erase(pid);
   if (logical_delivered_[p.logical] != 0) {
     p.state = PacketState::kObsoleteCopy;
   } else {
     p.state = PacketState::kDroppedTtl;
-    ++counters_.dropped_ttl;
+    ++ctr().dropped_ttl;
   }
   return true;
 }
@@ -450,7 +821,7 @@ bool Network::pickup_from_origin(NodeId node, PacketId pid) {
   DTN_ASSERT(nodes_[node].location == p.holder);
   if (drop_if_expired(pid)) return false;
   if (node_down(node)) {
-    ++counters_.transfers_blocked_fault;
+    ++ctr().transfers_blocked_fault;
     return false;
   }
   if (transfer_interrupted(pid)) return false;
@@ -458,13 +829,13 @@ bool Network::pickup_from_origin(NodeId node, PacketId pid) {
     // Picked up by its destination: delivered on the spot.
     detach_from_holder(p);
     ++p.hops;
-    ++counters_.packet_forwards;
+    ++ctr().packet_forwards;
     deliver(pid);
     return true;
   }
   auto& origin = stations_[p.holder].origin;
   if (!nodes_[node].buffer.add(pid, p.size_kb)) {
-    ++counters_.refused_buffer;
+    ++ctr().refused_buffer;
     return false;
   }
   const auto it = std::find(origin.begin(), origin.end(), pid);
@@ -473,7 +844,7 @@ bool Network::pickup_from_origin(NodeId node, PacketId pid) {
   p.state = PacketState::kOnNode;
   p.holder = node;
   ++p.hops;
-  ++counters_.packet_forwards;
+  ++ctr().packet_forwards;
   return true;
 }
 
@@ -484,27 +855,27 @@ bool Network::station_to_node(LandmarkId l, NodeId node, PacketId pid) {
   DTN_ASSERT(nodes_[node].location == l);
   if (drop_if_expired(pid)) return false;
   if (station_down(l) || node_down(node)) {
-    ++counters_.transfers_blocked_fault;
+    ++ctr().transfers_blocked_fault;
     return false;
   }
   if (transfer_interrupted(pid)) return false;
   if (p.dst_node == node) {
     detach_from_holder(p);
     ++p.hops;
-    ++counters_.packet_forwards;
+    ++ctr().packet_forwards;
     deliver(pid);
     note_station_activity(l);
     return true;
   }
   if (!nodes_[node].buffer.add(pid, p.size_kb)) {
-    ++counters_.refused_buffer;
+    ++ctr().refused_buffer;
     return false;
   }
   stations_[l].storage.remove(pid, p.size_kb);
   p.state = PacketState::kOnNode;
   p.holder = node;
   ++p.hops;
-  ++counters_.packet_forwards;
+  ++ctr().packet_forwards;
   note_station_activity(l);
   return true;
 }
@@ -517,13 +888,13 @@ bool Network::node_to_station(NodeId node, PacketId pid) {
   DTN_ASSERT(l != kNoLandmark);
   if (drop_if_expired(pid)) return false;
   if (node_down(node) || station_down(l)) {
-    ++counters_.transfers_blocked_fault;
+    ++ctr().transfers_blocked_fault;
     return false;
   }
   if (transfer_interrupted(pid)) return false;
   nodes_[node].buffer.remove(pid, p.size_kb);
   ++p.hops;
-  ++counters_.packet_forwards;
+  ++ctr().packet_forwards;
   if (p.dst == l && p.dst_node == trace::kNoNode) {
     deliver(pid);
     note_station_activity(l);
@@ -554,30 +925,33 @@ bool Network::node_to_node(NodeId from, NodeId to, PacketId pid) {
   DTN_ASSERT(nodes_[from].location == nodes_[to].location);
   if (drop_if_expired(pid)) return false;
   if (node_down(from) || node_down(to)) {
-    ++counters_.transfers_blocked_fault;
+    ++ctr().transfers_blocked_fault;
     return false;
   }
   if (transfer_interrupted(pid)) return false;
   if (p.dst_node == to) {
     detach_from_holder(p);
     ++p.hops;
-    ++counters_.packet_forwards;
+    ++ctr().packet_forwards;
     deliver(pid);
     return true;
   }
   if (!nodes_[to].buffer.add(pid, p.size_kb)) {
-    ++counters_.refused_buffer;
+    ++ctr().refused_buffer;
     return false;
   }
   nodes_[from].buffer.remove(pid, p.size_kb);
   p.holder = to;
   ++p.hops;
-  ++counters_.packet_forwards;
+  ++ctr().packet_forwards;
   return true;
 }
 
 PacketId Network::replicate_node_to_node(NodeId from, NodeId to,
                                          PacketId pid) {
+  // Replication grows the packet table mid-run; only the serial engine
+  // may do that (shard_safe routers are single-copy by contract).
+  DTN_ASSERT(!sharded_run_);
   const Packet& src = packet(pid);
   DTN_ASSERT(src.state == PacketState::kOnNode);
   DTN_ASSERT(src.holder == from);
@@ -587,12 +961,12 @@ PacketId Network::replicate_node_to_node(NodeId from, NodeId to,
   if (logical_delivered_[src.logical] != 0) return kNoPacket;
   if (drop_if_expired(pid)) return kNoPacket;
   if (node_down(from) || node_down(to)) {
-    ++counters_.transfers_blocked_fault;
+    ++ctr().transfers_blocked_fault;
     return kNoPacket;
   }
   if (transfer_interrupted(pid)) return kNoPacket;
   if (!nodes_[to].buffer.has_space(src.size_kb)) {
-    ++counters_.refused_buffer;
+    ++ctr().refused_buffer;
     return kNoPacket;
   }
   Packet copy = src;  // inherits deadline, routing state, path record
@@ -604,7 +978,7 @@ PacketId Network::replicate_node_to_node(NodeId from, NodeId to,
   DTN_ASSERT(ok);
   packets_.push_back(std::move(copy));
   logical_delivered_.push_back(0);  // indexed per packet row; unused for copies
-  ++counters_.packet_forwards;
+  ++ctr().packet_forwards;
   ++counters_.replications;
   return packets_.back().id;
 }
@@ -624,7 +998,7 @@ bool Network::logical_delivered(PacketId logical) const {
 
 void Network::account_control(double entries) {
   DTN_ASSERT(entries >= 0.0);
-  counters_.control_entries += entries;
+  ctr().control_entries += entries;
 }
 
 void Network::validate_invariants() const {
@@ -898,45 +1272,23 @@ bool Network::debug_corrupt_for_test(Corruption kind, int delta) {
   return false;
 }
 
-void Network::schedule_generation(LandmarkId l, double from_time) {
-  const double mean_gap = trace::kDay / cfg_.packets_per_landmark_per_day;
-  const double t = from_time + rng_.exponential(mean_gap);
-  if (t > trace_end_) return;
-  sim::Event ev;
-  ev.kind = sim::EventKind::kPacketGen;
-  ev.a = l;
-  sim_.schedule(t, ev);
-}
-
-void Network::generate_random_packet(LandmarkId src) {
-  LandmarkId dst;
-  if (cfg_.destination_weights.empty()) {
-    // Uniformly random destination among the other landmarks (§V-A.1).
-    dst = static_cast<LandmarkId>(rng_.uniform_index(trace_.num_landmarks() - 1));
-    if (dst >= src) ++dst;
-  } else {
-    DTN_ASSERT(cfg_.destination_weights.size() == trace_.num_landmarks());
-    std::vector<double> weights = cfg_.destination_weights;
-    weights[src] = 0.0;
-    double total = 0.0;
-    for (const double w : weights) total += w;
-    // All demand from this landmark targets itself (e.g. the collection
-    // sink): nothing to send.
-    if (total <= 0.0) return;
-    dst = static_cast<LandmarkId>(rng_.discrete(weights));
-  }
-  generate_packet(src, dst, cfg_.ttl);
-}
-
 PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
-                                  NodeId dst_node) {
+                                  NodeId dst_node, PacketId slot) {
   Packet p;
-  p.id = static_cast<PacketId>(packets_.size());
+  if (slot == kNoPacket) {
+    p.id = static_cast<PacketId>(packets_.size());
+  } else {
+    // Pre-assigned id (sharded runs): the slot was allocated before the
+    // replay started, so concurrent shards never touch the table shape.
+    DTN_ASSERT(slot < packets_.size());
+    DTN_ASSERT(packets_[slot].state == PacketState::kUnborn);
+    p.id = slot;
+  }
   p.logical = p.id;
   p.src = src;
   p.dst = dst;
   p.dst_node = dst_node;
-  p.created = sim_.now();
+  p.created = now_();
   p.ttl = ttl;
   p.size_kb = cfg_.packet_size_kb;
   p.holder = src;
@@ -949,14 +1301,20 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
     p.state = PacketState::kAtOrigin;
     stations_[src].origin.push_back(p.id);
   }
-  packets_.push_back(std::move(p));
-  logical_delivered_.push_back(0);
-  ++counters_.generated;
-  const PacketId pid = packets_.back().id;
+  const PacketId pid = p.id;
+  if (slot == kNoPacket) {
+    packets_.push_back(std::move(p));
+    logical_delivered_.push_back(0);
+  } else {
+    packets_[slot] = std::move(p);
+  }
+  ++ctr().generated;
+  // run_sharded rejects node-addressed workloads, so this global flag
+  // is only ever written on the serial path.
   if (dst_node != trace::kNoNode) any_node_addressed_ = true;
   // A node-addressed packet whose destination node is connected at the
   // source right now is handed over on the spot.
-  Packet& placed = packets_.back();
+  Packet& placed = packets_[pid];
   if (placed.dst_node != trace::kNoNode &&
       placed.dst_node < nodes_.size() &&
       nodes_[placed.dst_node].location == src &&
@@ -972,7 +1330,7 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
       origin.pop_back();
     }
     ++placed.hops;
-    ++counters_.packet_forwards;
+    ++ctr().packet_forwards;
     deliver(pid);
     return pid;
   }
@@ -984,7 +1342,7 @@ void Network::deliver(PacketId pid) {
   Packet& p = packet(pid);
   DTN_ASSERT(!is_terminal(p.state));
   ledger_erase(pid);
-  p.delivered_at = sim_.now();
+  p.delivered_at = now_();
   if (logical_delivered_[p.logical] != 0) {
     // Another copy got there first: retire silently.
     p.state = PacketState::kObsoleteCopy;
@@ -992,15 +1350,23 @@ void Network::deliver(PacketId pid) {
   }
   logical_delivered_[p.logical] = 1;
   p.state = PacketState::kDelivered;
-  ++counters_.delivered;
   const double delay = p.delivered_at - p.created;
-  counters_.total_delay += delay;
-  counters_.delivery_delays.push_back(delay);
-  counters_.delivery_hops.push_back(p.hops);
+  if (sharded_run_) {
+    // Per-shard delivery log, keyed by the delivering event so the
+    // merge restores the serial append order bit-for-bit.
+    ShardContext& ctx = contexts_[sim::current_shard()];
+    ++ctx.counters.delivered;
+    ctx.records.push_back({ctx.now, ctx.cur_seq, delay, p.hops});
+  } else {
+    ++counters_.delivered;
+    counters_.total_delay += delay;
+    counters_.delivery_delays.push_back(delay);
+    counters_.delivery_hops.push_back(p.hops);
+  }
 }
 
 void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
-  const double now = sim_.now();
+  const double now = now_();
   // Station packets addressed to the arriving node (frozen while the
   // station is in an injected outage).
   if (!station_down(l)) {
@@ -1013,7 +1379,7 @@ void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
       if (p.expired(now)) continue;
       stations_[l].storage.remove(pid, p.size_kb);
       ++p.hops;
-      ++counters_.packet_forwards;
+      ++ctr().packet_forwards;
       deliver(pid);
     }
   }
@@ -1049,7 +1415,7 @@ void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
         if (p.expired(now)) continue;
         nodes_[holder].buffer.remove(pid, p.size_kb);
         ++p.hops;
-        ++counters_.packet_forwards;
+        ++ctr().packet_forwards;
         deliver(pid);
       }
     }
@@ -1057,7 +1423,7 @@ void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
 }
 
 void Network::drop_expired() {
-  const double now = sim_.now();
+  const double now = now_();
   for (Packet& p : packets_) {
     if (is_terminal(p.state)) continue;
     const bool obsolete = logical_delivered_[p.logical] != 0;
@@ -1084,7 +1450,7 @@ void Network::drop_expired() {
       p.state = PacketState::kObsoleteCopy;
     } else {
       p.state = PacketState::kDroppedTtl;
-      ++counters_.dropped_ttl;
+      ++ctr().dropped_ttl;
     }
   }
 }
@@ -1108,7 +1474,7 @@ void Network::handle_arrival(const trace::Visit& visit) {
   const bool sink_up =
       !router_.uses_stations() || !station_down(visit.landmark);
   if (arriving_up && sink_up) {
-    std::vector<PacketId>& arrived = scratch_;
+    std::vector<PacketId>& arrived = arrival_scratch();
     arrived.clear();
     for (PacketId pid : node.buffer.packets()) {
       if (packets_[pid].dst == visit.landmark &&
@@ -1118,10 +1484,10 @@ void Network::handle_arrival(const trace::Visit& visit) {
     }
     for (PacketId pid : arrived) {
       Packet& p = packets_[pid];
-      if (p.expired(sim_.now())) continue;  // swept later
+      if (p.expired(now_())) continue;  // swept later
       node.buffer.remove(pid, p.size_kb);
       ++p.hops;
-      ++counters_.packet_forwards;
+      ++ctr().packet_forwards;
       deliver(pid);
     }
   }

@@ -18,9 +18,11 @@
 #include "net/router.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/invariant_auditor.hpp"
+#include "sim/shard_coordinator.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dtn::net {
 
@@ -125,11 +127,24 @@ class Network {
   /// Replay the whole trace.  Call exactly once.
   void run();
 
+  /// Replay the whole trace with the event engine sharded by landmark
+  /// partition (docs/parallel-engine.md): each shard replays the events
+  /// of a disjoint landmark set between boundary epochs; every result
+  /// (counters, packet table, delivery order) is bit-identical to
+  /// `run()`.  Requires `router.shard_safe()`, no fault plan, no
+  /// periodic auditing and a landmark-addressed-only workload
+  /// (manual packets must not set dst_node).  `num_shards <= 1` falls
+  /// back to the serial path; a null `pool` creates a private one.
+  /// Call exactly once (instead of run()).
+  void run_sharded(std::size_t num_shards, ThreadPool* pool = nullptr);
+
   // -- introspection ----------------------------------------------------
-  [[nodiscard]] double now() const { return sim_.now(); }
+  [[nodiscard]] double now() const {
+    return sharded_run_ ? contexts_[sim::current_shard()].now : sim_.now();
+  }
   /// Events executed by the replay so far (trace + workload + ticks).
   [[nodiscard]] std::uint64_t events_executed() const {
-    return sim_.events_executed();
+    return sharded_run_ ? sharded_events_ : sim_.events_executed();
   }
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] std::size_t num_landmarks() const { return stations_.size(); }
@@ -259,15 +274,70 @@ class Network {
   bool drop_if_expired(PacketId pid);
   /// Remove `pid` from whatever currently holds it (non-terminal states).
   void detach_from_holder(Packet& p);
+  /// `slot != kNoPacket` fills a pre-allocated (kUnborn) packet row
+  /// instead of appending — the sharded engine assigns ids up front.
   PacketId generate_packet(LandmarkId src, LandmarkId dst, double ttl,
-                           NodeId dst_node = trace::kNoNode);
-  void generate_random_packet(LandmarkId src);
-  void schedule_generation(LandmarkId l, double from_time);
+                           NodeId dst_node = trace::kNoNode,
+                           PacketId slot = kNoPacket);
   void deliver_node_addressed(NodeId arriving, LandmarkId l);
   void deliver(PacketId pid);
   void drop_expired();
   void handle_arrival(const trace::Visit& visit);
   void handle_departure(const trace::Visit& visit);
+
+  // -- sharded engine (docs/parallel-engine.md) -------------------------
+  /// One generation event of the pre-drawn Poisson workload.  Drawn
+  /// before the replay from per-landmark RNG streams so serial and
+  /// sharded runs consume identical randomness.
+  struct WorkloadEntry {
+    double time = 0.0;
+    LandmarkId src = 0;
+    LandmarkId dst = 0;
+    /// Pre-assigned packet id (sharded runs only; kNoPacket serial).
+    PacketId pid = kNoPacket;
+  };
+  /// Draw the whole Poisson workload into `workload_`, sorted by
+  /// (time, src) — the order the serial scheduler assigns ranks in.
+  void build_workload();
+  /// A delivery recorded by one shard, keyed by the (time, seq) of the
+  /// event that delivered it so the merge can restore the exact serial
+  /// append order of delivery_delays / delivery_hops / total_delay.
+  struct DeliveryRecord {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    double delay = 0.0;
+    std::uint32_t hops = 0;
+  };
+  /// Per-shard mutable replay state; slot 0 doubles as the
+  /// coordinator's context during barrier phases.  Cache-line padded so
+  /// neighboring shards never false-share counters.
+  struct alignas(128) ShardContext {
+    RunCounters counters;
+    std::vector<DeliveryRecord> records;
+    std::vector<PacketId> scratch;
+    double now = 0.0;
+    std::uint64_t cur_seq = 0;
+    std::uint64_t events = 0;
+  };
+  /// Shard-loop event dispatch: only trace and generation events ever
+  /// reach shards (sweeps/ticks run at barriers, faults are rejected).
+  void dispatch_sharded(const sim::Event& ev);
+  /// Fold per-shard counters and delivery records back into `counters_`
+  /// in the serial order.
+  void merge_shard_contexts();
+  /// Active counter sink: the calling shard's slot during a sharded
+  /// run, the plain run counters otherwise.
+  [[nodiscard]] RunCounters& ctr() {
+    return sharded_run_ ? contexts_[sim::current_shard()].counters
+                        : counters_;
+  }
+  /// Simulation clock visible to engine internals (mirrors now()).
+  [[nodiscard]] double now_() const {
+    return sharded_run_ ? contexts_[sim::current_shard()].now : sim_.now();
+  }
+  [[nodiscard]] std::vector<PacketId>& arrival_scratch() {
+    return sharded_run_ ? contexts_[sim::current_shard()].scratch : scratch_;
+  }
 
   // -- fault machinery (see docs/fault-injection.md) --------------------
   /// Schedule the plan's initial fault events (after the workload, so
@@ -354,6 +424,16 @@ class Network {
   /// Reused per-arrival scratch list (avoids an allocation per event).
   std::vector<PacketId> scratch_;
   RunCounters counters_;
+
+  /// Pre-drawn Poisson workload (build_workload), rank order.
+  std::vector<WorkloadEntry> workload_;
+  /// Pre-assigned packet id per manual packet (sharded runs only;
+  /// kNoPacket for packets scheduled past the trace end).
+  std::vector<PacketId> manual_pids_;
+  /// Per-shard contexts; non-empty exactly while sharded_run_ is set.
+  std::vector<ShardContext> contexts_;
+  std::uint64_t sharded_events_ = 0;
+  bool sharded_run_ = false;
 
   double trace_begin_ = 0.0;
   double trace_end_ = 0.0;

@@ -1,0 +1,104 @@
+#include "sim/shard_coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dtn::sim {
+
+namespace {
+thread_local std::size_t t_current_shard = 0;
+}  // namespace
+
+std::size_t current_shard() { return t_current_shard; }
+
+ScopedShard::ScopedShard(std::size_t shard) : prev_(t_current_shard) {
+  t_current_shard = shard;
+}
+
+ScopedShard::~ScopedShard() { t_current_shard = prev_; }
+
+std::vector<std::uint32_t> assign_shards(
+    std::span<const std::uint64_t> weights, std::size_t num_shards) {
+  DTN_ASSERT(num_shards >= 1);
+  const std::size_t n = weights.size();
+  std::vector<std::uint32_t> shard_of(n, 0);
+  if (num_shards == 1 || n == 0) return shard_of;
+
+  // Heaviest landmark first; stable on the id so equal weights keep a
+  // deterministic order.
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return weights[a] > weights[b];
+                   });
+
+  std::vector<std::uint64_t> load(num_shards, 0);
+  for (const std::uint32_t l : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    shard_of[l] = static_cast<std::uint32_t>(best);
+    load[best] += weights[l];
+  }
+  return shard_of;
+}
+
+std::vector<EpochBound> plan_barriers(std::vector<MigrationEdge> edges,
+                                      std::span<const EventKey> unit_bounds,
+                                      EventKey final_key) {
+  for (std::size_t i = 1; i < unit_bounds.size(); ++i) {
+    DTN_ASSERT(unit_bounds[i - 1] < unit_bounds[i]);
+  }
+
+  // Greedy interval stabbing: walk edges by ascending arrival and stab
+  // at the arrival key (the latest point of (dep, arr]) whenever no
+  // earlier stab or mandatory unit bound already covers the edge.
+  // Because edges are processed in arr order, every previously chosen
+  // stab is <= the current arr, so "covered" reduces to stab > dep.
+  std::sort(edges.begin(), edges.end(),
+            [](const MigrationEdge& a, const MigrationEdge& b) {
+              if (!(a.arr == b.arr)) return a.arr < b.arr;
+              return a.dep < b.dep;
+            });
+
+  std::vector<EventKey> stabs;
+  bool have_stab = false;
+  EventKey latest_stab{};
+  for (const MigrationEdge& e : edges) {
+    DTN_ASSERT(e.dep < e.arr);
+    if (have_stab && e.dep < latest_stab) continue;  // stab in (dep, arr]
+    // A mandatory unit bound inside (dep, arr] also separates the pair.
+    const auto it = std::upper_bound(unit_bounds.begin(), unit_bounds.end(),
+                                     e.dep);
+    if (it != unit_bounds.end() && *it <= e.arr) continue;
+    stabs.push_back(e.arr);
+    latest_stab = e.arr;
+    have_stab = true;
+  }
+
+  // Merge unit bounds and stabs into one ascending epoch list.  Keys
+  // never collide across the two sets (stabs are arrival-event keys,
+  // unit bounds are sweep-event keys, and seqs are unique), but a
+  // duplicate would be harmless anyway — an empty epoch.
+  std::vector<EpochBound> epochs;
+  epochs.reserve(unit_bounds.size() + stabs.size() + 1);
+  std::size_t ui = 0, si = 0;
+  while (ui < unit_bounds.size() || si < stabs.size()) {
+    if (si >= stabs.size() ||
+        (ui < unit_bounds.size() && unit_bounds[ui] < stabs[si])) {
+      epochs.push_back({unit_bounds[ui], EpochKind::kUnit, ui + 1});
+      ++ui;
+    } else {
+      epochs.push_back({stabs[si], EpochKind::kSync, 0});
+      ++si;
+    }
+  }
+  DTN_ASSERT(epochs.empty() || epochs.back().key < final_key);
+  epochs.push_back({final_key, EpochKind::kFinal, 0});
+  return epochs;
+}
+
+}  // namespace dtn::sim

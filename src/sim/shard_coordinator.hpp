@@ -1,0 +1,112 @@
+// Shard planning for the parallel replay engine.
+//
+// DTN-FLOW's structure makes the landmark partition a natural unit of
+// parallelism: nodes only exchange data through landmarks, so events at
+// disjoint landmark sets touch disjoint state except when a node
+// migrates between subareas.  This header provides the pieces the
+// sharded `Network::run_sharded` path composes:
+//
+//   * `EventKey` — the (time, seq) total order every event already
+//     carries.  Serial replay executes events in exactly this order;
+//     sharded replay preserves it per shard and across every
+//     inter-shard dependency.
+//   * `assign_shards` — greedy balanced partition of landmarks into
+//     shards, weighted by per-landmark event counts.
+//   * `plan_barriers` — computes the boundary epochs: every time-unit
+//     tick is a mandatory global barrier, and additional synchronization
+//     points are inserted (greedy interval stabbing) so that every
+//     cross-shard node migration has its departure and arrival separated
+//     by a barrier.
+//   * `current_shard` / `ScopedShard` — the thread-local shard ordinal
+//     event handlers use to select their per-shard accumulator slot.
+//
+// See docs/parallel-engine.md for the full determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dtn::sim {
+
+/// The global execution order of the replay engine: events are totally
+/// ordered by (time, seq); seq is unique per event.
+struct EventKey {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+
+  friend constexpr bool operator==(EventKey a, EventKey b) {
+    return a.time == b.time && a.seq == b.seq;
+  }
+  friend constexpr bool operator<(EventKey a, EventKey b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  friend constexpr bool operator<=(EventKey a, EventKey b) {
+    return a == b || a < b;
+  }
+};
+
+/// A node migration whose departure and arrival land on different
+/// shards; the barrier plan must separate the two with an epoch
+/// boundary.  `dep < arr` always holds (seq ordering).
+struct MigrationEdge {
+  EventKey dep;
+  EventKey arr;
+};
+
+enum class EpochKind : std::uint8_t {
+  kSync,  ///< pure synchronization point (covers migration edges)
+  kUnit,  ///< time-unit boundary: coordinator runs TTL sweep + router tick
+  kFinal, ///< end of replay
+};
+
+/// One boundary epoch: shards process every owned event with key < `key`,
+/// then the coordinator runs its barrier phase.
+struct EpochBound {
+  EventKey key;
+  EpochKind kind = EpochKind::kSync;
+  std::size_t unit_index = 0;  ///< valid when kind == kUnit
+};
+
+/// Partition `weights.size()` landmarks into `num_shards` shards,
+/// balancing total weight (longest-processing-time greedy: heaviest
+/// landmark first to the least-loaded shard).  Deterministic: ties break
+/// toward the lower landmark id / lower shard id.  Returns the shard id
+/// of each landmark.  Requires num_shards >= 1.
+[[nodiscard]] std::vector<std::uint32_t> assign_shards(
+    std::span<const std::uint64_t> weights, std::size_t num_shards);
+
+/// Build the sorted epoch list for one sharded run.
+///
+/// `unit_bounds` are the mandatory barriers (one per scheduled time-unit
+/// sweep, in ascending key order; `unit_bounds[i]` gets unit_index i+1 to
+/// match the 1-based unit numbering of the serial scheduler).  `edges`
+/// are the cross-shard migrations (any order).  `final_key` must be
+/// strictly greater than every event key; it becomes the closing kFinal
+/// bound.  Additional kSync bounds are inserted greedily so every edge
+/// has a bound in (dep, arr] — stabbing at the latest legal point
+/// (the arrival's own key) minimizes the number of extra barriers.
+[[nodiscard]] std::vector<EpochBound> plan_barriers(
+    std::vector<MigrationEdge> edges, std::span<const EventKey> unit_bounds,
+    EventKey final_key);
+
+/// Shard ordinal of the calling thread (0 outside a sharded epoch, so
+/// serial runs and coordinator barrier phases share slot 0).
+[[nodiscard]] std::size_t current_shard();
+
+/// RAII guard: sets the calling thread's shard ordinal for the duration
+/// of one shard's epoch slice.
+class ScopedShard {
+ public:
+  explicit ScopedShard(std::size_t shard);
+  ~ScopedShard();
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+}  // namespace dtn::sim

@@ -1,0 +1,76 @@
+#include "trace/shard_cursor.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dtn::trace {
+
+std::vector<std::uint64_t> landmark_visit_weights(const Trace& trace) {
+  DTN_ASSERT(trace.finalized());
+  std::vector<std::uint64_t> weights(trace.num_landmarks(), 0);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const Visit& v : trace.visits(n)) ++weights[v.landmark];
+  }
+  return weights;
+}
+
+TraceShardSplit split_trace_events(
+    const Trace& trace, std::span<const std::uint32_t> landmark_shard,
+    std::size_t num_shards) {
+  DTN_ASSERT(trace.finalized());
+  DTN_ASSERT(landmark_shard.size() == trace.num_landmarks());
+  DTN_ASSERT(num_shards >= 1);
+
+  TraceShardSplit split;
+  split.events.resize(num_shards);
+
+  // Pre-size each shard's stream so the fill loop never reallocates.
+  std::vector<std::size_t> counts(num_shards, 0);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    for (const Visit& v : trace.visits(n)) {
+      DTN_ASSERT(landmark_shard[v.landmark] < num_shards);
+      counts[landmark_shard[v.landmark]] += 2;
+    }
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    split.events[s].reserve(counts[s]);
+  }
+
+  // Node-major walk replicating TraceCursor's seq assignment:
+  // seq = seq_base[node] + 2 * visit + phase.
+  std::uint64_t seq_base = 0;
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    const auto visits = trace.visits(n);
+    std::uint32_t prev_shard = 0;
+    sim::EventKey prev_dep{};
+    for (std::uint32_t vi = 0; vi < visits.size(); ++vi) {
+      const Visit& v = visits[vi];
+      const std::uint32_t shard = landmark_shard[v.landmark];
+      const std::uint64_t arr_seq = seq_base + 2ull * vi;
+      auto& stream = split.events[shard];
+      stream.push_back({v.start, arr_seq, n, (vi << 1) | 0u});
+      stream.push_back({v.end, arr_seq + 1, n, (vi << 1) | 1u});
+      if (vi > 0 && shard != prev_shard) {
+        split.migrations.push_back({prev_dep, {v.start, arr_seq}});
+      }
+      prev_shard = shard;
+      prev_dep = {v.end, arr_seq + 1};
+    }
+    seq_base += 2ull * visits.size();
+  }
+  split.total_events = seq_base;
+
+  // Per-node streams are emitted in key order but the node-major
+  // concatenation is not globally sorted.
+  for (auto& stream : split.events) {
+    std::sort(stream.begin(), stream.end(),
+              [](const ShardEventRef& a, const ShardEventRef& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.seq < b.seq;
+              });
+  }
+  return split;
+}
+
+}  // namespace dtn::trace

@@ -1,0 +1,70 @@
+// Trace-event splitting for the sharded replay engine.
+//
+// `TraceCursor` merges per-node visit streams into one global
+// (time, seq) order.  The sharded engine instead partitions the same
+// events by the landmark each visit belongs to: every shard replays the
+// arrivals/departures of its own landmarks in (time, seq) order, and the
+// shard coordinator inserts boundary epochs so that a node's departure
+// from one shard is globally ordered before its arrival at the next
+// (sim/shard_coordinator.hpp).
+//
+// Sequence numbers replicate TraceCursor's node-major enumeration
+// bit-for-bit (seq = seq_base[node] + 2 * visit + phase), so a sharded
+// run and a serial run execute the same events under the same keys.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/shard_coordinator.hpp"
+#include "trace/trace.hpp"
+
+namespace dtn::trace {
+
+/// One trace event, compressed to its (time, seq) key plus the node and
+/// packed visit index / phase (phase 0 = arrival, 1 = departure).
+struct ShardEventRef {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  NodeId node = 0;
+  std::uint32_t visit_and_phase = 0;
+
+  [[nodiscard]] sim::EventKey key() const { return {time, seq}; }
+};
+
+/// Expand a ref back into the full engine event (same fields TraceCursor
+/// would have produced).
+[[nodiscard]] inline sim::Event materialize(const ShardEventRef& ref) {
+  sim::Event ev{};
+  ev.time = ref.time;
+  ev.seq = ref.seq;
+  ev.kind = (ref.visit_and_phase & 1u) ? sim::EventKind::kDeparture
+                                       : sim::EventKind::kArrival;
+  ev.a = ref.node;
+  ev.b = ref.visit_and_phase >> 1;  // visit index
+  return ev;
+}
+
+/// Total visits per landmark — the load weight `assign_shards` balances.
+[[nodiscard]] std::vector<std::uint64_t> landmark_visit_weights(
+    const Trace& trace);
+
+struct TraceShardSplit {
+  /// Per-shard event streams, each sorted ascending by (time, seq).
+  std::vector<std::vector<ShardEventRef>> events;
+  /// Cross-shard node migrations (departure/arrival key pairs) the
+  /// barrier plan must separate.
+  std::vector<sim::MigrationEdge> migrations;
+  /// Sum of all per-shard stream sizes == TraceCursor::total_events().
+  std::uint64_t total_events = 0;
+};
+
+/// Split the trace's replay events by `landmark_shard` (one shard id per
+/// landmark, values < num_shards).  Requires a finalized trace.
+[[nodiscard]] TraceShardSplit split_trace_events(
+    const Trace& trace, std::span<const std::uint32_t> landmark_shard,
+    std::size_t num_shards);
+
+}  // namespace dtn::trace

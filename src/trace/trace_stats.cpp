@@ -7,8 +7,8 @@
 
 namespace dtn::trace {
 
-FlatMatrix<std::uint32_t> visit_count_matrix(const Trace& trace) {
-  FlatMatrix<std::uint32_t> counts(trace.num_nodes(), trace.num_landmarks());
+FlatMatrix<std::uint64_t> visit_count_matrix(const Trace& trace) {
+  FlatMatrix<std::uint64_t> counts(trace.num_nodes(), trace.num_landmarks());
   for (NodeId n = 0; n < trace.num_nodes(); ++n) {
     for (const auto& v : trace.visits(n)) {
       ++counts.at(n, v.landmark);
@@ -30,8 +30,8 @@ std::vector<LandmarkId> landmarks_by_popularity(const Trace& trace) {
   return order;
 }
 
-FlatMatrix<std::uint32_t> transit_count_matrix(const Trace& trace) {
-  FlatMatrix<std::uint32_t> counts(trace.num_landmarks(), trace.num_landmarks());
+FlatMatrix<std::uint64_t> transit_count_matrix(const Trace& trace) {
+  FlatMatrix<std::uint64_t> counts(trace.num_landmarks(), trace.num_landmarks());
   for (NodeId n = 0; n < trace.num_nodes(); ++n) {
     for (const auto& t : trace.transits(n)) {
       ++counts.at(t.from, t.to);

@@ -12,13 +12,15 @@
 namespace dtn::trace {
 
 /// Visits per (node, landmark): how often each node visited each place.
-[[nodiscard]] FlatMatrix<std::uint32_t> visit_count_matrix(const Trace& trace);
+/// 64-bit cells: city-scale traces (trace/city_generator.hpp) put count
+/// aggregates past what 32 bits can safely hold.
+[[nodiscard]] FlatMatrix<std::uint64_t> visit_count_matrix(const Trace& trace);
 
 /// Landmarks ordered by total visit count, most visited first.
 [[nodiscard]] std::vector<LandmarkId> landmarks_by_popularity(const Trace& trace);
 
 /// Transit counts per directed landmark pair over the whole trace.
-[[nodiscard]] FlatMatrix<std::uint32_t> transit_count_matrix(const Trace& trace);
+[[nodiscard]] FlatMatrix<std::uint64_t> transit_count_matrix(const Trace& trace);
 
 /// A directed transit link with its measured bandwidth (average node
 /// transits per time unit — the paper's B(l_i -> l_j)).

@@ -68,7 +68,7 @@ TEST_P(GeneratorSeedTest, CampusObservationO1SkewedVisiting) {
   // of nodes reach half of the busiest visitor's count.
   for (std::size_t k = 0; k < 5; ++k) {
     const LandmarkId l = popular[k];
-    std::uint32_t max_count = 0;
+    std::uint64_t max_count = 0;
     for (NodeId n = 0; n < t.num_nodes(); ++n) {
       max_count = std::max(max_count, counts.at(n, l));
     }

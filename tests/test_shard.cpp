@@ -1,0 +1,282 @@
+// Sharded replay engine: coordinator unit tests plus the headline
+// contract — run_sharded(N) is bit-identical to the serial run()
+// (docs/parallel-engine.md).
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dtn_flow_router.hpp"
+#include "net/network.hpp"
+#include "sim/shard_coordinator.hpp"
+#include "trace/campus_generator.hpp"
+#include "trace/city_generator.hpp"
+#include "trace/shard_cursor.hpp"
+
+namespace dtn {
+namespace {
+
+using net::Network;
+using net::WorkloadConfig;
+using trace::kDay;
+
+// -- shard assignment ----------------------------------------------------
+
+TEST(AssignShards, BalancesWeightsGreedily) {
+  const std::vector<std::uint64_t> weights = {10, 1, 1, 1, 1, 10};
+  const auto shard = sim::assign_shards(weights, 2);
+  ASSERT_EQ(shard.size(), weights.size());
+  // The two heavy landmarks must land on different shards.
+  EXPECT_NE(shard[0], shard[5]);
+  std::uint64_t load[2] = {0, 0};
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    ASSERT_LT(shard[l], 2u);
+    load[shard[l]] += weights[l];
+  }
+  EXPECT_EQ(load[0] + load[1], 24u);
+  EXPECT_LE(std::max(load[0], load[1]), 14u);
+}
+
+TEST(AssignShards, MoreShardsThanLandmarksLeavesShardsEmpty) {
+  const std::vector<std::uint64_t> weights = {3, 2, 1};
+  const auto shard = sim::assign_shards(weights, 8);
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    EXPECT_LT(shard[l], 8u);
+  }
+  // With more shards than landmarks every landmark gets its own shard.
+  EXPECT_NE(shard[0], shard[1]);
+  EXPECT_NE(shard[0], shard[2]);
+  EXPECT_NE(shard[1], shard[2]);
+}
+
+TEST(AssignShards, DeterministicAcrossCalls) {
+  const std::vector<std::uint64_t> weights = {5, 5, 5, 5, 2, 2, 2, 2};
+  EXPECT_EQ(sim::assign_shards(weights, 3), sim::assign_shards(weights, 3));
+}
+
+// -- barrier planning ----------------------------------------------------
+
+bool bound_covers(const std::vector<sim::EpochBound>& epochs,
+                  const sim::MigrationEdge& e) {
+  return std::any_of(epochs.begin(), epochs.end(),
+                     [&](const sim::EpochBound& b) {
+                       return e.dep < b.key && b.key <= e.arr;
+                     });
+}
+
+TEST(PlanBarriers, EveryMigrationSeparatedByABound) {
+  const std::vector<sim::MigrationEdge> edges = {
+      {{10.0, 3}, {12.0, 4}},
+      {{11.0, 9}, {12.0, 4}},  // shares the stab with the edge above
+      {{40.0, 1}, {55.0, 2}},
+      {{90.0, 7}, {95.0, 8}},
+  };
+  const std::vector<sim::EventKey> units = {{50.0, 100}};
+  const auto epochs =
+      plan_barriers(edges, units, sim::EventKey{100.0, 1000});
+  for (const auto& e : edges) EXPECT_TRUE(bound_covers(epochs, e));
+  // The unit bound at t=50 must be present and tagged with its index.
+  const auto unit_it = std::find_if(
+      epochs.begin(), epochs.end(), [](const sim::EpochBound& b) {
+        return b.kind == sim::EpochKind::kUnit;
+      });
+  ASSERT_NE(unit_it, epochs.end());
+  EXPECT_EQ(unit_it->unit_index, 1u);
+  // The edge spanning the unit bound (40 -> 55) needs no extra stab.
+  const auto syncs = std::count_if(
+      epochs.begin(), epochs.end(), [](const sim::EpochBound& b) {
+        return b.kind == sim::EpochKind::kSync;
+      });
+  EXPECT_EQ(syncs, 2);  // one shared stab at (12, 4), one at (95, 8)
+  // Ascending order, final bound last.
+  for (std::size_t i = 1; i < epochs.size(); ++i) {
+    EXPECT_TRUE(epochs[i - 1].key < epochs[i].key);
+  }
+  EXPECT_EQ(epochs.back().kind, sim::EpochKind::kFinal);
+}
+
+TEST(PlanBarriers, NoMigrationsYieldsUnitsPlusFinal) {
+  const std::vector<sim::EventKey> units = {{10.0, 5}, {20.0, 7}};
+  const auto epochs = plan_barriers({}, units, sim::EventKey{30.0, 99});
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[0].kind, sim::EpochKind::kUnit);
+  EXPECT_EQ(epochs[0].unit_index, 1u);
+  EXPECT_EQ(epochs[1].unit_index, 2u);
+  EXPECT_EQ(epochs[2].kind, sim::EpochKind::kFinal);
+}
+
+// -- trace splitting -----------------------------------------------------
+
+TEST(SplitTraceEvents, ReplicatesCursorKeysAndFindsMigrations) {
+  trace::Trace t(2, 3);
+  t.add_visit({0, 0, 0.0, 10.0});   // seq 0, 1
+  t.add_visit({0, 1, 20.0, 30.0});  // seq 2, 3   (migration if 0,1 split)
+  t.add_visit({1, 1, 5.0, 12.0});   // seq 4, 5
+  t.add_visit({1, 1, 15.0, 25.0});  // seq 6, 7   (same landmark: none)
+  t.finalize();
+  const std::vector<std::uint32_t> landmark_shard = {0, 1, 1};
+  const auto split = trace::split_trace_events(t, landmark_shard, 2);
+  EXPECT_EQ(split.total_events, 8u);
+  ASSERT_EQ(split.events.size(), 2u);
+  EXPECT_EQ(split.events[0].size(), 2u);  // node 0's visit to landmark 0
+  EXPECT_EQ(split.events[1].size(), 6u);
+  for (const auto& stream : split.events) {
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+      EXPECT_TRUE(stream[i - 1].key() < stream[i].key());
+    }
+  }
+  // Exactly one migration: node 0 departs landmark 0 (10.0, seq 1) and
+  // arrives at landmark 1 (20.0, seq 2).
+  ASSERT_EQ(split.migrations.size(), 1u);
+  EXPECT_TRUE(split.migrations[0].dep == (sim::EventKey{10.0, 1}));
+  EXPECT_TRUE(split.migrations[0].arr == (sim::EventKey{20.0, 2}));
+  // Materialized events carry the cursor's field layout.
+  const auto ev = trace::materialize(split.events[0][0]);
+  EXPECT_EQ(ev.kind, sim::EventKind::kArrival);
+  EXPECT_EQ(ev.a, 0u);
+  EXPECT_EQ(ev.b, 0u);
+}
+
+// -- sharded-vs-serial equivalence --------------------------------------
+
+struct RunResult {
+  net::RunCounters counters;
+  core::DtnFlowDiagnostics diag;
+  std::uint64_t events = 0;
+  double now = 0.0;
+};
+
+WorkloadConfig shard_workload() {
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 4.0;
+  cfg.ttl = 6.0 * kDay;
+  cfg.time_unit = 1.5 * kDay;
+  cfg.warmup_fraction = 0.25;
+  cfg.node_memory_kb = 40;
+  cfg.seed = 11;
+  cfg.manual_packets = {{0, 5, 4.0 * kDay, 0.0},
+                        {3, 1, 6.5 * kDay, 2.0 * kDay},
+                        {2, 7, 9.0 * kDay, 0.0}};
+  return cfg;
+}
+
+core::DtnFlowConfig shard_router_config() {
+  core::DtnFlowConfig rc;
+  // Turn on every shard-safe extension so the equivalence test sweeps
+  // the widest slice of the router.
+  rc.dead_end_prevention = true;
+  rc.load_balancing = true;
+  rc.scheduled_communication = true;
+  rc.node_to_node_relay = true;
+  return rc;
+}
+
+RunResult run_campus(std::size_t num_shards) {
+  trace::CampusTraceConfig tc;
+  tc.num_nodes = 70;
+  tc.num_landmarks = 24;
+  tc.num_communities = 6;
+  tc.days = 12.0;
+  tc.seed = 5;
+  const auto trace = generate_campus_trace(tc);
+  core::DtnFlowRouter router(shard_router_config());
+  Network net(trace, router, shard_workload());
+  if (num_shards <= 1) {
+    net.run();
+  } else {
+    net.run_sharded(num_shards);
+  }
+  return {net.counters(), router.diagnostics(), net.events_executed(),
+          net.now()};
+}
+
+void expect_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.diag, b.diag);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.now, b.now);
+}
+
+TEST(ShardedRun, MatchesSerialBitForBitOnCampusTrace) {
+  const RunResult serial = run_campus(1);
+  // A healthy workload, or the equivalence below is vacuous.
+  EXPECT_GT(serial.counters.generated, 50u);
+  EXPECT_GT(serial.counters.delivered, 10u);
+  expect_equal(serial, run_campus(2));
+  expect_equal(serial, run_campus(4));
+  expect_equal(serial, run_campus(7));
+}
+
+TEST(ShardedRun, SingleShardRequestFallsBackToSerialEngine) {
+  trace::CampusTraceConfig tc;
+  tc.num_nodes = 30;
+  tc.num_landmarks = 12;
+  tc.days = 6.0;
+  tc.seed = 3;
+  const auto trace = generate_campus_trace(tc);
+
+  core::DtnFlowRouter r1(shard_router_config());
+  Network serial(trace, r1, shard_workload());
+  serial.run();
+
+  core::DtnFlowRouter r2(shard_router_config());
+  Network sharded(trace, r2, shard_workload());
+  sharded.run_sharded(1);
+
+  EXPECT_EQ(serial.counters(), sharded.counters());
+  EXPECT_EQ(serial.events_executed(), sharded.events_executed());
+}
+
+TEST(ShardedRun, MatchesSerialOnCityTrace) {
+  trace::CityTraceConfig tc;  // scaled-down city tier
+  tc.num_pedestrians = 220;
+  tc.num_buses = 10;
+  tc.num_landmarks = 48;
+  tc.num_districts = 6;
+  tc.days = 1.0;
+  tc.seed = 9;
+  const auto trace = generate_city_trace(tc);
+
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 2.0;
+  cfg.ttl = 0.5 * kDay;
+  cfg.time_unit = 0.25 * kDay;
+  cfg.warmup_fraction = 0.2;
+  cfg.node_memory_kb = 20;
+  cfg.seed = 21;
+
+  core::DtnFlowRouter r1;
+  Network serial(trace, r1, cfg);
+  serial.run();
+  EXPECT_GT(serial.counters().delivered, 0u);
+
+  core::DtnFlowRouter r2;
+  Network sharded(trace, r2, cfg);
+  sharded.run_sharded(4);
+
+  EXPECT_EQ(serial.counters(), sharded.counters());
+  EXPECT_EQ(r1.diagnostics(), r2.diagnostics());
+  EXPECT_EQ(serial.events_executed(), sharded.events_executed());
+}
+
+TEST(ShardedRun, ExplicitThreadPoolIsAccepted) {
+  trace::CampusTraceConfig tc;
+  tc.num_nodes = 24;
+  tc.num_landmarks = 10;
+  tc.days = 5.0;
+  tc.seed = 17;
+  const auto trace = generate_campus_trace(tc);
+
+  core::DtnFlowRouter r1;
+  Network serial(trace, r1, shard_workload());
+  serial.run();
+
+  ThreadPool pool(3);
+  core::DtnFlowRouter r2;
+  Network sharded(trace, r2, shard_workload());
+  sharded.run_sharded(3, &pool);
+  EXPECT_EQ(serial.counters(), sharded.counters());
+}
+
+}  // namespace
+}  // namespace dtn

@@ -123,6 +123,51 @@ TEST(ParallelForStress, NestedSharedAccumulator) {
   EXPECT_EQ(total.load(), 5'000u * 4'999u / 2u);
 }
 
+TEST(ParallelForStress, UnevenShardShapedWorkloads) {
+  // The sharded replay engine's shape: a handful of indices ("shards")
+  // with wildly different amounts of work, each writing only its own
+  // cache-line-separated slot, fenced by the parallel_for barrier.
+  struct alignas(128) Slot {
+    std::uint64_t ops = 0;
+    std::uint64_t checksum = 0;
+  };
+  ThreadPool pool(8);
+  constexpr std::size_t kShards = 7;
+  std::vector<Slot> slots(kShards);
+  // Epoch loop with per-shard work proportional to (shard+1)^2 — the
+  // heaviest shard does ~50x the lightest's work, so workers idle at
+  // the barrier while stragglers finish (the contended path under TSan).
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    parallel_for(pool, kShards, [&](std::size_t s) {
+      const std::uint64_t work = (s + 1) * (s + 1) * 40;
+      for (std::uint64_t i = 0; i < work; ++i) {
+        slots[s].checksum += i * (s + 1);
+        ++slots[s].ops;
+      }
+    });
+    // Barrier: coordinator reads every slot between epochs (this read
+    // races with the loop above unless parallel_for really fences).
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots) total += slot.ops;
+    ASSERT_EQ(total % kShards, 0u)
+        << "partial shard visible across the epoch barrier";
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::uint64_t work = (s + 1) * (s + 1) * 40;
+    EXPECT_EQ(slots[s].ops, 50u * work);
+    EXPECT_EQ(slots[s].checksum, 50u * (s + 1) * (work * (work - 1) / 2));
+  }
+}
+
+TEST(ParallelForStress, SingleThreadPoolRunsShardsInOrder) {
+  // With one worker the shard loops must still run — sequentially, in
+  // index order (what run_sharded degrades to on a 1-core host).
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  parallel_for(pool, 5, [&](std::size_t s) { order.push_back(s); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
 TEST(ParallelForStress, PoolOutlivesManyConcurrentUsers) {
   // Two host threads sharing one pool concurrently: parallel_for must
   // not assume it is the pool's only client.

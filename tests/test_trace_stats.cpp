@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <type_traits>
+
 namespace dtn::trace {
 namespace {
 
@@ -33,6 +36,29 @@ TEST(LandmarksByPopularity, OrderedByTotalVisits) {
   EXPECT_EQ(order[0], 1u);  // 3 visits
   EXPECT_EQ(order[1], 0u);  // 2 visits
   EXPECT_EQ(order[2], 2u);  // 1 visit
+}
+
+// Regression pin for the city-scale counter widening: a year of a
+// 100k-node city trace puts per-landmark visit aggregates past 2^32, so
+// the count matrices must stay 64-bit.  The static_asserts fail the
+// build if anyone narrows them back; the arithmetic check exercises the
+// same `++cell` accumulation the counting loops perform, across the
+// exact 32-bit boundary where a narrower cell would wrap to zero.
+TEST(CountMatrices, SurviveThe32BitBoundary) {
+  static_assert(
+      std::is_same_v<decltype(visit_count_matrix(std::declval<Trace>())),
+                     FlatMatrix<std::uint64_t>>,
+      "visit counts must be 64-bit for city-scale traces");
+  static_assert(
+      std::is_same_v<decltype(transit_count_matrix(std::declval<Trace>())),
+                     FlatMatrix<std::uint64_t>>,
+      "transit counts must be 64-bit for city-scale traces");
+  FlatMatrix<std::uint64_t> m(1, 1);
+  m.at(0, 0) = std::numeric_limits<std::uint32_t>::max();
+  ++m.at(0, 0);
+  EXPECT_EQ(m.at(0, 0), 4294967296ULL);
+  ++m.at(0, 0);
+  EXPECT_EQ(m.at(0, 0), 4294967297ULL);
 }
 
 TEST(TransitCountMatrix, DirectedCounts) {
