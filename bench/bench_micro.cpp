@@ -10,8 +10,11 @@
 #include "net/buffer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include <filesystem>
+
 #include "core/dtn_flow_router.hpp"
 #include "net/network.hpp"
+#include "persist/checkpoint.hpp"
 #include "trace/campus_generator.hpp"
 #include "trace/city_generator.hpp"
 #include "trace/cursor.hpp"
@@ -397,6 +400,98 @@ void BM_ShardedReplay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_ShardedReplay)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+dtn::net::WorkloadConfig bench_checkpoint_workload() {
+  dtn::net::WorkloadConfig wl;
+  wl.packets_per_landmark_per_day = 10.0;
+  wl.time_unit = 0.5 * dtn::trace::kDay;
+  wl.ttl = 2.0 * dtn::trace::kDay;
+  wl.node_memory_kb = 30;
+  return wl;
+}
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  // Atomic snapshot publish (temp + rename + retention pruning) of a
+  // realistic mid-run image.  A suspended campus run produces the image
+  // once; the loop measures CheckpointManager::write alone.  The
+  // serialization cost itself is covered by BM_CheckpointRestore, whose
+  // verification step re-serializes the whole network.
+  namespace fs = std::filesystem;
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_landmarks = 10;
+  cfg.num_communities = 4;
+  cfg.days = 6.0;
+  cfg.seed = 9;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  const fs::path dir = fs::temp_directory_path() / "dtn_bench_ckpt_write";
+  fs::remove_all(dir);
+  dtn::persist::CheckpointConfig seed_cc;
+  seed_cc.dir = (dir / "seed").string();
+  seed_cc.stop_after_events = 2000;
+  dtn::persist::CheckpointManager seed(seed_cc);
+  {
+    dtn::core::DtnFlowRouter router;
+    dtn::net::Network net(trace, router, bench_checkpoint_workload());
+    net.run(seed);
+  }
+  const auto bytes = seed.read_latest();
+  dtn::persist::CheckpointConfig cc;
+  cc.dir = (dir / "out").string();
+  dtn::persist::CheckpointManager mgr(cc);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.write(++n, bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointWrite);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  // Full resume path (docs/checkpointing.md): read the newest snapshot,
+  // deserialize every subsystem, re-serialize for the byte-equality
+  // verification, run the invariant audit, then replay the short tail
+  // of the trace (~100 events) to completion.
+  namespace fs = std::filesystem;
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_landmarks = 10;
+  cfg.num_communities = 4;
+  cfg.days = 6.0;
+  cfg.seed = 9;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  const auto wl = bench_checkpoint_workload();
+  std::uint64_t total = 0;
+  {
+    dtn::core::DtnFlowRouter router;
+    dtn::net::Network net(trace, router, wl);
+    net.run();
+    total = net.events_executed();
+  }
+  const fs::path dir = fs::temp_directory_path() / "dtn_bench_ckpt_restore";
+  fs::remove_all(dir);
+  dtn::persist::CheckpointConfig cc;
+  cc.dir = dir.string();
+  cc.stop_after_events = total - 100;
+  {
+    dtn::persist::CheckpointManager mgr(cc);
+    dtn::core::DtnFlowRouter router;
+    dtn::net::Network net(trace, router, wl);
+    net.run(mgr);
+  }
+  cc.stop_after_events = 0;
+  for (auto _ : state) {
+    dtn::persist::CheckpointManager mgr(cc);
+    dtn::core::DtnFlowRouter router;
+    dtn::net::Network net(trace, router, wl);
+    net.run(mgr);
+    benchmark::DoNotOptimize(net.counters().delivered);
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointRestore);
 
 }  // namespace
 

@@ -15,9 +15,18 @@
 // --shards N > 1 the replay runs on the sharded parallel engine
 // (docs/parallel-engine.md), falling back to the serial engine —
 // bit-identically — when the router or workload is not shard-safe.
+//
+// --serve turns the run into a long-running service with checkpoint /
+// restore (docs/checkpointing.md): snapshots land in --checkpoint-dir
+// every --checkpoint-every-events events (and/or --checkpoint-every-days
+// of simulated time), and a restarted process resumes from the newest
+// snapshot with bit-identical final metrics.  --serve-exit-after-events N
+// snapshots and exits with status 3 after N events — a deterministic
+// stand-in for kill -9 used by the CI round-trip smoke.
 #include <cstdio>
 
 #include "metrics/experiment.hpp"
+#include "persist/checkpoint.hpp"
 #include "routing/factory.hpp"
 #include "sim/fault_injector.hpp"
 #include "trace/bus_generator.hpp"
@@ -28,8 +37,74 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
+namespace {
+
+// One router, one replicate, snapshots on: the service path deliberately
+// bypasses run_experiment so the Network object survives a suspension.
+int run_service(const dtn::CliOptions& opts, const dtn::trace::Trace& trace,
+                const dtn::net::WorkloadConfig& workload,
+                const std::string& router_name) {
+  dtn::persist::CheckpointConfig cc;
+  cc.dir = opts.get("checkpoint-dir", "");
+  if (cc.dir.empty()) {
+    std::fprintf(stderr, "simulate: --serve requires --checkpoint-dir\n");
+    return 2;
+  }
+  cc.every_events = static_cast<std::uint64_t>(
+      opts.get_int("checkpoint-every-events", 250000));
+  cc.every_time =
+      opts.get_double("checkpoint-every-days", 0.0) * dtn::trace::kDay;
+  cc.keep = static_cast<std::size_t>(opts.get_int("checkpoint-keep", 4));
+  cc.stop_after_events = static_cast<std::uint64_t>(
+      opts.get_int("serve-exit-after-events", 0));
+  dtn::persist::CheckpointManager mgr(cc);
+
+  const auto router = dtn::routing::make_router(router_name);
+  if (!router->checkpointable()) {
+    std::fprintf(stderr,
+                 "simulate: router %s does not support checkpointing; "
+                 "--serve needs a checkpointable router\n",
+                 router_name.c_str());
+    return 2;
+  }
+  dtn::net::Network network(trace, *router, workload);
+  if (mgr.has_checkpoint()) {
+    std::string from;
+    mgr.read_latest(&from);
+    std::printf("serve: resuming from %s\n", from.c_str());
+  } else {
+    std::printf("serve: no snapshot in %s, starting fresh\n", cc.dir.c_str());
+  }
+  if (!network.run(mgr)) {
+    std::printf("serve: suspended after %llu events (snapshot written); "
+                "run again with the same arguments to resume\n",
+                static_cast<unsigned long long>(network.events_executed()));
+    return 3;
+  }
+  const auto res = dtn::metrics::summarize(network, router->name());
+  dtn::TablePrinter table({"router", "success", "avg delay (d)",
+                           "P50 delay (d)", "P90 delay (d)", "fwd cost",
+                           "total cost"});
+  const double p50 = res.delivery_delays.empty()
+                         ? 0.0
+                         : dtn::quantile(res.delivery_delays, 0.5);
+  const double p90 = res.delivery_delays.empty()
+                         ? 0.0
+                         : dtn::quantile(res.delivery_delays, 0.9);
+  table.add_row(router->name(),
+                {res.success_rate, res.avg_delay / dtn::trace::kDay,
+                 p50 / dtn::trace::kDay, p90 / dtn::trace::kDay,
+                 res.forwarding_cost, res.total_cost},
+                4);
+  table.print("simulation results");
+  table.write_csv(opts.get("out", ""));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const dtn::CliOptions opts(argc, argv);
+  const dtn::CliOptions opts(argc, argv, {"serve"});
 
   dtn::trace::Trace trace;
   const std::string input = opts.get("input", "");
@@ -88,8 +163,22 @@ int main(int argc, char** argv) {
                 workload.faults->transfer_failure_prob);
   }
 
-  std::vector<std::string> routers;
   const std::string choice = opts.get("router", "DTN-FLOW");
+  if (opts.has("serve")) {
+    if (choice == "all") {
+      std::fprintf(stderr, "simulate: --serve runs a single router, not "
+                           "--router all\n");
+      return 2;
+    }
+    if (opts.get_int("replicates", 1) != 1 || opts.get_int("shards", 1) != 1) {
+      std::fprintf(stderr, "simulate: --serve is single-replicate and "
+                           "serial (resume runs on the serial engine)\n");
+      return 2;
+    }
+    return run_service(opts, trace, workload, choice);
+  }
+
+  std::vector<std::string> routers;
   if (choice == "all") {
     routers = dtn::routing::standard_router_names();
   } else {

@@ -18,13 +18,22 @@ comparison is indistinguishable from one that passed.  Use
 --allow-missing-baseline when bootstrapping a baseline for a new
 machine.
 
+--update-baseline re-records bench/baseline/BENCH_hotpath.json from the
+current run instead of comparing against it, stamping the file with a
+host-context block (hostname, platform, CPU count, optional --note) so
+a future reader can tell which machine the numbers came from.
+
 Usage (normally via the `bench-check` CMake target):
     scripts/bench_check.py --bench build/bench/bench_micro
+    scripts/bench_check.py --bench build/bench/bench_micro \
+        --update-baseline --note "new checkpoint benchmarks"
 """
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import subprocess
 import sys
 from pathlib import Path
@@ -33,7 +42,7 @@ from pathlib import Path
 DEFAULT_FILTER = (
     "BM_EventQueue|BM_TraceCursor|BM_BufferAddRemove|BM_EndToEnd"
     "|BM_MarkovPredict|BM_CarrierSelect|BM_RoutingTableRecompute"
-    "|BM_ShardedReplay|BM_CityReplay"
+    "|BM_ShardedReplay|BM_CityReplay|BM_Checkpoint"
 )
 
 
@@ -117,11 +126,30 @@ def main() -> int:
     ap.add_argument("--allow-missing-baseline", action="store_true",
                     help="exit 0 when the baseline file does not exist "
                          "(bootstrapping a new baseline)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="re-record the baseline from this run instead of "
+                         "comparing against it")
+    ap.add_argument("--note", default="",
+                    help="justification recorded in the refreshed baseline "
+                         "(only meaningful with --update-baseline)")
     args = ap.parse_args()
 
     report = run_benchmarks(args.bench, args.filter)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        report["host_context"] = {
+            "hostname": platform.node(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "recorded_by": "scripts/bench_check.py --update-baseline",
+            "note": args.note or "baseline refresh",
+        }
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
 
     if not args.baseline.exists():
         if args.allow_missing_baseline:

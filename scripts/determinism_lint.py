@@ -37,7 +37,8 @@ from pathlib import Path
 
 # Directories whose code runs inside the deterministic replay loop:
 # iteration-order hazards are findings here.
-REPLAY_CRITICAL_DIRS = ("src/core", "src/sim", "src/routing", "src/net")
+REPLAY_CRITICAL_DIRS = ("src/core", "src/sim", "src/routing", "src/net",
+                        "src/persist")
 # Ambient-nondeterminism calls are findings everywhere under src/ except
 # the one sanctioned wrapper.
 SOURCE_DIR = "src"
@@ -55,6 +56,14 @@ REQUIRED_COVERED_FILES = (
     # sharded-vs-serial bit-identity contract (docs/parallel-engine.md).
     "src/sim/shard_coordinator.hpp",
     "src/sim/shard_coordinator.cpp",
+    # The checkpoint layer serializes RNG streams and the event queue;
+    # iteration-order or wall-clock nondeterminism here breaks the
+    # bit-identical resume contract (docs/checkpointing.md).
+    "src/persist/serializer.hpp",
+    "src/persist/serializer.cpp",
+    "src/persist/checkpoint.hpp",
+    "src/persist/checkpoint.cpp",
+    "src/persist/flat_io.hpp",
 )
 
 SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*ok\(([^)]*)\)")

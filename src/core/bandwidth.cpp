@@ -1,5 +1,7 @@
 #include "core/bandwidth.hpp"
 
+#include "persist/flat_io.hpp"
+#include "persist/serializer.hpp"
 #include "util/assert.hpp"
 
 namespace dtn::core {
@@ -57,6 +59,26 @@ std::vector<trace::LandmarkId> BandwidthEstimator::neighbors(
 std::uint32_t BandwidthEstimator::open_unit_count(trace::LandmarkId from,
                                                   trace::LandmarkId to) const {
   return counts_.at(from, to);
+}
+
+void BandwidthEstimator::save(persist::Writer& w) const {
+  w.f64(rho_);
+  persist::write_matrix(w, counts_);
+  persist::write_matrix(w, ewma_);
+  w.u64(units_closed_);
+}
+
+void BandwidthEstimator::load(persist::Reader& r) {
+  const std::size_t n = ewma_.rows();
+  rho_ = r.f64();
+  persist::read_matrix(r, counts_);
+  persist::read_matrix(r, ewma_);
+  if (counts_.rows() != n || counts_.cols() != n || ewma_.rows() != n ||
+      ewma_.cols() != n) {
+    throw persist::FormatError(
+        "checkpoint bandwidth estimator shape mismatch");
+  }
+  units_closed_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace dtn::core

@@ -26,6 +26,11 @@
 #include "trace/trace.hpp"
 #include "util/flat_matrix.hpp"
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::core {
 
 class BandwidthEstimator {
@@ -65,6 +70,10 @@ class BandwidthEstimator {
   [[nodiscard]] static constexpr double infinite_delay() {
     return std::numeric_limits<double>::infinity();
   }
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  void save(persist::Writer& w) const;
+  void load(persist::Reader& r);
 
  private:
   double rho_;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "persist/flat_io.hpp"
+#include "persist/serializer.hpp"
 #include "util/assert.hpp"
 
 namespace dtn::core {
@@ -112,6 +114,39 @@ std::vector<trace::LandmarkId> DistributedBandwidth::neighbors(
     }
   }
   return out;
+}
+
+void DistributedBandwidth::save(persist::Writer& w) const {
+  w.f64(rho_);
+  w.u64(unit_);
+  persist::write_matrix(w, open_counts_);
+  persist::write_matrix(w, closed_counts_);
+  persist::write_matrix(w, incoming_ewma_);
+  persist::write_matrix(w, outgoing_ewma_);
+  persist::write_matrix(w, report_count_);
+  persist::write_matrix(w, report_unit_);
+  persist::write_matrix(w, report_used_);
+  w.u64(tokens_accepted_);
+  w.u64(tokens_stale_);
+}
+
+void DistributedBandwidth::load(persist::Reader& r) {
+  const std::size_t n = incoming_ewma_.rows();
+  rho_ = r.f64();
+  unit_ = r.u64();
+  persist::read_matrix(r, open_counts_);
+  persist::read_matrix(r, closed_counts_);
+  persist::read_matrix(r, incoming_ewma_);
+  persist::read_matrix(r, outgoing_ewma_);
+  persist::read_matrix(r, report_count_);
+  persist::read_matrix(r, report_unit_);
+  persist::read_matrix(r, report_used_);
+  if (open_counts_.rows() != n || report_used_.cols() != n) {
+    throw persist::FormatError(
+        "checkpoint distributed bandwidth shape mismatch");
+  }
+  tokens_accepted_ = r.u64();
+  tokens_stale_ = r.u64();
 }
 
 }  // namespace dtn::core

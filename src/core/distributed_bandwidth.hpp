@@ -27,6 +27,11 @@
 #include "trace/trace.hpp"
 #include "util/flat_matrix.hpp"
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::core {
 
 /// The reverse-notification payload carried by a mobile node from the
@@ -84,6 +89,10 @@ class DistributedBandwidth {
     return tokens_accepted_;
   }
   [[nodiscard]] std::uint64_t tokens_stale() const { return tokens_stale_; }
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  void save(persist::Writer& w) const;
+  void load(persist::Reader& r);
 
  private:
   double rho_;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <string>
 
+#include "persist/flat_io.hpp"
+#include "persist/serializer.hpp"
 #include "sim/invariant_auditor.hpp"
 
 #include "util/logging.hpp"
@@ -902,6 +904,179 @@ std::vector<LandmarkId> DtnFlowRouter::frequent_landmarks(const Network& net,
     top.push_back(l);
   }
   return top;
+}
+
+// -- checkpointing ------------------------------------------------------
+
+void DtnFlowRouter::checkpoint_save(persist::Writer& w) const {
+  w.u64(nodes_.size());
+  w.u64(landmarks_.size());
+  w.f64(time_unit_);
+  bw_.save(w);
+  w.boolean(dbw_.has_value());
+  if (dbw_.has_value()) dbw_->save(w);
+  for (const NodeState& ns : nodes_) {
+    ns.predictor->save(w);
+    w.u32(ns.predicted_next);
+    w.u32(ns.predicted_from);
+    w.f64(ns.arrived_at);
+    w.boolean(ns.carried_dv.has_value());
+    if (ns.carried_dv.has_value()) {
+      w.u32(ns.carried_dv->origin);
+      w.u64(ns.carried_dv->seq);
+      persist::write_vec(w, ns.carried_dv->delay);
+    }
+    w.boolean(ns.carried_token.has_value());
+    if (ns.carried_token.has_value()) {
+      w.u32(ns.carried_token->link_from);
+      w.u32(ns.carried_token->link_to);
+      w.f64(ns.carried_token->count);
+      w.u64(ns.carried_token->unit);
+    }
+    persist::write_vec(w, ns.departures_since_dv);
+    persist::write_vec(w, ns.stay_sum);
+    persist::write_vec(w, ns.stay_count);
+    w.f64(ns.total_stay);
+    w.u32(ns.total_stays);
+  }
+  for (const LandmarkState& ls : landmarks_) {
+    ls.table->save(w);
+    persist::write_vec(w, ls.incoming);
+    persist::write_vec(w, ls.outgoing);
+    persist::write_vec(w, ls.prev_incoming);
+    persist::write_vec(w, ls.prev_outgoing);
+    persist::write_vec(w, ls.divert_toggle);
+    w.boolean(ls.uploading_mode);
+    w.u64(ls.present_epoch);
+  }
+  persist::write_vec(w, station_down_);
+  persist::write_vec(w, needs_reconvergence_);
+  persist::write_matrix(w, accuracy_);
+  const DtnFlowDiagnostics d = diagnostics();
+  w.u64(d.transits_observed);
+  w.u64(d.predictions_scored);
+  w.u64(d.predictions_correct);
+  w.u64(d.dead_ends_detected);
+  w.u64(d.loops_detected);
+  w.u64(d.loops_corrected);
+  w.u64(d.balancing_diversions);
+  w.u64(d.station_outages_seen);
+  w.u64(d.station_recoveries_seen);
+  w.u64(d.dv_carriers_lost);
+  w.u64(d.dv_deliveries_deferred);
+  w.u64(d.stale_origins_expired);
+  w.u64(d.fallback_next_hops);
+  w.u64(d.post_outage_reconvergences);
+}
+
+void DtnFlowRouter::checkpoint_load(persist::Reader& r, Network& net) {
+  // Size every container from the configuration first, then overwrite.
+  // The carrier caches and scratch buffers stay fresh: their entries are
+  // born with epoch 0, stale against every serialized present_epoch
+  // (>= 1), so they rebuild lazily with identical contents.
+  on_init(net);
+  if (r.u64() != nodes_.size() || r.u64() != landmarks_.size()) {
+    throw persist::FormatError("checkpoint router section: topology mismatch");
+  }
+  time_unit_ = r.f64();
+  bw_.load(r);
+  if (r.boolean() != dbw_.has_value()) {
+    throw persist::FormatError(
+        "checkpoint router section: distributed-bandwidth config mismatch");
+  }
+  if (dbw_.has_value()) dbw_->load(r);
+  for (NodeState& ns : nodes_) {
+    ns.predictor->load(r);
+    ns.predicted_next = r.u32();
+    ns.predicted_from = r.u32();
+    ns.arrived_at = r.f64();
+    if (r.boolean()) {
+      DistanceVector dv;
+      dv.origin = r.u32();
+      dv.seq = r.u64();
+      persist::read_vec(r, dv.delay);
+      if (dv.origin >= landmarks_.size() ||
+          dv.delay.size() != landmarks_.size()) {
+        throw persist::FormatError(
+            "checkpoint router section: malformed carried distance vector");
+      }
+      ns.carried_dv = std::move(dv);
+    } else {
+      ns.carried_dv.reset();
+    }
+    if (r.boolean()) {
+      BandwidthToken tok;
+      tok.link_from = r.u32();
+      tok.link_to = r.u32();
+      tok.count = r.f64();
+      tok.unit = r.u64();
+      if (tok.link_from >= landmarks_.size() ||
+          tok.link_to >= landmarks_.size()) {
+        throw persist::FormatError(
+            "checkpoint router section: malformed carried bandwidth token");
+      }
+      ns.carried_token = tok;
+    } else {
+      ns.carried_token.reset();
+    }
+    persist::read_vec(r, ns.departures_since_dv);
+    persist::read_vec(r, ns.stay_sum);
+    persist::read_vec(r, ns.stay_count);
+    ns.total_stay = r.f64();
+    ns.total_stays = r.u32();
+    if (ns.departures_since_dv.size() != landmarks_.size() ||
+        ns.stay_sum.size() != landmarks_.size() ||
+        ns.stay_count.size() != landmarks_.size()) {
+      throw persist::FormatError(
+          "checkpoint router section: per-node vector size mismatch");
+    }
+  }
+  for (LandmarkState& ls : landmarks_) {
+    ls.table->load(r);
+    persist::read_vec(r, ls.incoming);
+    persist::read_vec(r, ls.outgoing);
+    persist::read_vec(r, ls.prev_incoming);
+    persist::read_vec(r, ls.prev_outgoing);
+    persist::read_vec(r, ls.divert_toggle);
+    ls.uploading_mode = r.boolean();
+    ls.present_epoch = r.u64();
+    if (ls.incoming.size() != landmarks_.size() ||
+        ls.outgoing.size() != landmarks_.size() ||
+        ls.prev_incoming.size() != landmarks_.size() ||
+        ls.prev_outgoing.size() != landmarks_.size() ||
+        ls.divert_toggle.size() != landmarks_.size() ||
+        ls.present_epoch == 0) {
+      throw persist::FormatError(
+          "checkpoint router section: per-landmark state mismatch");
+    }
+  }
+  persist::read_vec(r, station_down_);
+  persist::read_vec(r, needs_reconvergence_);
+  persist::read_matrix(r, accuracy_);
+  if (station_down_.size() != landmarks_.size() ||
+      needs_reconvergence_.size() != landmarks_.size() ||
+      accuracy_.rows() != nodes_.size() ||
+      accuracy_.cols() != landmarks_.size()) {
+    throw persist::FormatError(
+        "checkpoint router section: fault-mirror/accuracy shape mismatch");
+  }
+  DtnFlowDiagnostics d;
+  d.transits_observed = r.u64();
+  d.predictions_scored = r.u64();
+  d.predictions_correct = r.u64();
+  d.dead_ends_detected = r.u64();
+  d.loops_detected = r.u64();
+  d.loops_corrected = r.u64();
+  d.balancing_diversions = r.u64();
+  d.station_outages_seen = r.u64();
+  d.station_recoveries_seen = r.u64();
+  d.dv_carriers_lost = r.u64();
+  d.dv_deliveries_deferred = r.u64();
+  d.stale_origins_expired = r.u64();
+  d.fallback_next_hops = r.u64();
+  d.post_outage_reconvergences = r.u64();
+  diag_slots_.assign(1, d);
+  scratch_slots_.assign(1, {});
 }
 
 }  // namespace dtn::core

@@ -195,6 +195,17 @@ class DtnFlowRouter final : public net::Router {
   void on_station_outage(net::Network& net, net::LandmarkId l) override;
   void on_station_recovery(net::Network& net, net::LandmarkId l) override;
 
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serializes both estimators, every node's predictor/prediction/
+  /// carried-DV/token/stay state, every landmark's routing table, rate
+  /// monitors, channel mode and present epoch, the fault mirrors, the
+  /// accuracy matrix and the (summed) diagnostics.  The carrier-score
+  /// cache and scratch buffers are rebuilt lazily from serialized state
+  /// and deliberately not stored.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void checkpoint_save(persist::Writer& w) const override;
+  void checkpoint_load(persist::Reader& r, net::Network& net) override;
+
   /// Invariant audit hook (debug tooling, see invariant_auditor.hpp):
   /// audits every node predictor (flat store + incremental argmax),
   /// every landmark routing table (dirty bookkeeping + clean columns vs

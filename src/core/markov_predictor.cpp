@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "persist/serializer.hpp"
 #include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
 
@@ -42,6 +43,7 @@ std::uint32_t MarkovPredictor::intern_context(std::uint64_t key) {
       context_ids_.try_emplace(key, static_cast<std::uint32_t>(
                                         context_count_.size()));
   if (inserted) {
+    context_keys_.push_back(key);
     context_count_.push_back(0);
     successors_.emplace_back();
     best_successor_.push_back(kNoLandmark);
@@ -141,6 +143,81 @@ std::vector<double> MarkovPredictor::next_distribution() const {
   std::vector<double> dist;
   next_distribution(dist);
   return dist;
+}
+
+void MarkovPredictor::save(persist::Writer& w) const {
+  w.u64(num_landmarks_);
+  w.u64(order_);
+  w.u64(history_len_);
+  w.u64(context_.size());
+  for (const LandmarkId l : context_) w.u32(l);
+  w.u64(context_keys_.size());
+  for (const std::uint64_t k : context_keys_) w.u64(k);
+  for (const std::uint32_t c : context_count_) w.u32(c);
+  for (const auto& row : successors_) {
+    w.u64(row.size());
+    for (const SuccCount& s : row) {
+      w.u32(s.landmark);
+      w.u32(s.count);
+    }
+  }
+  for (const LandmarkId l : best_successor_) w.u32(l);
+  for (const std::uint32_t c : best_count_) w.u32(c);
+  w.u32(current_ctx_);
+  w.u64(stamp_);
+  for (const std::uint32_t p : successor_pos_) w.u32(p);
+  for (const std::uint64_t s : successor_stamp_) w.u64(s);
+}
+
+void MarkovPredictor::load(persist::Reader& r) {
+  if (r.u64() != num_landmarks_ || r.u64() != order_) {
+    throw persist::FormatError(
+        "checkpoint predictor shape (num_landmarks, order) mismatch");
+  }
+  history_len_ = static_cast<std::size_t>(r.u64());
+  context_.resize(static_cast<std::size_t>(r.u64()));
+  if (context_.size() > order_) {
+    throw persist::FormatError("checkpoint predictor context too long");
+  }
+  for (LandmarkId& l : context_) l = r.u32();
+  const auto contexts = static_cast<std::size_t>(r.u64());
+  context_keys_.resize(contexts);
+  for (std::uint64_t& k : context_keys_) k = r.u64();
+  context_count_.resize(contexts);
+  for (std::uint32_t& c : context_count_) c = r.u32();
+  successors_.assign(contexts, {});
+  for (auto& row : successors_) {
+    row.resize(static_cast<std::size_t>(r.u64()));
+    for (SuccCount& s : row) {
+      s.landmark = r.u32();
+      s.count = r.u32();
+    }
+  }
+  best_successor_.resize(contexts);
+  for (LandmarkId& l : best_successor_) l = r.u32();
+  best_count_.resize(contexts);
+  for (std::uint32_t& c : best_count_) c = r.u32();
+  current_ctx_ = r.u32();
+  stamp_ = r.u64();
+  successor_pos_.resize(num_landmarks_);
+  for (std::uint32_t& p : successor_pos_) p = r.u32();
+  successor_stamp_.resize(num_landmarks_);
+  for (std::uint64_t& s : successor_stamp_) s = r.u64();
+  if (current_ctx_ != kNoContext && current_ctx_ >= contexts) {
+    throw persist::FormatError("checkpoint predictor current context id out of range");
+  }
+  // Rebuild the (deliberately unserialized) hash map from the dense key
+  // vector; duplicate keys mean a corrupt image.
+  context_ids_.clear();
+  context_ids_.reserve(contexts);
+  for (std::uint32_t id = 0; id < contexts; ++id) {
+    const auto [it, inserted] =
+        context_ids_.emplace(context_keys_[id], id);
+    (void)it;
+    if (!inserted) {
+      throw persist::FormatError("checkpoint predictor has duplicate context keys");
+    }
+  }
 }
 
 void MarkovPredictor::audit(sim::AuditReport& report) const {

@@ -34,6 +34,11 @@ namespace dtn::sim {
 class AuditReport;
 }
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::core {
 
 using trace::LandmarkId;
@@ -76,6 +81,17 @@ class MarkovPredictor {
 
   /// The landmark of the most recent visit (kNoLandmark before any).
   [[nodiscard]] LandmarkId current() const;
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize the full flat store and query cache.  The hash map is
+  /// *not* written (iterating it would be order-nondeterministic, see
+  /// scripts/determinism_lint.py); the dense id -> packed key vector
+  /// `context_keys_` carries the same information in insertion order.
+  void save(persist::Writer& w) const;
+  /// Restore into a predictor constructed with the same (num_landmarks,
+  /// order); the hash map is rebuilt from the key vector.  Throws
+  /// persist::FormatError on shape mismatches.
+  void load(persist::Reader& r);
 
   // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
   /// Re-derive every incrementally maintained structure from the flat
@@ -124,6 +140,9 @@ class MarkovPredictor {
   /// Packed context key -> dense context id.  Touched only by
   /// `record_visit` (update path); queries never hash.
   std::unordered_map<std::uint64_t, std::uint32_t> context_ids_;
+  /// Dense context id -> packed key (insertion order).  The
+  /// deterministic mirror of context_ids_, used by checkpointing.
+  std::vector<std::uint64_t> context_keys_;
   /// N(c) per context id.
   std::vector<std::uint32_t> context_count_;
   /// Successor-count rows per context id (contiguous, first-seen order).

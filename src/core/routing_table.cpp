@@ -4,6 +4,8 @@
 #include <bit>
 #include <string>
 
+#include "persist/flat_io.hpp"
+#include "persist/serializer.hpp"
 #include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
 
@@ -301,6 +303,76 @@ void RoutingTable::debug_corrupt_advertised_for_test(LandmarkId origin,
   DTN_ASSERT(origin < link_delay_.size());
   DTN_ASSERT(dst < link_delay_.size());
   advertised_.at(origin, dst) = delay;  // deliberately NOT marked dirty
+}
+
+namespace {
+
+void write_route(persist::Writer& w, const Route& r) {
+  w.u32(r.next);
+  w.f64(r.delay);
+  w.u32(r.backup_next);
+  w.f64(r.backup_delay);
+}
+
+void read_route(persist::Reader& r, Route& out) {
+  out.next = r.u32();
+  out.delay = r.f64();
+  out.backup_next = r.u32();
+  out.backup_delay = r.f64();
+}
+
+}  // namespace
+
+void RoutingTable::save(persist::Writer& w) const {
+  const std::size_t n = link_delay_.size();
+  w.u32(self_);
+  w.u64(n);
+  for (const double d : link_delay_) w.f64(d);
+  persist::write_matrix(w, advertised_);
+  for (const std::uint64_t s : last_seq_) w.u64(s);
+  for (const double t : advertised_time_) w.f64(t);
+  for (const std::uint8_t e : expired_) w.u8(e);
+  for (const std::uint8_t p : pinned_) w.u8(p);
+  for (const Route& r : pin_route_) write_route(w, r);
+  w.u64(seq_);
+  for (const Route& r : routes_) write_route(w, r);
+  for (const std::uint8_t d : column_dirty_) w.u8(d);
+  w.u64(dirty_columns_.size());
+  for (const LandmarkId d : dirty_columns_) w.u32(d);
+  w.boolean(all_dirty_);
+  w.boolean(dirty_);
+}
+
+void RoutingTable::load(persist::Reader& r) {
+  const std::size_t n = link_delay_.size();
+  if (r.u32() != self_ || r.u64() != n) {
+    throw persist::FormatError(
+        "checkpoint routing table shape (self, num_landmarks) mismatch");
+  }
+  for (double& d : link_delay_) d = r.f64();
+  persist::read_matrix(r, advertised_);
+  if (advertised_.rows() != n || advertised_.cols() != n) {
+    throw persist::FormatError(
+        "checkpoint routing table advertised matrix shape mismatch");
+  }
+  for (std::uint64_t& s : last_seq_) s = r.u64();
+  for (double& t : advertised_time_) t = r.f64();
+  for (std::uint8_t& e : expired_) e = r.u8();
+  for (std::uint8_t& p : pinned_) p = r.u8();
+  for (Route& rt : pin_route_) read_route(r, rt);
+  seq_ = r.u64();
+  for (Route& rt : routes_) read_route(r, rt);
+  for (std::uint8_t& d : column_dirty_) d = r.u8();
+  dirty_columns_.resize(static_cast<std::size_t>(r.u64()));
+  for (LandmarkId& d : dirty_columns_) {
+    d = r.u32();
+    if (d >= n) {
+      throw persist::FormatError(
+          "checkpoint routing table dirty column out of range");
+    }
+  }
+  all_dirty_ = r.boolean();
+  dirty_ = r.boolean();
 }
 
 }  // namespace dtn::core

@@ -36,6 +36,11 @@ namespace dtn::sim {
 class AuditReport;
 }
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::core {
 
 using trace::LandmarkId;
@@ -114,6 +119,17 @@ class RoutingTable {
   void pin(LandmarkId dst, LandmarkId next, double fake_delay);
   void unpin(LandmarkId dst);
   [[nodiscard]] bool is_pinned(LandmarkId dst) const;
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize everything, *including* the mutable dirty/route cache and
+  /// the advertised-time bookkeeping: the cached routes are a pure
+  /// function of advertised_ + link_delay_ + pins, but writing them
+  /// verbatim makes restore-then-reserialize byte-identical (the
+  /// invariant the auditor's CRC check leans on).
+  void save(persist::Writer& w) const;
+  /// Restore into a table constructed with the same (self,
+  /// num_landmarks).  Throws persist::FormatError on shape mismatches.
+  void load(persist::Reader& r);
 
   // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
   /// Validate the dirty-column bookkeeping (flag array vs compact list)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/serializer.hpp"
+
 namespace dtn::net {
 
 bool Buffer::contains(PacketId pid) const {
@@ -25,6 +27,20 @@ void Buffer::remove(PacketId pid, std::uint32_t size_kb) {
   packets_.pop_back();
   DTN_ASSERT(used_kb_ >= size_kb);
   used_kb_ -= size_kb;
+}
+
+void Buffer::save(persist::Writer& w) const {
+  w.u64(capacity_kb_);
+  w.u64(used_kb_);
+  w.u64(packets_.size());
+  for (const PacketId pid : packets_) w.u32(pid);
+}
+
+void Buffer::load(persist::Reader& r) {
+  capacity_kb_ = r.u64();
+  used_kb_ = r.u64();
+  packets_.resize(static_cast<std::size_t>(r.u64()));
+  for (PacketId& pid : packets_) pid = r.u32();
 }
 
 }  // namespace dtn::net

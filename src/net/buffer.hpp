@@ -9,6 +9,11 @@
 
 #include "net/packet.hpp"
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::net {
 
 class Buffer {
@@ -32,6 +37,12 @@ class Buffer {
 
   /// Remove a packet that must be present.
   void remove(PacketId pid, std::uint32_t size_kb);
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize capacity, byte accounting and the id list verbatim (the
+  /// id *order* matters: TTL sweeps and crash flushes iterate it).
+  void save(persist::Writer& w) const;
+  void load(persist::Reader& r);
 
   /// Test-only fault injection for the invariant auditor's negative
   /// tests: skew the byte accounting without touching the id list (the

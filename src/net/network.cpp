@@ -1,12 +1,16 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <optional>
 #include <string>
 
+#include "persist/checkpoint.hpp"
+#include "persist/flat_io.hpp"
+#include "persist/serializer.hpp"
 #include "trace/cursor.hpp"
 #include "trace/shard_cursor.hpp"
 #include "util/logging.hpp"
@@ -43,6 +47,9 @@ Network::Network(const trace::Trace& trace, Router& router,
   auditor_.register_check(
       "network.fault_state",
       [this](sim::AuditReport& r) { audit_fault_state(r); });
+  auditor_.register_check(
+      "network.checkpoint_crc",
+      [this](sim::AuditReport& r) { audit_checkpoint_crc(r); });
   // Fault plan: engage the injector (which validates the plan against
   // the trace's node/landmark universe, throwing std::invalid_argument
   // on malformed config).
@@ -117,20 +124,7 @@ void Network::build_workload() {
                    });
 }
 
-void Network::run() {
-  DTN_ASSERT(!ran_);
-  ran_ = true;
-
-  router_.on_init(*this);
-
-  // Trace replay: arrivals and departures stream lazily out of the
-  // cursor's k-way merge instead of being pre-scheduled one closure per
-  // visit.  The cursor owns the sequence range [0, total_events()), so
-  // same-time ties order exactly as the retired eager enumeration did.
-  trace::TraceCursor cursor(trace_);
-  sim_.set_dispatcher(&Network::dispatch_trampoline, this);
-  sim_.set_seq_floor(cursor.total_events());
-
+void Network::schedule_dynamic_events() {
   // Dynamic events take the sequence range above the cursor's in a
   // fixed scheduling order — manual packets, then sweep/tick pairs,
   // then the pre-drawn Poisson workload — so every event's (time, seq)
@@ -172,6 +166,23 @@ void Network::run() {
     ev.b = static_cast<std::uint32_t>(j);
     sim_.schedule(workload_[j].time, ev);
   }
+}
+
+void Network::run() {
+  DTN_ASSERT(!ran_);
+  ran_ = true;
+
+  router_.on_init(*this);
+
+  // Trace replay: arrivals and departures stream lazily out of the
+  // cursor's k-way merge instead of being pre-scheduled one closure per
+  // visit.  The cursor owns the sequence range [0, total_events()), so
+  // same-time ties order exactly as the retired eager enumeration did.
+  trace::TraceCursor cursor(trace_);
+  sim_.set_dispatcher(&Network::dispatch_trampoline, this);
+  sim_.set_seq_floor(cursor.total_events());
+
+  schedule_dynamic_events();
 
   // Fault events last: a plan with nothing to inject schedules nothing,
   // and the workload events above keep the sequence numbers they would
@@ -185,12 +196,59 @@ void Network::run() {
   if (auditor_.enabled()) auditor_.audit_now();
 }
 
-void Network::run_sharded(std::size_t num_shards, ThreadPool* pool) {
+bool Network::run(persist::CheckpointManager& ckpt) {
+  DTN_ASSERT(!ran_);
+  DTN_ASSERT(router_.checkpointable());
+  ran_ = true;
+
+  trace::TraceCursor cursor(trace_);
+  sim_.set_dispatcher(&Network::dispatch_trampoline, this);
+  ckpt_mgr_ = &ckpt;
+  ckpt_cursor_ = &cursor;
+
+  if (ckpt.has_checkpoint()) {
+    // Resume: every piece of live state comes out of the snapshot — no
+    // seq floor (the restored queue already carries its next_seq), no
+    // scheduling, no build_workload (its RNG splits already happened in
+    // the original run; replaying them would desynchronize rng_), no
+    // on_init (checkpoint_load performs it).
+    load_checkpoint(ckpt.read_latest(), cursor);
+  } else {
+    router_.on_init(*this);
+    sim_.set_seq_floor(cursor.total_events());
+    schedule_dynamic_events();
+    schedule_faults();
+  }
+  ckpt_last_events_ = sim_.events_executed();
+  ckpt_last_time_ = sim_.now();
+
+  const bool completed = sim_.run_until(
+      trace_end_, &cursor, &Network::checkpoint_step_trampoline, this);
+  ckpt_mgr_ = nullptr;
+  if (!completed) {
+    // Suspended by stop_after_events; the snapshot of this exact point
+    // is already on disk (checkpoint_step wrote it before stopping).
+    ckpt_cursor_ = nullptr;
+    return false;
+  }
+  drop_expired();
+  if (auditor_.enabled()) auditor_.audit_now();
+  ckpt_cursor_ = nullptr;
+  return true;
+}
+
+void Network::run_sharded(std::size_t num_shards, ThreadPool* pool,
+                          persist::CheckpointManager* ckpt) {
   if (num_shards <= 1) {
-    run();
+    if (ckpt != nullptr) {
+      run(*ckpt);
+    } else {
+      run();
+    }
     return;
   }
   DTN_ASSERT(!ran_);
+  DTN_ASSERT(ckpt == nullptr || router_.checkpointable());
   // Preconditions of the parallel path (docs/parallel-engine.md):
   // a shard-safe router, no fault plan (fault events are global), no
   // periodic event-count auditing (the shared event counter would
@@ -376,6 +434,100 @@ void Network::run_sharded(std::size_t num_shards, ThreadPool* pool) {
   // execution-equivalent to the parallel path.
   constexpr std::size_t kInlineEpochThreshold = 128;
 
+  // Barrier snapshot writer (docs/checkpointing.md): at a unit barrier
+  // every event strictly below the bound has dispatched, so the sharded
+  // state collapses to exactly what a serial run holds right after the
+  // barrier's time-unit tick.  The image is written in serial format —
+  // the resumed process continues on the serial engine — and is
+  // byte-identical to a serial snapshot of the same point: the queue
+  // image is canonical (key-sorted), the pre-assigned packet ids are
+  // stripped (the serial engine re-derives them by appending), and only
+  // the born prefix of the packet table is stored.
+  const auto write_barrier_snapshot = [&](const sim::EpochBound& bound,
+                                          std::size_t units_done,
+                                          std::uint64_t executed) {
+    persist::Writer w;
+    w.begin_section("meta");
+    write_config_fingerprint(w);
+    w.end_section();
+
+    // Pending dynamic events: the unprocessed tails of every shard's
+    // generation stream, the manual packets past the trace horizon
+    // (the serial engine schedules them and never dispatches them, so
+    // they sit in its queue), and the sweep/tick pairs of the units
+    // still ahead.
+    std::vector<sim::Event> pending;
+    std::uint64_t trace_done = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      trace_done += trace_pos[s];
+      pending.insert(pending.end(),
+                     dyn_streams[s].begin() +
+                         static_cast<std::ptrdiff_t>(dyn_pos[s]),
+                     dyn_streams[s].end());
+    }
+    for (std::size_t i = 0; i < num_manual; ++i) {
+      if (cfg_.manual_packets[i].time <= trace_end_) continue;
+      sim::Event ev{};
+      ev.time = cfg_.manual_packets[i].time;
+      ev.seq = seq_floor + i;
+      ev.kind = sim::EventKind::kManualPacket;
+      ev.a = static_cast<std::uint32_t>(i);
+      pending.push_back(ev);
+    }
+    for (std::size_t idx = units_done; idx < unit_bounds.size(); ++idx) {
+      sim::Event sweep{};
+      sweep.time = unit_bounds[idx].time;
+      sweep.seq = unit_bounds[idx].seq;
+      sweep.kind = sim::EventKind::kTtlSweep;
+      pending.push_back(sweep);
+      sim::Event tick{};
+      tick.time = unit_bounds[idx].time;
+      tick.seq = unit_bounds[idx].seq + 1;
+      tick.kind = sim::EventKind::kTimeUnitTick;
+      tick.a = static_cast<std::uint32_t>(idx + 1);
+      pending.push_back(tick);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const sim::Event& a, const sim::Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.seq < b.seq;
+              });
+    w.begin_section("sim");
+    w.f64(bound.key.time);
+    w.u64(executed);
+    sim::EventQueue::save_image(w, pending.data(), pending.size(),
+                                gen_rank0 + workload_.size(),
+                                executed - trace_done, bound.key.time);
+    w.end_section();
+
+    // Cursor positions re-derived from ground truth: a node sits before
+    // its next arrival (2 * completed visits) or, while present, before
+    // the matching departure.
+    std::vector<std::uint32_t> positions(nodes_.size());
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      positions[n] = static_cast<std::uint32_t>(
+          2 * nodes_[n].history.size() +
+          (nodes_[n].location != kNoLandmark ? 1 : 0));
+    }
+    w.begin_section("cursor");
+    trace::TraceCursor::save_image(w, positions);
+    w.end_section();
+
+    const RunCounters merged = merged_shard_counters(nullptr);
+    const auto born = static_cast<std::size_t>(
+        std::lower_bound(dyn.begin(), dyn.end(), bound.key,
+                         [](const sim::Event& e, const sim::EventKey& k) {
+                           return sim::EventKey{e.time, e.seq} < k;
+                         }) -
+        dyn.begin());
+    save_tail_sections(w, merged, born, /*strip_preassigned=*/true);
+    w.finish();
+    ckpt->write(executed, w.buffer());
+  };
+  std::size_t units_done = 0;
+  std::uint64_t ckpt_last_events = 0;
+  double ckpt_last_time = 0.0;
+
   std::vector<std::size_t> active;
   active.reserve(num_shards);
   for (const sim::EpochBound& bound : epochs) {
@@ -405,6 +557,24 @@ void Network::run_sharded(std::size_t num_shards, ThreadPool* pool) {
       coord.cur_seq = bound.key.seq + 1;
       ++coord.events;
       router_.on_time_unit(*this, bound.unit_index);
+      ++units_done;
+      if (ckpt != nullptr) {
+        std::uint64_t executed = 2 * units_done;
+        for (std::size_t s = 0; s < num_shards; ++s) {
+          executed += trace_pos[s] + dyn_pos[s];
+        }
+        const persist::CheckpointConfig& cc = ckpt->config();
+        const bool due_events = cc.every_events > 0 &&
+                                executed - ckpt_last_events >= cc.every_events;
+        const bool due_time =
+            cc.every_time > 0.0 &&
+            bound.key.time - ckpt_last_time >= cc.every_time;
+        if (due_events || due_time) {
+          write_barrier_snapshot(bound, units_done, executed);
+          ckpt_last_events = executed;
+          ckpt_last_time = bound.key.time;
+        }
+      }
     }
     if (auditor_.enabled()) auditor_.audit_now();
   }
@@ -443,6 +613,12 @@ void Network::dispatch_sharded(const sim::Event& ev) {
 }
 
 void Network::merge_shard_contexts() {
+  std::uint64_t events = 0;
+  counters_ = merged_shard_counters(&events);
+  sharded_events_ = events;
+}
+
+RunCounters Network::merged_shard_counters(std::uint64_t* events_out) const {
   RunCounters total;
   std::vector<DeliveryRecord> records;
   std::size_t num_records = 0;
@@ -488,8 +664,524 @@ void Network::merge_shard_contexts() {
     total.delivery_hops.push_back(r.hops);
   }
   DTN_ASSERT(total.delivered == records.size());
-  counters_ = std::move(total);
-  sharded_events_ = events;
+  if (events_out != nullptr) *events_out = events;
+  return total;
+}
+
+// -- checkpointing (src/persist/, docs/checkpointing.md) ----------------
+
+void Network::write_config_fingerprint(persist::Writer& w) const {
+  // Everything the snapshot depends on but does not store.  The audit
+  // period is deliberately excluded: auditing is read-only, so a resume
+  // may turn it on or off.
+  w.u64(trace_.num_nodes());
+  w.u64(trace_.num_landmarks());
+  w.u64(trace_.total_visits());
+  w.f64(trace_begin_);
+  w.f64(trace_end_);
+  w.f64(cfg_.packets_per_landmark_per_day);
+  w.f64(cfg_.ttl);
+  w.u32(cfg_.packet_size_kb);
+  w.u64(cfg_.node_memory_kb);
+  w.f64(cfg_.warmup_fraction);
+  w.f64(cfg_.time_unit);
+  w.u64(cfg_.seed);
+  persist::write_vec(w, cfg_.destination_weights);
+  w.u64(cfg_.manual_packets.size());
+  for (const auto& mp : cfg_.manual_packets) {
+    w.u32(mp.src);
+    w.u32(mp.dst);
+    w.f64(mp.time);
+    w.f64(mp.ttl);
+    w.u32(mp.dst_node);
+  }
+  w.boolean(cfg_.faults.has_value());
+  if (cfg_.faults.has_value()) {
+    const sim::FaultPlan& fp = *cfg_.faults;
+    w.u64(fp.seed);
+    w.u64(fp.node_crashes.size());
+    for (const auto& c : fp.node_crashes) {
+      w.u32(c.node);
+      w.f64(c.time);
+      w.f64(c.downtime);
+    }
+    w.f64(fp.node_crash_rate_per_day);
+    w.f64(fp.node_mean_downtime);
+    w.f64(fp.crash_buffer_loss);
+    w.u64(fp.station_outages.size());
+    for (const auto& o : fp.station_outages) {
+      w.u32(o.station);
+      w.f64(o.start);
+      w.f64(o.end);
+    }
+    w.f64(fp.station_outage_rate_per_day);
+    w.f64(fp.station_mean_outage);
+    w.f64(fp.transfer_failure_prob);
+    w.f64(fp.retry_backoff);
+    w.f64(fp.retry_backoff_max);
+    w.f64(fp.dv_loss_prob);
+    w.f64(fp.dv_delay_prob);
+  }
+  w.str(router_.name());
+}
+
+void Network::check_config_fingerprint(persist::Reader& r) const {
+  // Field-by-field mirror of write_config_fingerprint; the first
+  // disagreement names what changed.  Doubles compare by bit pattern.
+  const auto mismatch = [](const char* what) {
+    throw persist::FormatError(
+        std::string("checkpoint fingerprint mismatch: ") + what +
+        " differs from this run's configuration");
+  };
+  const auto want_u32 = [&](std::uint32_t expect, const char* what) {
+    if (r.u32() != expect) mismatch(what);
+  };
+  const auto want_u64 = [&](std::uint64_t expect, const char* what) {
+    if (r.u64() != expect) mismatch(what);
+  };
+  const auto want_f64 = [&](double expect, const char* what) {
+    if (std::bit_cast<std::uint64_t>(r.f64()) !=
+        std::bit_cast<std::uint64_t>(expect)) {
+      mismatch(what);
+    }
+  };
+  const auto want_bool = [&](bool expect, const char* what) {
+    if (r.boolean() != expect) mismatch(what);
+  };
+  want_u64(trace_.num_nodes(), "trace node count");
+  want_u64(trace_.num_landmarks(), "trace landmark count");
+  want_u64(trace_.total_visits(), "trace visit count");
+  want_f64(trace_begin_, "trace begin time");
+  want_f64(trace_end_, "trace end time");
+  want_f64(cfg_.packets_per_landmark_per_day, "workload packet rate");
+  want_f64(cfg_.ttl, "packet TTL");
+  want_u32(cfg_.packet_size_kb, "packet size");
+  want_u64(cfg_.node_memory_kb, "node memory");
+  want_f64(cfg_.warmup_fraction, "warmup fraction");
+  want_f64(cfg_.time_unit, "time unit");
+  want_u64(cfg_.seed, "workload seed");
+  want_u64(cfg_.destination_weights.size(), "destination weight count");
+  for (const double v : cfg_.destination_weights) {
+    want_f64(v, "destination weights");
+  }
+  want_u64(cfg_.manual_packets.size(), "manual packet count");
+  for (const auto& mp : cfg_.manual_packets) {
+    want_u32(mp.src, "manual packet source");
+    want_u32(mp.dst, "manual packet destination");
+    want_f64(mp.time, "manual packet time");
+    want_f64(mp.ttl, "manual packet TTL");
+    want_u32(mp.dst_node, "manual packet destination node");
+  }
+  want_bool(cfg_.faults.has_value(), "fault plan presence");
+  if (cfg_.faults.has_value()) {
+    const sim::FaultPlan& fp = *cfg_.faults;
+    want_u64(fp.seed, "fault seed");
+    want_u64(fp.node_crashes.size(), "scheduled crash count");
+    for (const auto& c : fp.node_crashes) {
+      want_u32(c.node, "scheduled crash node");
+      want_f64(c.time, "scheduled crash time");
+      want_f64(c.downtime, "scheduled crash downtime");
+    }
+    want_f64(fp.node_crash_rate_per_day, "crash rate");
+    want_f64(fp.node_mean_downtime, "mean downtime");
+    want_f64(fp.crash_buffer_loss, "crash buffer loss");
+    want_u64(fp.station_outages.size(), "scheduled outage count");
+    for (const auto& o : fp.station_outages) {
+      want_u32(o.station, "scheduled outage station");
+      want_f64(o.start, "scheduled outage start");
+      want_f64(o.end, "scheduled outage end");
+    }
+    want_f64(fp.station_outage_rate_per_day, "outage rate");
+    want_f64(fp.station_mean_outage, "mean outage");
+    want_f64(fp.transfer_failure_prob, "transfer failure probability");
+    want_f64(fp.retry_backoff, "retry backoff");
+    want_f64(fp.retry_backoff_max, "retry backoff cap");
+    want_f64(fp.dv_loss_prob, "DV loss probability");
+    want_f64(fp.dv_delay_prob, "DV delay probability");
+  }
+  if (r.str() != router_.name()) mismatch("router");
+}
+
+void Network::save_tail_sections(persist::Writer& w,
+                                 const RunCounters& counters,
+                                 std::size_t num_packets,
+                                 bool strip_preassigned) const {
+  w.begin_section("rng");
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.end_section();
+
+  // The pre-drawn workload is serialized (not re-drawn on resume): the
+  // per-landmark RNG splits that built it already mutated rng_, and
+  // replaying them would desynchronize the stream.  Sharded snapshots
+  // strip the pre-assigned packet ids so the image matches what the
+  // serial engine holds (it assigns ids by appending).
+  w.begin_section("workload");
+  w.u64(workload_.size());
+  for (const WorkloadEntry& e : workload_) {
+    w.f64(e.time);
+    w.u32(e.src);
+    w.u32(e.dst);
+    w.u32(strip_preassigned ? kNoPacket : e.pid);
+  }
+  if (strip_preassigned) {
+    w.u64(0);
+  } else {
+    w.u64(manual_pids_.size());
+    for (const PacketId pid : manual_pids_) w.u32(pid);
+  }
+  w.end_section();
+
+  w.begin_section("counters");
+  w.u64(counters.generated);
+  w.u64(counters.delivered);
+  w.u64(counters.dropped_ttl);
+  w.u64(counters.refused_buffer);
+  w.u64(counters.packet_forwards);
+  w.u64(counters.replications);
+  w.f64(counters.control_entries);
+  w.f64(counters.total_delay);
+  persist::write_vec(w, counters.delivery_delays);
+  persist::write_vec(w, counters.delivery_hops);
+  w.u64(counters.node_crashes);
+  w.u64(counters.node_reboots);
+  w.u64(counters.station_outages);
+  w.u64(counters.station_recoveries);
+  w.u64(counters.packets_lost_fault);
+  w.u64(counters.kb_lost_fault);
+  w.u64(counters.transfers_interrupted);
+  w.u64(counters.transfers_resumed);
+  w.u64(counters.transfers_blocked_fault);
+  persist::write_vec(w, counters.outage_recovery_delays);
+  w.end_section();
+
+  w.begin_section("packets");
+  w.u64(num_packets);
+  for (std::size_t i = 0; i < num_packets; ++i) {
+    const Packet& p = packets_[i];
+    w.u32(p.id);
+    w.u32(p.src);
+    w.u32(p.dst);
+    w.u32(p.dst_node);
+    w.f64(p.created);
+    w.f64(p.ttl);
+    w.u32(p.size_kb);
+    w.u32(p.logical);
+    w.u8(static_cast<std::uint8_t>(p.state));
+    w.u32(p.holder);
+    w.u32(p.next_hop);
+    w.f64(p.expected_delay);
+    persist::write_vec(w, p.station_path);
+    w.u32(p.hops);
+    w.f64(p.delivered_at);
+  }
+  w.u64(num_packets);
+  for (std::size_t i = 0; i < num_packets; ++i) w.u8(logical_delivered_[i]);
+  w.boolean(any_node_addressed_);
+  w.end_section();
+
+  w.begin_section("nodes");
+  w.u64(nodes_.size());
+  for (const NodeState& n : nodes_) {
+    n.buffer.save(w);
+    w.u32(n.location);
+    w.u32(n.previous);
+    w.u64(n.history.size());
+    for (const trace::Visit& v : n.history) {
+      w.u32(v.node);
+      w.u32(v.landmark);
+      w.f64(v.start);
+      w.f64(v.end);
+    }
+  }
+  w.end_section();
+
+  w.begin_section("stations");
+  w.u64(stations_.size());
+  for (const StationState& s : stations_) {
+    s.storage.save(w);
+    persist::write_vec(w, s.origin);
+    persist::write_vec(w, s.present);
+  }
+  persist::write_vec(w, present_pos_);
+  w.end_section();
+
+  w.begin_section("ledger");
+  w.u64(ledger_.size());
+  for (const LedgerEntry& e : ledger_) {
+    w.u32(e.pid);
+    w.u32(e.attempts);
+    w.f64(e.next_retry);
+  }
+  persist::write_vec(w, ledger_index_);
+  persist::write_vec(w, outage_recovery_pending_);
+  w.end_section();
+
+  // The fault plan is configuration (fingerprinted above); only the
+  // injector's runtime state — RNG streams mid-sequence, outage sets —
+  // lives here.
+  w.begin_section("faults");
+  w.boolean(faults_.has_value());
+  if (faults_.has_value()) faults_->save(w);
+  w.end_section();
+
+  w.begin_section("router");
+  w.str(router_.name());
+  router_.checkpoint_save(w);
+  w.end_section();
+}
+
+void Network::load_tail_sections(persist::Reader& r) {
+  r.expect_section("rng");
+  std::array<std::uint64_t, 4> words{};
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state(words);
+  r.end_section();
+
+  r.expect_section("workload");
+  workload_.resize(static_cast<std::size_t>(r.u64()));
+  for (WorkloadEntry& e : workload_) {
+    e.time = r.f64();
+    e.src = r.u32();
+    e.dst = r.u32();
+    e.pid = r.u32();
+    if (e.src >= stations_.size() || e.dst >= stations_.size()) {
+      throw persist::FormatError(
+          "checkpoint workload entry names an unknown landmark");
+    }
+  }
+  manual_pids_.resize(static_cast<std::size_t>(r.u64()));
+  for (PacketId& pid : manual_pids_) pid = r.u32();
+  if (!manual_pids_.empty() &&
+      manual_pids_.size() != cfg_.manual_packets.size()) {
+    throw persist::FormatError(
+        "checkpoint manual packet id table has the wrong size");
+  }
+  r.end_section();
+
+  r.expect_section("counters");
+  counters_.generated = r.u64();
+  counters_.delivered = r.u64();
+  counters_.dropped_ttl = r.u64();
+  counters_.refused_buffer = r.u64();
+  counters_.packet_forwards = r.u64();
+  counters_.replications = r.u64();
+  counters_.control_entries = r.f64();
+  counters_.total_delay = r.f64();
+  persist::read_vec(r, counters_.delivery_delays);
+  persist::read_vec(r, counters_.delivery_hops);
+  counters_.node_crashes = r.u64();
+  counters_.node_reboots = r.u64();
+  counters_.station_outages = r.u64();
+  counters_.station_recoveries = r.u64();
+  counters_.packets_lost_fault = r.u64();
+  counters_.kb_lost_fault = r.u64();
+  counters_.transfers_interrupted = r.u64();
+  counters_.transfers_resumed = r.u64();
+  counters_.transfers_blocked_fault = r.u64();
+  persist::read_vec(r, counters_.outage_recovery_delays);
+  r.end_section();
+
+  r.expect_section("packets");
+  packets_.resize(static_cast<std::size_t>(r.u64()));
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    Packet& p = packets_[i];
+    p.id = r.u32();
+    p.src = r.u32();
+    p.dst = r.u32();
+    p.dst_node = r.u32();
+    p.created = r.f64();
+    p.ttl = r.f64();
+    p.size_kb = r.u32();
+    p.logical = r.u32();
+    const std::uint8_t state = r.u8();
+    if (p.id != i || state > static_cast<std::uint8_t>(PacketState::kLostFault)) {
+      throw persist::FormatError("checkpoint packet table row is malformed");
+    }
+    p.state = static_cast<PacketState>(state);
+    p.holder = r.u32();
+    p.next_hop = r.u32();
+    p.expected_delay = r.f64();
+    persist::read_vec(r, p.station_path);
+    p.hops = r.u32();
+    p.delivered_at = r.f64();
+  }
+  if (static_cast<std::size_t>(r.u64()) != packets_.size()) {
+    throw persist::FormatError(
+        "checkpoint delivery flags disagree with the packet table size");
+  }
+  logical_delivered_.resize(packets_.size());
+  for (std::uint8_t& flag : logical_delivered_) flag = r.u8();
+  any_node_addressed_ = r.boolean();
+  r.end_section();
+
+  r.expect_section("nodes");
+  if (static_cast<std::size_t>(r.u64()) != nodes_.size()) {
+    throw persist::FormatError("checkpoint node count mismatch");
+  }
+  for (NodeState& n : nodes_) {
+    n.buffer.load(r);
+    n.location = r.u32();
+    n.previous = r.u32();
+    if ((n.location != kNoLandmark && n.location >= stations_.size()) ||
+        (n.previous != kNoLandmark && n.previous >= stations_.size())) {
+      throw persist::FormatError(
+          "checkpoint node state names an unknown landmark");
+    }
+    n.history.resize(static_cast<std::size_t>(r.u64()));
+    for (trace::Visit& v : n.history) {
+      v.node = r.u32();
+      v.landmark = r.u32();
+      v.start = r.f64();
+      v.end = r.f64();
+    }
+  }
+  r.end_section();
+
+  r.expect_section("stations");
+  if (static_cast<std::size_t>(r.u64()) != stations_.size()) {
+    throw persist::FormatError("checkpoint station count mismatch");
+  }
+  for (StationState& s : stations_) {
+    s.storage.load(r);
+    persist::read_vec(r, s.origin);
+    persist::read_vec(r, s.present);
+  }
+  persist::read_vec(r, present_pos_);
+  if (present_pos_.size() != nodes_.size()) {
+    throw persist::FormatError(
+        "checkpoint present-position index has the wrong size");
+  }
+  r.end_section();
+
+  r.expect_section("ledger");
+  ledger_.resize(static_cast<std::size_t>(r.u64()));
+  for (LedgerEntry& e : ledger_) {
+    e.pid = r.u32();
+    e.attempts = r.u32();
+    e.next_retry = r.f64();
+  }
+  persist::read_vec(r, ledger_index_);
+  persist::read_vec(r, outage_recovery_pending_);
+  if (outage_recovery_pending_.size() != stations_.size()) {
+    throw persist::FormatError(
+        "checkpoint outage-recovery table has the wrong size");
+  }
+  r.end_section();
+
+  r.expect_section("faults");
+  if (r.boolean() != faults_.has_value()) {
+    throw persist::FormatError(
+        "checkpoint fault-injector presence disagrees with this run");
+  }
+  if (faults_.has_value()) faults_->load(r);
+  r.end_section();
+
+  r.expect_section("router");
+  if (r.str() != router_.name()) {
+    throw persist::FormatError(
+        "checkpoint was written by a different router");
+  }
+  router_.checkpoint_load(r, *this);
+  r.end_section();
+}
+
+persist::Writer Network::serialize_state() const {
+  DTN_ASSERT(ckpt_cursor_ != nullptr);
+  DTN_ASSERT(!sharded_run_);
+  persist::Writer w;
+  w.begin_section("meta");
+  write_config_fingerprint(w);
+  w.end_section();
+  w.begin_section("sim");
+  sim_.save(w);
+  w.end_section();
+  w.begin_section("cursor");
+  ckpt_cursor_->save(w);
+  w.end_section();
+  save_tail_sections(w, counters_, packets_.size(),
+                     /*strip_preassigned=*/false);
+  return w;
+}
+
+void Network::write_snapshot() {
+  persist::Writer w = serialize_state();
+  w.finish();
+  last_ckpt_sections_ = w.sections();
+  last_ckpt_executed_ = sim_.events_executed();
+  ckpt_last_events_ = last_ckpt_executed_;
+  ckpt_last_time_ = sim_.now();
+  ckpt_mgr_->write(last_ckpt_executed_, w.buffer());
+}
+
+bool Network::checkpoint_step() {
+  const persist::CheckpointConfig& cc = ckpt_mgr_->config();
+  const std::uint64_t executed = sim_.events_executed();
+  const bool due_events =
+      cc.every_events > 0 && executed - ckpt_last_events_ >= cc.every_events;
+  const bool due_time =
+      cc.every_time > 0.0 && sim_.now() - ckpt_last_time_ >= cc.every_time;
+  const bool suspend =
+      cc.stop_after_events > 0 && executed >= cc.stop_after_events;
+  if (due_events || due_time || suspend) write_snapshot();
+  return !suspend;
+}
+
+void Network::load_checkpoint(const std::vector<std::uint8_t>& bytes,
+                              trace::TraceCursor& cursor) {
+  persist::Reader r(bytes);
+  r.expect_section("meta");
+  check_config_fingerprint(r);
+  r.end_section();
+  r.expect_section("sim");
+  sim_.load(r);
+  r.end_section();
+  r.expect_section("cursor");
+  cursor.load(r);
+  r.end_section();
+  load_tail_sections(r);
+  r.finish();
+
+  // Restored-state verification: before a single event is dispatched, a
+  // fresh serialization must reproduce the image byte for byte, and the
+  // full invariant audit must pass.
+  persist::Writer w = serialize_state();
+  w.finish();
+  if (w.buffer() != bytes) {
+    throw persist::FormatError(
+        "restored state does not re-serialize to the checkpoint image");
+  }
+  last_ckpt_sections_ = w.sections();
+  last_ckpt_executed_ = sim_.events_executed();
+  sim::AuditReport report;
+  audit(report);
+  if (!report.ok()) {
+    throw persist::FormatError("restored state failed the invariant audit:\n" +
+                               report.to_string());
+  }
+}
+
+void Network::audit_checkpoint_crc(sim::AuditReport& report) const {
+  // Only decidable when the most recent snapshot captured exactly this
+  // simulation point; in between, live state legitimately diverges from
+  // the file.
+  if (ckpt_cursor_ == nullptr || sharded_run_ || last_ckpt_sections_.empty() ||
+      last_ckpt_executed_ != sim_.events_executed()) {
+    return;
+  }
+  persist::Writer w = serialize_state();
+  const auto& live = w.sections();
+  if (live.size() != last_ckpt_sections_.size()) {
+    report.fail("live state serializes to " + std::to_string(live.size()) +
+                " sections but the snapshot held " +
+                std::to_string(last_ckpt_sections_.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i] != last_ckpt_sections_[i]) {
+      report.fail("section '" + last_ckpt_sections_[i].first +
+                  "' CRC diverged between the snapshot and live state");
+    }
+  }
 }
 
 void Network::dispatch(const sim::Event& ev) {

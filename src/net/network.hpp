@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/buffer.hpp"
@@ -23,6 +25,16 @@
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+namespace dtn::persist {
+class CheckpointManager;
+class Reader;
+class Writer;
+}  // namespace dtn::persist
+
+namespace dtn::trace {
+class TraceCursor;
+}  // namespace dtn::trace
 
 namespace dtn::net {
 
@@ -127,6 +139,20 @@ class Network {
   /// Replay the whole trace.  Call exactly once.
   void run();
 
+  /// Checkpointed replay (docs/checkpointing.md).  Resumes from `ckpt`'s
+  /// newest snapshot when one exists (throwing persist::FormatError if
+  /// it is corrupt or was taken under a different configuration),
+  /// otherwise starts fresh; writes snapshots at the cadence in
+  /// ckpt.config().  Returns true when the replay reached the trace
+  /// horizon, false when it suspended after
+  /// CheckpointConfig::stop_after_events (a snapshot of the suspension
+  /// point is on disk, so a later process finishes the run — the
+  /// deterministic stand-in for a kill).  A run checkpointed and resumed
+  /// any number of times produces bit-identical counters and delivery
+  /// records to an uninterrupted run().  Requires
+  /// `router.checkpointable()`.  Call exactly once (instead of run()).
+  bool run(persist::CheckpointManager& ckpt);
+
   /// Replay the whole trace with the event engine sharded by landmark
   /// partition (docs/parallel-engine.md): each shard replays the events
   /// of a disjoint landmark set between boundary epochs; every result
@@ -135,8 +161,13 @@ class Network {
   /// periodic auditing and a landmark-addressed-only workload
   /// (manual packets must not set dst_node).  `num_shards <= 1` falls
   /// back to the serial path; a null `pool` creates a private one.
-  /// Call exactly once (instead of run()).
-  void run_sharded(std::size_t num_shards, ThreadPool* pool = nullptr);
+  /// A non-null `ckpt` writes snapshots at time-unit barriers (the only
+  /// points where the sharded state collapses to a serial-equivalent
+  /// image); they are byte-identical to a serial snapshot of the same
+  /// point and resume on the serial engine.  Sharded runs never resume
+  /// and ignore stop_after_events.  Call exactly once (instead of run()).
+  void run_sharded(std::size_t num_shards, ThreadPool* pool = nullptr,
+                   persist::CheckpointManager* ckpt = nullptr);
 
   // -- introspection ----------------------------------------------------
   [[nodiscard]] double now() const {
@@ -299,6 +330,42 @@ class Network {
   /// Draw the whole Poisson workload into `workload_`, sorted by
   /// (time, src) — the order the serial scheduler assigns ranks in.
   void build_workload();
+  /// Schedule every dynamic event of a fresh run in the fixed rank
+  /// order (manual packets, sweep/tick pairs, the Poisson workload);
+  /// shared by run() and a non-resuming checkpointed run.
+  void schedule_dynamic_events();
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// The "meta" section: everything the checkpoint does NOT store but a
+  /// resume must be handed unchanged (trace shape, workload config,
+  /// fault plan, router identity).  check_* throws persist::FormatError
+  /// on the first field that disagrees.
+  void write_config_fingerprint(persist::Writer& w) const;
+  void check_config_fingerprint(persist::Reader& r) const;
+  /// Sections after "cursor": rng, workload, counters, packets, nodes,
+  /// stations, ledger, faults, router.  `num_packets` bounds the packet
+  /// table (sharded snapshots write only the born prefix) and
+  /// `strip_preassigned` clears the shard-only pre-assigned packet ids
+  /// so the image is byte-identical to a serial snapshot.
+  void save_tail_sections(persist::Writer& w, const RunCounters& counters,
+                          std::size_t num_packets,
+                          bool strip_preassigned) const;
+  void load_tail_sections(persist::Reader& r);
+  /// Full serial-format snapshot of the live run (requires an active
+  /// checkpointed run: ckpt_cursor_ set).
+  [[nodiscard]] persist::Writer serialize_state() const;
+  void write_snapshot();
+  bool checkpoint_step();
+  static bool checkpoint_step_trampoline(void* self) {
+    return static_cast<Network*>(self)->checkpoint_step();
+  }
+  void load_checkpoint(const std::vector<std::uint8_t>& bytes,
+                       trace::TraceCursor& cursor);
+  /// Auditor check: when a snapshot exists for exactly this simulation
+  /// point, a fresh serialization of live state must reproduce its
+  /// per-section CRCs.
+  void audit_checkpoint_crc(sim::AuditReport& report) const;
+
   /// A delivery recorded by one shard, keyed by the (time, seq) of the
   /// event that delivered it so the merge can restore the exact serial
   /// append order of delivery_delays / delivery_hops / total_delay.
@@ -325,6 +392,12 @@ class Network {
   /// Fold per-shard counters and delivery records back into `counters_`
   /// in the serial order.
   void merge_shard_contexts();
+  /// Non-destructive form of the fold above: the serial-order totals
+  /// without touching the per-shard contexts (barrier snapshots use it
+  /// mid-run).  `events_out`, when non-null, receives the executed
+  /// event total across shards.
+  [[nodiscard]] RunCounters merged_shard_counters(
+      std::uint64_t* events_out) const;
   /// Active counter sink: the calling shard's slot during a sharded
   /// run, the plain run counters otherwise.
   [[nodiscard]] RunCounters& ctr() {
@@ -434,6 +507,19 @@ class Network {
   std::vector<ShardContext> contexts_;
   std::uint64_t sharded_events_ = 0;
   bool sharded_run_ = false;
+
+  // -- active checkpointed run (see docs/checkpointing.md) --------------
+  persist::CheckpointManager* ckpt_mgr_ = nullptr;
+  /// The serial run's live trace cursor while a checkpointed run is
+  /// active (serialize_state needs its positions); null otherwise.
+  trace::TraceCursor* ckpt_cursor_ = nullptr;
+  std::uint64_t ckpt_last_events_ = 0;
+  double ckpt_last_time_ = 0.0;
+  /// Per-section (name, crc32) of the most recent snapshot and the
+  /// executed-event count it captured; the checkpoint_crc auditor check
+  /// re-serializes live state against these whenever the counts match.
+  std::vector<std::pair<std::string, std::uint32_t>> last_ckpt_sections_;
+  std::uint64_t last_ckpt_executed_ = 0;
 
   double trace_begin_ = 0.0;
   double trace_end_ = 0.0;

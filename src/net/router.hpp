@@ -15,6 +15,11 @@ namespace dtn::sim {
 class AuditReport;
 }
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::net {
 
 class Network;
@@ -96,6 +101,21 @@ class Router {
   }
   virtual void on_station_recovery(Network& net, LandmarkId l) {
     (void)net; (void)l;
+  }
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// True when the router implements checkpoint_save/checkpoint_load.
+  /// Checkpointed runs require it; `Network::run` with a
+  /// CheckpointManager refuses routers that return false.
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+  /// Serialize all routing state into the open "router" section.
+  virtual void checkpoint_save(persist::Writer& w) const { (void)w; }
+  /// Restore state saved by checkpoint_save.  Called *instead of*
+  /// on_init on resume (implementations typically call on_init
+  /// themselves to size their containers, then overwrite).  Throws
+  /// persist::FormatError on malformed images.
+  virtual void checkpoint_load(persist::Reader& r, Network& net) {
+    (void)r; (void)net;
   }
 
   /// Invariant audit hook (debug tooling, see invariant_auditor.hpp):

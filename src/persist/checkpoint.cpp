@@ -1,0 +1,119 @@
+#include "persist/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace dtn::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".dtnckpt";
+
+std::string snapshot_name(std::uint64_t executed_events) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kPrefix,
+                static_cast<unsigned long long>(executed_events), kSuffix);
+  return buf;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointConfig cfg)
+    : cfg_(std::move(cfg)) {
+  DTN_ASSERT(!cfg_.dir.empty());
+  fs::create_directories(cfg_.dir);
+}
+
+std::vector<std::string> CheckpointManager::list() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() < std::string(kSuffix).size() ||
+        name.compare(name.size() - std::string(kSuffix).size(),
+                     std::string::npos, kSuffix) != 0) {
+      continue;
+    }
+    out.push_back(entry.path().string());
+  }
+  // Directory iteration order is unspecified; the zero-padded event
+  // count in the name makes a lexicographic sort chronological.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> CheckpointManager::read_latest(
+    std::string* path) const {
+  const std::vector<std::string> snaps = list();
+  if (snaps.empty()) {
+    throw FormatError("no checkpoint found in " + cfg_.dir);
+  }
+  if (path != nullptr) *path = snaps.back();
+  return read_file(snaps.back());
+}
+
+std::string CheckpointManager::write(std::uint64_t executed_events,
+                                     const std::vector<std::uint8_t>& bytes) {
+  const fs::path final_path = fs::path(cfg_.dir) / snapshot_name(executed_events);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw FormatError("cannot open checkpoint temp file " +
+                        tmp_path.string());
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      throw FormatError("short write to checkpoint temp file " +
+                        tmp_path.string());
+    }
+  }
+  // rename() within one directory is atomic: readers either see the old
+  // snapshot set or the complete new file, never a partial one.
+  fs::rename(tmp_path, final_path);
+
+  if (cfg_.keep > 0) {
+    std::vector<std::string> snaps = list();
+    while (snaps.size() > cfg_.keep) {
+      std::error_code ec;
+      fs::remove(snaps.front(), ec);
+      snaps.erase(snaps.begin());
+    }
+  }
+  return final_path.string();
+}
+
+std::vector<std::uint8_t> CheckpointManager::read_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw FormatError("cannot open checkpoint file " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  if (end < 0) {
+    throw FormatError("cannot stat checkpoint file " + path);
+  }
+  bytes.resize(static_cast<std::size_t>(end));
+  in.seekg(0, std::ios::beg);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+    throw FormatError("short read from checkpoint file " + path);
+  }
+  return bytes;
+}
+
+}  // namespace dtn::persist

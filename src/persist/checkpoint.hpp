@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/serializer.hpp"
+
+// Filesystem side of the checkpoint subsystem (docs/checkpointing.md):
+// atomic snapshot files (write-to-temp + rename), sorted discovery of
+// existing snapshots, and a bounded retention window.  Snapshot files
+// are named ckpt-<executed event count, zero padded>.dtnckpt so that
+// lexicographic order equals event order and "latest" is well defined
+// without consulting file timestamps (which would be nondeterministic).
+
+namespace dtn::persist {
+
+struct CheckpointConfig {
+  std::string dir;                      // snapshot directory (created on demand)
+  std::uint64_t every_events = 0;       // snapshot period in dispatched events (0 = off)
+  double every_time = 0.0;              // snapshot period in simulation time units (0 = off)
+  std::size_t keep = 4;                 // retained snapshots; older ones are pruned
+  std::uint64_t stop_after_events = 0;  // deterministic kill: snapshot then stop (0 = run to completion)
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointConfig cfg);
+
+  const CheckpointConfig& config() const { return cfg_; }
+
+  // Sorted full paths of every snapshot in the directory (oldest first).
+  std::vector<std::string> list() const;
+  bool has_checkpoint() const { return !list().empty(); }
+
+  // Reads the newest snapshot; throws FormatError if there is none.
+  // The optional out-param reports which file was read.
+  std::vector<std::uint8_t> read_latest(std::string* path = nullptr) const;
+
+  // Atomically publishes a snapshot for the given executed-event count
+  // and prunes snapshots beyond the retention window.  Returns the
+  // final path.
+  std::string write(std::uint64_t executed_events,
+                    const std::vector<std::uint8_t>& bytes);
+
+  static std::vector<std::uint8_t> read_file(const std::string& path);
+
+ private:
+  CheckpointConfig cfg_;
+};
+
+}  // namespace dtn::persist

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "persist/serializer.hpp"
+#include "util/flat_matrix.hpp"
+
+// Writer/Reader adapters for the flat containers the hot paths are
+// built on.  Kept header-only and element-wise: FlatMatrix exposes no
+// mutable raw() on purpose, and going through at() keeps the encoding
+// independent of the in-memory layout.
+
+namespace dtn::persist {
+
+template <typename T>
+void write_scalar(Writer& w, const T& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    w.f64(v);
+  } else if constexpr (std::is_same_v<T, bool>) {
+    w.boolean(v);
+  } else if constexpr (sizeof(T) <= 1) {
+    w.u8(static_cast<std::uint8_t>(v));
+  } else if constexpr (sizeof(T) <= 4) {
+    w.u32(static_cast<std::uint32_t>(v));
+  } else {
+    w.u64(static_cast<std::uint64_t>(v));
+  }
+}
+
+template <typename T>
+void read_scalar(Reader& r, T& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    v = r.f64();
+  } else if constexpr (std::is_same_v<T, bool>) {
+    v = r.boolean();
+  } else if constexpr (sizeof(T) <= 1) {
+    v = static_cast<T>(r.u8());
+  } else if constexpr (sizeof(T) <= 4) {
+    v = static_cast<T>(r.u32());
+  } else {
+    v = static_cast<T>(r.u64());
+  }
+}
+
+template <typename T>
+void write_matrix(Writer& w, const FlatMatrix<T>& m) {
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      write_scalar(w, m.at(r, c));
+    }
+  }
+}
+
+template <typename T>
+void read_matrix(Reader& r, FlatMatrix<T>& m) {
+  const auto rows = static_cast<std::size_t>(r.u64());
+  const auto cols = static_cast<std::size_t>(r.u64());
+  m = FlatMatrix<T>(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      read_scalar(r, m.at(i, j));
+    }
+  }
+}
+
+template <typename T>
+void write_vec(Writer& w, const std::vector<T>& v) {
+  w.u64(v.size());
+  for (const T& x : v) write_scalar(w, x);
+}
+
+template <typename T>
+void read_vec(Reader& r, std::vector<T>& v) {
+  v.resize(static_cast<std::size_t>(r.u64()));
+  for (T& x : v) read_scalar(r, x);
+}
+
+}  // namespace dtn::persist

@@ -36,6 +36,11 @@
 #include "sim/event.hpp"
 #include "util/assert.hpp"
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::sim {
 
 class AuditReport;
@@ -147,6 +152,23 @@ class EventQueue {
     pay_.reserve(n);
   }
   [[nodiscard]] std::size_t capacity() const { return keys_.capacity(); }
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize the queue image: scheduling counters plus every pending
+  /// event in heap array order.  Out of line — never on the hot path.
+  void save(persist::Writer& w) const;
+  /// The same byte layout from an externally assembled pending set (the
+  /// sharded engine snapshots at unit barriers where the queue lives in
+  /// per-shard pieces).  `events` must be arranged so the array is a
+  /// valid min-heap in (time, seq) order; a (time, seq)-sorted array
+  /// always qualifies.
+  static void save_image(persist::Writer& w, const Event* events,
+                         std::size_t count, std::uint64_t next_seq,
+                         std::uint64_t popped, double last_popped);
+  /// Restore into a fresh queue (asserts nothing was scheduled yet);
+  /// keys are rebuilt from the payloads.  Throws persist::FormatError on
+  /// a malformed image.
+  void load(persist::Reader& r);
 
   // -- invariant auditing (debug tooling, see invariant_auditor.hpp) ----
   /// Validate the packed-key heap from scratch: the heap property over

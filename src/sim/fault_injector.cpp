@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "persist/serializer.hpp"
 #include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
 
@@ -265,6 +266,51 @@ void FaultInjector::audit(AuditReport& report) const {
     report.fail("station down-count " + std::to_string(stations_down_count_) +
                 " disagrees with bitset popcount " + std::to_string(stations));
   }
+}
+
+namespace {
+
+void write_rng(persist::Writer& w, const dtn::Rng& rng) {
+  for (const std::uint64_t word : rng.state()) w.u64(word);
+}
+
+void read_rng(persist::Reader& r, dtn::Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = r.u64();
+  rng.set_state(state);
+}
+
+}  // namespace
+
+void FaultInjector::save(persist::Writer& w) const {
+  write_rng(w, crash_rng_);
+  write_rng(w, outage_rng_);
+  write_rng(w, transfer_rng_);
+  write_rng(w, control_rng_);
+  w.u64(node_down_.size());
+  for (const std::uint8_t d : node_down_) w.u8(d);
+  w.u64(station_down_.size());
+  for (const std::uint8_t d : station_down_) w.u8(d);
+  w.u64(nodes_down_count_);
+  w.u64(stations_down_count_);
+}
+
+void FaultInjector::load(persist::Reader& r) {
+  read_rng(r, crash_rng_);
+  read_rng(r, outage_rng_);
+  read_rng(r, transfer_rng_);
+  read_rng(r, control_rng_);
+  if (r.u64() != node_down_.size()) {
+    throw persist::FormatError("checkpoint fault-injector node count mismatch");
+  }
+  for (std::uint8_t& d : node_down_) d = r.u8();
+  if (r.u64() != station_down_.size()) {
+    throw persist::FormatError(
+        "checkpoint fault-injector station count mismatch");
+  }
+  for (std::uint8_t& d : station_down_) d = r.u8();
+  nodes_down_count_ = static_cast<std::size_t>(r.u64());
+  stations_down_count_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace dtn::sim

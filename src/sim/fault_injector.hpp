@@ -32,6 +32,11 @@
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::sim {
 
 class AuditReport;
@@ -176,6 +181,14 @@ class FaultInjector {
 
   /// Invariant audit: down counts must equal the bitsets' popcounts.
   void audit(AuditReport& report) const;
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize the runtime state: the four RNG streams mid-sequence and
+  /// the outage sets.  The plan itself is configuration — the engine
+  /// fingerprints it instead of storing it, so a resume must be handed
+  /// the same plan it crashed under.
+  void save(persist::Writer& w) const;
+  void load(persist::Reader& r);
 
  private:
   FaultPlan plan_;

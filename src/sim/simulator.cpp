@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "persist/serializer.hpp"
+
 namespace dtn::sim {
 
 void Simulator::at(double t, EventFn fn) {
@@ -65,6 +67,56 @@ void Simulator::run_until(double end_time, EventSource* source) {
     }
   }
   now_ = end_time;
+}
+
+bool Simulator::run_until(double end_time, EventSource* source, StepFn step,
+                          void* step_ctx) {
+  DTN_ASSERT(step != nullptr);
+  // A separate copy of the merge loop: the unstepped overload stays
+  // branch-free on the hot path, and this one pays one indirect call
+  // per event only when checkpointing is enabled.
+  while (true) {
+    const bool queue_ready = !queue_.empty() && queue_.next_time() <= end_time;
+    const bool source_ready = source != nullptr && !source->exhausted() &&
+                              source->peek().time <= end_time;
+    if (!queue_ready && !source_ready) break;
+    bool take_source = source_ready;
+    if (queue_ready && source_ready) {
+      const Event& head = source->peek();
+      take_source = head.time < queue_.next_time() ||
+                    (head.time == queue_.next_time() &&
+                     head.seq < queue_.next_seq());
+    }
+    Event ev;
+    if (take_source) {
+      ev = source->peek();
+      source->advance();
+    } else {
+      ev = queue_.pop();
+    }
+    now_ = ev.time;
+    ++executed_;
+    dispatch(ev);
+    if (!step(step_ctx)) return false;
+  }
+  now_ = end_time;
+  return true;
+}
+
+void Simulator::save(persist::Writer& w) const {
+  // Live kCallback closures cannot round-trip through a byte stream;
+  // the replay engine never has any pending at a snapshot point.
+  DTN_ASSERT(slots_.size() == free_slots_.size());
+  w.f64(now_);
+  w.u64(executed_);
+  queue_.save(w);
+}
+
+void Simulator::load(persist::Reader& r) {
+  DTN_ASSERT(executed_ == 0 && queue_.empty());
+  now_ = r.f64();
+  executed_ = r.u64();
+  queue_.load(r);
 }
 
 void Simulator::run() {

@@ -65,6 +65,19 @@ class Simulator {
   void run_until(double end_time) { run_until(end_time, nullptr); }
   void run_until(double end_time, EventSource* source);
 
+  /// Observer called after each dispatched event in the stepped
+  /// run_until overload; returning false suspends the loop (the clock
+  /// stays at the last event's time instead of jumping to `end_time`).
+  /// This is how the checkpoint subsystem snapshots mid-run and models
+  /// a deterministic kill (docs/checkpointing.md).
+  using StepFn = bool (*)(void* ctx);
+
+  /// As run_until(end_time, source), with `step` invoked after every
+  /// event.  Returns true when the loop ran to completion (clock set to
+  /// `end_time`), false when `step` suspended it.
+  bool run_until(double end_time, EventSource* source, StepFn step,
+                 void* step_ctx);
+
   /// Run everything in the queue (no external source).
   void run();
 
@@ -77,6 +90,15 @@ class Simulator {
   /// Read access to the underlying queue for invariant audits
   /// (EventQueue::audit) and introspection.
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize clock + counters + the pending queue image.  kCallback
+  /// events hold closures and cannot be serialized; asserts none are
+  /// live (the replay engine schedules none).
+  void save(persist::Writer& w) const;
+  /// Restore into a simulator that has not run yet (the dispatcher is
+  /// reinstalled by the owner, not serialized).
+  void load(persist::Reader& r);
 
  private:
   void dispatch(const Event& ev);

@@ -1,5 +1,9 @@
 #include "trace/cursor.hpp"
 
+#include <string>
+
+#include "persist/serializer.hpp"
+
 namespace dtn::trace {
 
 namespace {
@@ -32,15 +36,47 @@ TraceCursor::Head TraceCursor::head_of(NodeId n, std::uint32_t e) const {
 }
 
 void TraceCursor::reset() {
+  for (std::size_t i = 0; i < pos_.size(); ++i) pos_[i] = 0;
+  rebuild_heap();
+}
+
+void TraceCursor::rebuild_heap() {
   heap_.clear();
   for (std::size_t i = 0; i < pos_.size(); ++i) {
-    pos_[i] = 0;
     const auto n = static_cast<NodeId>(i);
-    if (!trace_->visits(n).empty()) heap_.push_back(head_of(n, 0));
+    if (pos_[i] < 2 * trace_->visits(n).size()) {
+      heap_.push_back(head_of(n, pos_[i]));
+    }
   }
   // Floyd heap construction.
   for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
   if (!heap_.empty()) materialize_top();
+}
+
+void TraceCursor::save(persist::Writer& w) const { save_image(w, pos_); }
+
+void TraceCursor::save_image(persist::Writer& w,
+                             const std::vector<std::uint32_t>& positions) {
+  w.u64(positions.size());
+  for (const std::uint32_t p : positions) w.u32(p);
+}
+
+void TraceCursor::load(persist::Reader& r) {
+  const auto n = static_cast<std::size_t>(r.u64());
+  if (n != pos_.size()) {
+    throw persist::FormatError(
+        "checkpoint cursor image disagrees with the trace node count");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t p = r.u32();
+    if (p > 2 * trace_->visits(static_cast<NodeId>(i)).size()) {
+      throw persist::FormatError(
+          "checkpoint cursor position out of range for node " +
+          std::to_string(i));
+    }
+    pos_[i] = p;
+  }
+  rebuild_heap();
 }
 
 void TraceCursor::materialize_top() {

@@ -28,6 +28,11 @@
 #include "sim/event.hpp"
 #include "trace/trace.hpp"
 
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
 namespace dtn::trace {
 
 class TraceCursor final : public sim::EventSource {
@@ -47,6 +52,20 @@ class TraceCursor final : public sim::EventSource {
   /// Rewind to the beginning of the trace.
   void reset();
 
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Serialize the replay positions (the trace itself is immutable input
+  /// and is fingerprinted, not stored).
+  void save(persist::Writer& w) const;
+  /// The same byte layout from externally derived positions (the
+  /// sharded engine reconstructs them from per-node histories at a unit
+  /// barrier).
+  static void save_image(persist::Writer& w,
+                         const std::vector<std::uint32_t>& positions);
+  /// Restore the positions saved by save()/save_image() and rebuild the
+  /// merge heap.  Throws persist::FormatError on node-count or position
+  /// range mismatches.
+  void load(persist::Reader& r);
+
  private:
   struct Head {
     double time;        ///< time of the node's next event
@@ -58,6 +77,8 @@ class TraceCursor final : public sim::EventSource {
   [[nodiscard]] Head head_of(NodeId n, std::uint32_t e) const;
   void materialize_top();
   void sift_down(std::size_t i);
+  /// Rebuild the merge heap from the current pos_ values (Floyd).
+  void rebuild_heap();
 
   const Trace* trace_;
   /// Next per-node event index (2 * visit + {0 arrival, 1 departure}).

@@ -85,8 +85,19 @@ Trace read_trace_csv(std::istream& in, const std::string& source) {
   std::uint32_t max_node = 0;
   std::uint32_t max_landmark = 0;
   int line_no = 1;
+  bool final_line_unterminated = false;
   while (std::getline(in, line)) {
+    // getline sets eofbit (but still succeeds) when it read characters
+    // up to EOF without finding '\n' — i.e. the file was cut mid-record.
+    // A truncated trailing record can otherwise parse silently with a
+    // wrong value ("...,27.5" cut to "...,2"), which is exactly the
+    // corruption a crashed writer leaves behind; crash-resume reads must
+    // reject it rather than ingest it (docs/checkpointing.md).
+    final_line_unterminated = in.eof();
     ++line_no;
+    if (final_line_unterminated) break;  // reject below, before parsing:
+    // the cut line may *also* fail field validation, and a validation
+    // error would mislabel what is really a torn write.
     if (line.empty()) continue;
     const auto fields = split_fields(line);
     if (fields.size() != 4) {
@@ -106,6 +117,17 @@ Trace read_trace_csv(std::istream& in, const std::string& source) {
     max_node = std::max(max_node, v.node);
     max_landmark = std::max(max_landmark, v.landmark);
     raw.push_back(v);
+  }
+  if (in.bad()) {
+    throw std::runtime_error("trace CSV: " + source +
+                             ": I/O error while reading near line " +
+                             std::to_string(line_no));
+  }
+  if (final_line_unterminated) {
+    throw std::runtime_error(
+        "trace CSV: " + source + ": truncated final record at line " +
+        std::to_string(line_no) +
+        " (no trailing newline; file cut mid-record?)");
   }
   Trace trace(raw.empty() ? 0 : max_node + 1, raw.empty() ? 0 : max_landmark + 1);
   for (const auto& v : raw) {

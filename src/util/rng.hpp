@@ -12,6 +12,7 @@
 // changes how many numbers it consumes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -73,6 +74,19 @@ class Rng {
   /// Derive an independent child generator; `tag` distinguishes children
   /// created from the same parent state.
   [[nodiscard]] Rng split(std::uint64_t tag);
+
+  /// Full generator state, for checkpointing (src/persist/).  A restored
+  /// state continues the exact stream: state()/set_state round-trips are
+  /// bit-identical to never having been interrupted.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

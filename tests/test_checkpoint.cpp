@@ -1,0 +1,625 @@
+// Checkpoint/restore subsystem (docs/checkpointing.md):
+//
+//  * unit — Writer/Reader round-trips and every structural rejection
+//    (magic, schema version, CRC, truncation, section names, trailing
+//    bytes), CheckpointManager discovery/retention/atomic publish;
+//  * scenario — the headline contract: a run suspended at event N and
+//    resumed from its snapshot finishes with bit-identical counters,
+//    diagnostics and delay records vs. the uninterrupted run, on the
+//    campus tier, under a fault plan spanning the checkpoint, and from
+//    sharded-barrier snapshots resumed on the serial engine;
+//  * edge — empty networks, zero pending events, snapshots exactly on a
+//    unit-tick barrier, fingerprint and schema-version rejection.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dtn_flow_router.hpp"
+#include "net/network.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/serializer.hpp"
+#include "test_helpers.hpp"
+#include "trace/campus_generator.hpp"
+#include "trace/city_generator.hpp"
+
+namespace dtn {
+namespace {
+
+using core::DtnFlowConfig;
+using core::DtnFlowDiagnostics;
+using core::DtnFlowRouter;
+using dtn::testing::relay_chain_trace;
+using net::Network;
+using net::RunCounters;
+using net::WorkloadConfig;
+using persist::CheckpointConfig;
+using persist::CheckpointManager;
+using persist::FormatError;
+using persist::Reader;
+using persist::Writer;
+using trace::kDay;
+using trace::kMinute;
+
+// Fresh per-test snapshot directory under the gtest temp root.
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   ("dtn_ckpt_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// -- Writer / Reader unit tests ------------------------------------------
+
+std::vector<std::uint8_t> sample_stream() {
+  Writer w;
+  w.begin_section("alpha");
+  w.u8(7);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-1.5);
+  w.boolean(true);
+  w.str("hello");
+  w.end_section();
+  w.begin_section("beta");
+  w.u64(42);
+  w.end_section();
+  w.finish();
+  return w.buffer();
+}
+
+TEST(Serializer, RoundTripsScalarsAndStrings) {
+  Reader r(sample_stream());
+  EXPECT_EQ(r.schema_version(), persist::kSchemaVersion);
+  r.expect_section("alpha");
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.f64(), -1.5);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  r.end_section();
+  r.expect_section("beta");
+  EXPECT_EQ(r.u64(), 42u);
+  r.end_section();
+  r.finish();
+}
+
+TEST(Serializer, SectionsReportNamesAndCrcsInWriteOrder) {
+  Writer w;
+  w.begin_section("alpha");
+  w.u64(1);
+  w.end_section();
+  w.begin_section("beta");
+  w.u64(1);
+  w.end_section();
+  const auto& s = w.sections();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].first, "alpha");
+  EXPECT_EQ(s[1].first, "beta");
+  // Identical payloads hash identically; the CRC is over payload bytes.
+  EXPECT_EQ(s[0].second, s[1].second);
+  Writer other;
+  other.begin_section("alpha");
+  other.u64(2);
+  other.end_section();
+  EXPECT_NE(other.sections()[0].second, s[0].second);
+}
+
+TEST(Serializer, RejectsBadMagic) {
+  auto bytes = sample_stream();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(Reader r(std::move(bytes)), FormatError);
+}
+
+TEST(Serializer, RejectsFutureSchemaVersion) {
+  auto bytes = sample_stream();
+  bytes[persist::kMagicSize] += 1;  // version u32 follows the magic
+  EXPECT_THROW(Reader r(std::move(bytes)), FormatError);
+}
+
+TEST(Serializer, RejectsCorruptPayloadViaCrc) {
+  auto bytes = sample_stream();
+  // Flip one payload byte of "alpha": header is magic + version + flags,
+  // then u32 name_len, name, u64 payload_len, payload...
+  const std::size_t payload_start = persist::kMagicSize + 4 + 4 + 4 + 5 + 8;
+  bytes[payload_start] ^= 0x01;
+  Reader r(std::move(bytes));
+  EXPECT_THROW(r.expect_section("alpha"), FormatError);
+}
+
+TEST(Serializer, RejectsTruncatedStream) {
+  const auto full = sample_stream();
+  for (const std::size_t keep : {full.size() - 1, full.size() / 2}) {
+    std::vector<std::uint8_t> cut(full.begin(),
+                                  full.begin() + static_cast<long>(keep));
+    EXPECT_THROW(
+        {
+          Reader r(std::move(cut));
+          r.expect_section("alpha");
+          r.u8();
+          r.u32();
+          r.u64();
+          r.f64();
+          r.boolean();
+          r.str();
+          r.end_section();
+          r.expect_section("beta");
+          r.u64();
+          r.end_section();
+          r.finish();
+        },
+        FormatError);
+  }
+}
+
+TEST(Serializer, RejectsWrongSectionNameAndUnderReads) {
+  Reader wrong(sample_stream());
+  EXPECT_THROW(wrong.expect_section("beta"), FormatError);
+
+  Reader under(sample_stream());
+  under.expect_section("alpha");
+  under.u8();
+  EXPECT_THROW(under.end_section(), FormatError);  // payload not drained
+}
+
+TEST(Serializer, RejectsTrailingBytesAfterEndMarker) {
+  auto bytes = sample_stream();
+  bytes.push_back(0);
+  Reader r(std::move(bytes));
+  r.expect_section("alpha");
+  r.u8();
+  r.u32();
+  r.u64();
+  r.f64();
+  r.boolean();
+  r.str();
+  r.end_section();
+  r.expect_section("beta");
+  r.u64();
+  r.end_section();
+  EXPECT_THROW(r.finish(), FormatError);
+}
+
+// -- CheckpointManager unit tests ----------------------------------------
+
+TEST(CheckpointManagerTest, DiscoversSortedAndPrunesBeyondRetention) {
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("retention").string();
+  cc.keep = 3;
+  CheckpointManager mgr(cc);
+  EXPECT_FALSE(mgr.has_checkpoint());
+  EXPECT_THROW(mgr.read_latest(), FormatError);
+
+  for (const std::uint64_t n : {100, 20, 3000, 450, 99999}) {
+    Writer w;
+    w.begin_section("n");
+    w.u64(n);
+    w.end_section();
+    w.finish();
+    mgr.write(n, w.buffer());
+  }
+  const auto files = mgr.list();
+  ASSERT_EQ(files.size(), 3u);  // pruned to `keep`, oldest dropped
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+
+  std::string latest_path;
+  Reader r(mgr.read_latest(&latest_path));
+  EXPECT_EQ(files.back(), latest_path);
+  EXPECT_NE(latest_path.find("99999"), std::string::npos);
+  r.expect_section("n");
+  EXPECT_EQ(r.u64(), 99999u);
+  r.end_section();
+  r.finish();
+}
+
+TEST(CheckpointManagerTest, IgnoresForeignFilesAndTempDebris) {
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("debris").string();
+  CheckpointManager mgr(cc);
+  Writer w;
+  w.begin_section("n");
+  w.u64(7);
+  w.end_section();
+  w.finish();
+  const std::string path = mgr.write(7, w.buffer());
+  std::ofstream(std::filesystem::path(cc.dir) / "notes.txt") << "hi";
+  std::ofstream(std::filesystem::path(cc.dir) / "ckpt-x.tmp") << "junk";
+  const auto files = mgr.list();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], path);
+}
+
+// -- resume equality scenarios -------------------------------------------
+
+struct RunOutcome {
+  RunCounters counters;
+  DtnFlowDiagnostics diag;
+  std::uint64_t events = 0;
+  double now = 0.0;
+};
+
+void expect_equal(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.diag, b.diag);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.now, b.now);
+}
+
+WorkloadConfig campus_workload() {
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 4.0;
+  cfg.ttl = 6.0 * kDay;
+  cfg.time_unit = 1.5 * kDay;
+  cfg.warmup_fraction = 0.25;
+  cfg.node_memory_kb = 40;
+  cfg.seed = 11;
+  cfg.manual_packets = {{0, 5, 4.0 * kDay, 0.0},
+                        {3, 1, 6.5 * kDay, 2.0 * kDay}};
+  return cfg;
+}
+
+trace::Trace campus_trace() {
+  trace::CampusTraceConfig tc;
+  tc.num_nodes = 50;
+  tc.num_landmarks = 18;
+  tc.num_communities = 5;
+  tc.days = 10.0;
+  tc.seed = 5;
+  return generate_campus_trace(tc);
+}
+
+DtnFlowConfig full_router_config() {
+  DtnFlowConfig rc;
+  rc.dead_end_prevention = true;
+  rc.load_balancing = true;
+  rc.scheduled_communication = true;
+  rc.node_to_node_relay = true;
+  return rc;
+}
+
+RunOutcome run_uninterrupted(const trace::Trace& trace,
+                             const WorkloadConfig& cfg) {
+  DtnFlowRouter router(full_router_config());
+  Network net(trace, router, cfg);
+  net.run();
+  net.validate_invariants();
+  return {net.counters(), router.diagnostics(), net.events_executed(),
+          net.now()};
+}
+
+// Suspend at `stop_events`, then resume in a fresh process-equivalent
+// (new Network + router over the same inputs) until completion.
+RunOutcome run_with_suspension(const trace::Trace& trace,
+                               const WorkloadConfig& cfg,
+                               const std::string& dir_tag,
+                               std::uint64_t stop_events) {
+  CheckpointConfig cc;
+  cc.dir = fresh_dir(dir_tag).string();
+  cc.stop_after_events = stop_events;
+  {
+    CheckpointManager mgr(cc);
+    DtnFlowRouter router(full_router_config());
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(mgr));  // suspended, snapshot written
+    EXPECT_TRUE(mgr.has_checkpoint());
+  }
+  CheckpointConfig resume = cc;
+  resume.stop_after_events = 0;
+  CheckpointManager mgr(resume);
+  DtnFlowRouter router(full_router_config());
+  Network net(trace, router, cfg);
+  EXPECT_TRUE(net.run(mgr));
+  net.validate_invariants();
+  return {net.counters(), router.diagnostics(), net.events_executed(),
+          net.now()};
+}
+
+TEST(CheckpointResume, CampusRunIsBitIdenticalAcrossSuspensions) {
+  const auto trace = campus_trace();
+  const auto cfg = campus_workload();
+  const RunOutcome full = run_uninterrupted(trace, cfg);
+  ASSERT_GT(full.counters.generated, 50u);
+  ASSERT_GT(full.counters.delivered, 10u);
+  // Early, middle and late suspension points.
+  expect_equal(full, run_with_suspension(trace, cfg, "campus_early",
+                                         full.events / 10));
+  expect_equal(full, run_with_suspension(trace, cfg, "campus_mid",
+                                         full.events / 2));
+  expect_equal(full, run_with_suspension(trace, cfg, "campus_late",
+                                         full.events - 5));
+}
+
+TEST(CheckpointResume, SurvivesChainedSuspensions) {
+  // Suspend, resume, suspend again later, resume again: exercises
+  // resume-from-a-resumed-run and picking the newest of several files.
+  const auto trace = campus_trace();
+  const auto cfg = campus_workload();
+  const RunOutcome full = run_uninterrupted(trace, cfg);
+
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("chained").string();
+  cc.every_events = 2000;  // also exercise periodic snapshots
+  cc.stop_after_events = full.events / 3;
+  {
+    CheckpointManager mgr(cc);
+    DtnFlowRouter router(full_router_config());
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(mgr));
+  }
+  cc.stop_after_events = (2 * full.events) / 3;
+  {
+    CheckpointManager mgr(cc);
+    EXPECT_GT(mgr.list().size(), 1u);
+    DtnFlowRouter router(full_router_config());
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(mgr));
+  }
+  cc.stop_after_events = 0;
+  CheckpointManager mgr(cc);
+  DtnFlowRouter router(full_router_config());
+  Network net(trace, router, cfg);
+  EXPECT_TRUE(net.run(mgr));
+  net.validate_invariants();
+  expect_equal(full, {net.counters(), router.diagnostics(),
+                      net.events_executed(), net.now()});
+}
+
+TEST(CheckpointResume, FaultPlanSpanningTheCheckpointIsBitIdentical) {
+  // Crash node 0 for a day around the suspension point and add stochastic
+  // faults, so the checkpoint lands mid-outage: injector RNG streams,
+  // down sets and the retry ledger must all survive the round trip.
+  const auto trace = relay_chain_trace(10.0);
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 10;
+  cfg.ttl = 2.0 * kDay;
+  for (int i = 0; i < 40; ++i) {
+    cfg.manual_packets.push_back({0, 3, 4.0 * kDay + i * 10.0 * kMinute, 0.0});
+  }
+  cfg.faults.emplace();
+  cfg.faults->seed = 77;
+  cfg.faults->node_crashes.push_back(
+      {0, 4.0 * kDay + 45.0 * kMinute, 1.0 * kDay});
+  cfg.faults->crash_buffer_loss = 1.0;
+  cfg.faults->station_outage_rate_per_day = 0.2;
+  cfg.faults->station_mean_outage = 0.1 * kDay;
+  cfg.faults->transfer_failure_prob = 0.1;
+
+  const RunOutcome full = run_uninterrupted(trace, cfg);
+  ASSERT_GT(full.counters.node_crashes, 0u);
+  ASSERT_GT(full.counters.packets_lost_fault, 0u);
+  expect_equal(full,
+               run_with_suspension(trace, cfg, "fault_mid", full.events / 2));
+  expect_equal(full, run_with_suspension(trace, cfg, "fault_late",
+                                         (3 * full.events) / 4));
+}
+
+// -- sharded-barrier snapshots -------------------------------------------
+
+trace::Trace small_city_trace() {
+  trace::CityTraceConfig tc;
+  tc.num_pedestrians = 220;
+  tc.num_buses = 10;
+  tc.num_landmarks = 48;
+  tc.num_districts = 6;
+  tc.days = 1.0;
+  tc.seed = 9;
+  return generate_city_trace(tc);
+}
+
+WorkloadConfig city_workload() {
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 2.0;
+  cfg.ttl = 0.5 * kDay;
+  cfg.time_unit = 0.25 * kDay;
+  cfg.warmup_fraction = 0.2;
+  cfg.node_memory_kb = 20;
+  cfg.seed = 21;
+  return cfg;
+}
+
+std::uint64_t executed_from_path(const std::string& path) {
+  // ckpt-<zero padded count>.dtnckpt
+  const auto base = std::filesystem::path(path).stem().string();
+  return std::stoull(base.substr(base.find('-') + 1));
+}
+
+TEST(CheckpointSharded, BarrierSnapshotResumesOnSerialEngine) {
+  const auto trace = small_city_trace();
+  const auto cfg = city_workload();
+  const RunOutcome full = run_uninterrupted(trace, cfg);
+  ASSERT_GT(full.counters.delivered, 0u);
+
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("city_sharded").string();
+  cc.every_events = 1;  // snapshot at every unit barrier
+  {
+    CheckpointManager mgr(cc);
+    DtnFlowRouter router(full_router_config());
+    Network net(trace, router, cfg);
+    net.run_sharded(4, nullptr, &mgr);
+    EXPECT_GT(mgr.list().size(), 1u);
+    // The sharded run itself is still bit-identical to serial.
+    EXPECT_EQ(net.counters(), full.counters);
+  }
+  cc.every_events = 0;  // resume without re-snapshotting every event
+  CheckpointManager mgr(cc);
+  DtnFlowRouter router(full_router_config());
+  Network net(trace, router, cfg);
+  EXPECT_TRUE(net.run(mgr));
+  net.validate_invariants();
+  expect_equal(full, {net.counters(), router.diagnostics(),
+                      net.events_executed(), net.now()});
+}
+
+TEST(CheckpointSharded, BarrierSnapshotIsByteIdenticalToSerialSnapshot) {
+  // The satellite edge case "checkpoint exactly on a unit-tick barrier",
+  // proven the strong way: the sharded engine's barrier snapshot and a
+  // serial run suspended at the same executed-event count produce the
+  // same bytes.
+  const auto trace = campus_trace();
+  const auto cfg = campus_workload();
+
+  CheckpointConfig shard_cc;
+  shard_cc.dir = fresh_dir("bytes_sharded").string();
+  shard_cc.every_events = 1;
+  shard_cc.keep = 64;
+  CheckpointManager shard_mgr(shard_cc);
+  {
+    DtnFlowRouter router(full_router_config());
+    Network net(trace, router, cfg);
+    net.run_sharded(4, nullptr, &shard_mgr);
+  }
+  const auto files = shard_mgr.list();
+  ASSERT_GT(files.size(), 2u);
+
+  for (const auto& file : {files.front(), files[files.size() / 2]}) {
+    const std::uint64_t executed = executed_from_path(file);
+    CheckpointConfig serial_cc;
+    serial_cc.dir =
+        fresh_dir("bytes_serial_" + std::to_string(executed)).string();
+    serial_cc.stop_after_events = executed;
+    CheckpointManager serial_mgr(serial_cc);
+    DtnFlowRouter router(full_router_config());
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(serial_mgr));
+    std::string serial_path;
+    serial_mgr.read_latest(&serial_path);
+    EXPECT_EQ(CheckpointManager::read_file(file),
+              CheckpointManager::read_file(serial_path))
+        << "sharded barrier snapshot at " << executed
+        << " events differs from the serial snapshot";
+  }
+}
+
+// -- edge cases ----------------------------------------------------------
+
+TEST(CheckpointEdge, EmptyNetworkCompletesWithoutSnapshots) {
+  trace::Trace t(3, 4);
+  t.finalize();  // no visits, no events
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("empty").string();
+  cc.every_events = 1;
+  CheckpointManager mgr(cc);
+  DtnFlowRouter router;
+  Network net(t, router, cfg);
+  EXPECT_TRUE(net.run(mgr));
+  EXPECT_EQ(net.counters().generated, 0u);
+  EXPECT_FALSE(mgr.has_checkpoint());  // zero events, nothing to snapshot
+}
+
+TEST(CheckpointEdge, SuspensionAtFinalEventLeavesZeroPendingEvents) {
+  // stop_after_events == total events: the snapshot holds an empty queue
+  // and the resumed run completes without dispatching anything.
+  const auto trace = relay_chain_trace(4.0);
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 0.0;
+  cfg.warmup_fraction = 0.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 10;
+  cfg.ttl = 2.0 * kDay;
+  cfg.manual_packets = {{0, 3, 1.0 * kDay, 0.0}};
+  const RunOutcome full = run_uninterrupted(trace, cfg);
+  expect_equal(full,
+               run_with_suspension(trace, cfg, "final_event", full.events));
+}
+
+TEST(CheckpointEdge, FingerprintMismatchIsRejected) {
+  const auto trace = relay_chain_trace(4.0);
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 1.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 10;
+  cfg.ttl = 1.0 * kDay;
+  cfg.seed = 3;
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("fingerprint").string();
+  cc.stop_after_events = 40;
+  {
+    CheckpointManager mgr(cc);
+    DtnFlowRouter router;
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(mgr));
+  }
+  cc.stop_after_events = 0;
+  CheckpointManager mgr(cc);
+  auto changed = cfg;
+  changed.seed = 4;  // any fingerprinted field will do
+  DtnFlowRouter router;
+  Network net(trace, router, changed);
+  EXPECT_THROW(net.run(mgr), FormatError);
+}
+
+TEST(CheckpointEdge, SchemaVersionMismatchIsRejected) {
+  const auto trace = relay_chain_trace(4.0);
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 1.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 10;
+  cfg.ttl = 1.0 * kDay;
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("schema").string();
+  cc.stop_after_events = 40;
+  {
+    CheckpointManager mgr(cc);
+    DtnFlowRouter router;
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(mgr));
+  }
+  // Bump the version field in place; the resume must refuse the file.
+  std::string path;
+  CheckpointManager probe(cc);
+  auto bytes = probe.read_latest(&path);
+  bytes[persist::kMagicSize] += 1;
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<long>(bytes.size()));
+  cc.stop_after_events = 0;
+  CheckpointManager mgr(cc);
+  DtnFlowRouter router;
+  Network net(trace, router, cfg);
+  EXPECT_THROW(net.run(mgr), FormatError);
+}
+
+TEST(CheckpointEdge, CorruptSnapshotPayloadIsRejectedOnResume) {
+  const auto trace = relay_chain_trace(4.0);
+  WorkloadConfig cfg;
+  cfg.packets_per_landmark_per_day = 1.0;
+  cfg.time_unit = 0.5 * kDay;
+  cfg.node_memory_kb = 10;
+  cfg.ttl = 1.0 * kDay;
+  CheckpointConfig cc;
+  cc.dir = fresh_dir("corrupt").string();
+  cc.stop_after_events = 40;
+  {
+    CheckpointManager mgr(cc);
+    DtnFlowRouter router;
+    Network net(trace, router, cfg);
+    EXPECT_FALSE(net.run(mgr));
+  }
+  std::string path;
+  CheckpointManager probe(cc);
+  auto bytes = probe.read_latest(&path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a bit mid-stream
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<long>(bytes.size()));
+  cc.stop_after_events = 0;
+  CheckpointManager mgr(cc);
+  DtnFlowRouter router;
+  Network net(trace, router, cfg);
+  EXPECT_THROW(net.run(mgr), FormatError);
+}
+
+}  // namespace
+}  // namespace dtn

@@ -129,5 +129,36 @@ TEST(TraceIo, StreamParseErrorUsesSourceLabel) {
   }
 }
 
+// A file cut mid-record (what a crashed writer leaves behind) must be a
+// clean error, not a silent EOF: the cut value can parse as a *wrong*
+// number ("...,27.5" truncated to "...,2" below), so crash-resume reads
+// would otherwise ingest corrupt visits (docs/checkpointing.md).
+TEST(TraceIo, RejectsTruncatedTrailingRecord) {
+  std::stringstream cut("node,landmark,start,end\n0,0,0,1\n1,1,2,2");
+  try {
+    (void)read_trace_csv(cut, "cut-buffer");
+    FAIL() << "expected a truncation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("cut-buffer"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+
+  const std::string path = ::testing::TempDir() + "trace_io_truncated.csv";
+  {
+    std::ofstream out(path);
+    out << "node,landmark,start,end\n0,0,0,1\n1,1,2,2";  // cut from 27.5
+  }
+  EXPECT_THROW((void)read_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ... including a record whose *fields* are cut, not just the value.
+TEST(TraceIo, RejectsTrailingRecordCutMidFields) {
+  std::stringstream cut("node,landmark,start,end\n0,0,0,1\n1,1");
+  EXPECT_THROW((void)read_trace_csv(cut), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace dtn::trace
