@@ -23,6 +23,14 @@ current run instead of comparing against it, stamping the file with a
 host-context block (hostname, platform, CPU count, optional --note) so
 a future reader can tell which machine the numbers came from.
 
+--improvement-note PATH banks improvements the same way regressions are
+policed: a comparison run flags (never fails) benchmarks faster than
+the tolerance band and appends them to PATH, and a later
+--update-baseline run with the same PATH folds the banked lines into
+the refreshed baseline's host_context, so the provenance of a big win
+(e.g. a SIMD pass) survives in the checked-in numbers instead of
+silently shifting the floor.
+
 Usage (normally via the `bench-check` CMake target):
     scripts/bench_check.py --bench build/bench/bench_micro
     scripts/bench_check.py --bench build/bench/bench_micro \
@@ -132,6 +140,11 @@ def main() -> int:
     ap.add_argument("--note", default="",
                     help="justification recorded in the refreshed baseline "
                          "(only meaningful with --update-baseline)")
+    ap.add_argument("--improvement-note", type=Path, default=None,
+                    help="bank improvements beyond the threshold: a "
+                         "comparison run appends flagged speedups to this "
+                         "file, and --update-baseline records the file's "
+                         "lines in the new baseline's host_context")
     args = ap.parse_args()
 
     report = run_benchmarks(args.bench, args.filter)
@@ -146,6 +159,13 @@ def main() -> int:
             "recorded_by": "scripts/bench_check.py --update-baseline",
             "note": args.note or "baseline refresh",
         }
+        if args.improvement_note is not None and args.improvement_note.exists():
+            banked = [line for line in
+                      args.improvement_note.read_text().splitlines() if line]
+            if banked:
+                report["host_context"]["improvements"] = banked
+                print(f"folded {len(banked)} banked improvement line(s) "
+                      f"from {args.improvement_note} into host_context")
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(report, indent=2) + "\n")
         print(f"baseline refreshed: {args.baseline}")
@@ -163,6 +183,7 @@ def main() -> int:
     current = by_name(report)
 
     regressions = []
+    improvements = []
     missing = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
@@ -172,15 +193,25 @@ def main() -> int:
             continue
         base_t, cur_t = base["real_time"], cur["real_time"]
         ratio = cur_t / base_t if base_t > 0 else float("inf")
+        unit = base.get("time_unit", "ns")
         marker = ""
         if ratio > 1.0 + args.threshold:
             marker = "  <-- REGRESSION"
             regressions.append((name, ratio))
         elif ratio < 1.0 - args.threshold:
             marker = "  (improved; consider refreshing the baseline)"
-        unit = base.get("time_unit", "ns")
+            improvements.append(
+                f"{name}: {ratio:.2f}x baseline "
+                f"({base_t:.0f} -> {cur_t:.0f} {unit})")
         print(f"  {name}: {base_t:.0f} -> {cur_t:.0f} {unit} "
               f"({ratio:.2f}x baseline){marker}")
+
+    if improvements and args.improvement_note is not None:
+        with args.improvement_note.open("a") as f:
+            for line in improvements:
+                f.write(line + "\n")
+        print(f"banked {len(improvements)} improvement(s) to "
+              f"{args.improvement_note}")
 
     if missing:
         sys.stderr.write(

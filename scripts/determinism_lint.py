@@ -20,6 +20,11 @@ diagnostic, so this lint polices them statically:
    a run is a pure function of its seed; all timestamps must be
    simulation time.
 
+3. **Test-only convenience overloads called from src/** — currently
+   the allocating MarkovPredictor::next_distribution() spelling, whose
+   per-call vector would put an allocation inside the prediction hot
+   path; replay code must use the scratch-buffer overload.
+
 Suppressing a finding: append `// det-lint: ok(<reason>)` to the line.
 A suppression without a reason is itself a finding.
 
@@ -36,9 +41,11 @@ import sys
 from pathlib import Path
 
 # Directories whose code runs inside the deterministic replay loop:
-# iteration-order hazards are findings here.
+# iteration-order hazards are findings here.  src/util is included for
+# the SIMD wrapper and the arena (their lane/accounting semantics are
+# part of the bit-identical contract, docs/simd-hot-path.md).
 REPLAY_CRITICAL_DIRS = ("src/core", "src/sim", "src/routing", "src/net",
-                        "src/persist")
+                        "src/persist", "src/util")
 # Ambient-nondeterminism calls are findings everywhere under src/ except
 # the one sanctioned wrapper.
 SOURCE_DIR = "src"
@@ -64,6 +71,12 @@ REQUIRED_COVERED_FILES = (
     "src/persist/checkpoint.hpp",
     "src/persist/checkpoint.cpp",
     "src/persist/flat_io.hpp",
+    # The portable SIMD wrapper defines the per-lane operations whose
+    # IEEE-exactness the vectorized hot paths rely on; the arena backs
+    # the router's per-event scratch allocations.  Both sit on the
+    # bit-identical replay path (docs/simd-hot-path.md).
+    "src/util/simd.hpp",
+    "src/util/arena.hpp",
 )
 
 SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*ok\(([^)]*)\)")
@@ -82,6 +95,16 @@ AMBIENT_PATTERNS = (
      "std::chrono wall clock"),
     (re.compile(r"(?<![\w.:>])(?:gettimeofday|getpid)\s*\("),
      "gettimeofday()/getpid()"),
+)
+
+# Test-only APIs: convenience spellings whose use in src/ would
+# reintroduce a hot-path hazard the production spelling was built to
+# avoid.  Matched on member-call syntax only (`.name()` / `->name()`),
+# so the declaration and definition of the overload do not trip it.
+TEST_ONLY_CALLS = (
+    (re.compile(r"(?:\.|->)\s*next_distribution\s*\(\s*\)"),
+     "allocating MarkovPredictor::next_distribution() overload is "
+     "test-only — replay code must pass a reused scratch buffer"),
 )
 
 
@@ -193,6 +216,9 @@ def lint_file(path: Path, rel: str, unordered_names: set[str],
                 if pat.search(line):
                     hits.append(f"{what} outside src/util/rng.* — route "
                                 "through dtn::Rng / simulation time")
+        for pat, what in TEST_ONLY_CALLS:
+            if pat.search(line):
+                hits.append(what)
         if suppressed and hits:
             continue  # explicitly waived, reason recorded inline
         for what in hits:

@@ -10,6 +10,7 @@
 #include "sim/invariant_auditor.hpp"
 
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 
 namespace dtn::core {
 
@@ -63,10 +64,24 @@ void DtnFlowRouter::on_init(Network& net) {
     landmarks_[l].carrier_cache.assign(m, {});
   }
   for (auto& scratch : scratch_slots_) scratch.clear();
+  ensure_arenas(arena_slots_.empty() ? 1 : arena_slots_.size());
   station_down_.assign(m, 0);
   needs_reconvergence_.assign(m, 0);
   accuracy_ = FlatMatrix<double>(n, m, cfg_.accuracy_init);
   for (auto& slot : diag_slots_) slot = DtnFlowDiagnostics{};
+}
+
+void DtnFlowRouter::ensure_arenas(std::size_t n) {
+  DTN_ASSERT(n >= 1);
+  while (arena_slots_.size() < n) {
+    arena_slots_.push_back(std::make_unique<Arena>());
+  }
+  arena_slots_.resize(n);
+  for (auto& a : arena_slots_) a->reset();
+  // The other per-shard slot set sized alongside the arenas: prepaid
+  // present-epoch balances for batched departures (zero outside a
+  // batch, see on_departure_batch_begin).
+  epoch_prepaid_.assign(n, 0);
 }
 
 DtnFlowDiagnostics DtnFlowRouter::diagnostics() const {
@@ -130,7 +145,7 @@ void DtnFlowRouter::audit(const net::Network& net,
     report.set_context("router.carrier_cache[" + std::to_string(l) + "]");
     const auto present = net.nodes_at(static_cast<net::LandmarkId>(l));
     for (std::size_t to = 0; to < ls.carrier_cache.size(); ++to) {
-      const auto& entry = ls.carrier_cache[to];
+      const CarrierScores& entry = ls.carrier_cache[to];
       if (entry.epoch > ls.present_epoch) {
         report.fail("target " + std::to_string(to) + ": cache epoch " +
                     std::to_string(entry.epoch) +
@@ -139,20 +154,32 @@ void DtnFlowRouter::audit(const net::Network& net,
         continue;
       }
       if (entry.epoch != ls.present_epoch) continue;  // legitimately stale
-      if (entry.scores.size() != present.size()) {
-        report.fail("target " + std::to_string(to) + ": valid cache has " +
-                    std::to_string(entry.scores.size()) + " scores for " +
-                    std::to_string(present.size()) + " present nodes");
+      // The SoA columns must stay the same length as each other and as
+      // the present set (a column updated without its siblings is the
+      // mirror-desync bug class).
+      if (entry.node.size() != present.size() ||
+          entry.overall.size() != entry.node.size() ||
+          entry.raw.size() != entry.node.size() ||
+          entry.predicted_to.size() != entry.node.size()) {
+        report.fail("target " + std::to_string(to) +
+                    ": valid cache columns (node " +
+                    std::to_string(entry.node.size()) + ", overall " +
+                    std::to_string(entry.overall.size()) + ", raw " +
+                    std::to_string(entry.raw.size()) + ", predicted_to " +
+                    std::to_string(entry.predicted_to.size()) +
+                    ") disagree with " + std::to_string(present.size()) +
+                    " present nodes");
         continue;
       }
       for (std::size_t i = 0; i < present.size(); ++i) {
         const NodeId n = present[i];
-        const CarrierScore& cached = entry.scores[i];
         const NodeState& ns = nodes_[n];
         double raw = 0.0;
         double overall = 0.0;
         bool predicted_to = false;
-        // Mirror carrier_scores exactly: a crashed node scores zero.
+        // Mirror carrier_scores exactly (scalar — doubles as a
+        // SIMD-vs-scalar cross-check of the fused refinement sweep): a
+        // crashed node scores zero.
         if (!net.node_down(n)) {
           raw = ns.predictor->probability_of(static_cast<LandmarkId>(to));
           overall = raw;
@@ -163,21 +190,40 @@ void DtnFlowRouter::audit(const net::Network& net,
           }
           predicted_to = ns.predicted_next == static_cast<LandmarkId>(to);
         }
-        if (cached.node != n ||
-            std::bit_cast<std::uint64_t>(cached.raw) !=
+        if (entry.node[i] != n ||
+            std::bit_cast<std::uint64_t>(entry.raw[i]) !=
                 std::bit_cast<std::uint64_t>(raw) ||
-            std::bit_cast<std::uint64_t>(cached.overall) !=
+            std::bit_cast<std::uint64_t>(entry.overall[i]) !=
                 std::bit_cast<std::uint64_t>(overall) ||
-            cached.predicted_to != predicted_to) {
+            (entry.predicted_to[i] != 0) != predicted_to) {
           report.fail("target " + std::to_string(to) + ", slot " +
                       std::to_string(i) + ": valid cached score (node " +
-                      std::to_string(cached.node) + ", overall " +
-                      std::to_string(cached.overall) +
+                      std::to_string(entry.node[i]) + ", overall " +
+                      std::to_string(entry.overall[i]) +
                       ") disagrees with recomputation (node " +
                       std::to_string(n) + ", overall " +
                       std::to_string(overall) + ")");
         }
       }
+    }
+  }
+  // Scratch-arena byte accounting (util/arena.hpp): the incremental
+  // counter must agree with the per-block sums in every shard slot.
+  report.set_context("router.scratch_arena");
+  for (std::size_t s = 0; s < arena_slots_.size(); ++s) {
+    std::string why;
+    if (!arena_slots_[s]->check(&why)) {
+      report.fail("shard " + std::to_string(s) + ": " + why);
+    }
+  }
+  // Audits run at event boundaries, where every departure batch has
+  // consumed its prepaid epoch advances in full.
+  report.set_context("router.batch_epoch");
+  for (std::size_t s = 0; s < epoch_prepaid_.size(); ++s) {
+    if (epoch_prepaid_[s] != 0) {
+      report.fail("shard " + std::to_string(s) + ": prepaid epoch balance " +
+                  std::to_string(epoch_prepaid_[s]) +
+                  " left over after a departure batch");
     }
   }
   // The outage mirror (read by choose_next_hop, which has no Network
@@ -206,34 +252,82 @@ double DtnFlowRouter::overall_transit_probability(const Network& net, NodeId n,
 }
 
 
-std::span<const DtnFlowRouter::CarrierScore> DtnFlowRouter::carrier_scores(
+const DtnFlowRouter::CarrierScores& DtnFlowRouter::carrier_scores(
     const Network& net, LandmarkId l, LandmarkId to) {
+  // Split so the dominant cache-hit path (two indexed loads + an epoch
+  // compare, once per packet) inlines into the dispatch scans while
+  // the rebuild below stays out of line.
   LandmarkState& ls = landmarks_[l];
-  auto& entry = ls.carrier_cache[to];
-  if (entry.epoch == ls.present_epoch) return entry.scores;
+  CarrierScores& entry = ls.carrier_cache[to];
+  if (entry.epoch == ls.present_epoch) [[likely]] return entry;
+  return rebuild_carrier_scores(net, ls, entry, l, to);
+}
+
+const DtnFlowRouter::CarrierScores& DtnFlowRouter::rebuild_carrier_scores(
+    const Network& net, LandmarkState& ls, CarrierScores& entry, LandmarkId l,
+    LandmarkId to) {
   entry.epoch = ls.present_epoch;
-  entry.scores.clear();
-  for (const NodeId n : net.nodes_at(l)) {
+  const auto present = net.nodes_at(l);
+  const std::size_t k = present.size();
+  entry.node.assign(present.begin(), present.end());
+  entry.raw.resize(k);
+  entry.overall.resize(k);
+  entry.predicted_to.resize(k);
+  // Gather pass (necessarily scalar: every present node reads its own
+  // predictor and accuracy cell).  The overall column temporarily holds
+  // the per-node accuracy factor; the fused sweep below turns it into
+  // the ranking key in place.
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId n = present[i];
     // A crashed node is no carrier at all; Network bumps the present
     // epoch through the crash/reboot hooks, so the zero score is
     // invalidated the instant the radio comes back.
     if (net.node_down(n)) {
-      entry.scores.push_back({n, 0.0, 0.0, false});
+      entry.raw[i] = 0.0;
+      entry.overall[i] = 1.0;  // dead lane: zeroed by the raw<=0 select
+      entry.predicted_to[i] = 0;
       continue;
     }
     const NodeState& ns = nodes_[n];
-    const double raw = ns.predictor->probability_of(to);
-    // Identical arithmetic to overall_transit_probability (a present
-    // node's location is l), so cached scores compare bit-identically.
-    double overall = raw;
-    if (raw > 0.0 && cfg_.refine_carrier_selection) {
-      overall = raw * accuracy_.at(n, l);
-    } else if (raw <= 0.0) {
-      overall = 0.0;
-    }
-    entry.scores.push_back({n, overall, raw, ns.predicted_next == to});
+    entry.raw[i] = ns.predictor->probability_of(to);
+    entry.overall[i] = accuracy_.at(n, l);
+    entry.predicted_to[i] = ns.predicted_next == to ? 1 : 0;
   }
-  return entry.scores;
+  // Fused refinement sweep over the packed columns:
+  //   overall[i] = raw[i] > 0 ? (refine ? raw[i] * acc[i] : raw[i]) : 0
+  // — identical arithmetic to overall_transit_probability (a present
+  // node's location is l), so cached scores compare bit-identically.
+  // The vector path uses only per-lane multiply/compare/select, which
+  // are IEEE-identical to the scalar statement (docs/simd-hot-path.md).
+  const bool refine = cfg_.refine_carrier_selection;
+  double* overall = entry.overall.data();
+  const double* raw = entry.raw.data();
+  std::size_t i = 0;
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+  if (simd::kEnabled && !simd::scalar_forced()) {
+    const simd::VDouble zero = simd::broadcast(0.0);
+    for (; i + simd::kDoubleLanes <= k; i += simd::kDoubleLanes) {
+      const simd::VDouble r = simd::loadu(raw + i);
+      const simd::VDouble a = simd::loadu(overall + i);
+      const simd::VDouble refined = refine ? r * a : r;
+      simd::storeu(overall + i, simd::vselect(r > zero, refined, zero));
+    }
+  }
+#endif
+  for (; i < k; ++i) {
+    overall[i] = raw[i] > 0.0 ? (refine ? raw[i] * overall[i] : raw[i]) : 0.0;
+  }
+  return entry;
+}
+
+bool DtnFlowRouter::debug_corrupt_carrier_cache_for_test(LandmarkId l,
+                                                         LandmarkId to) {
+  DTN_ASSERT(l < landmarks_.size());
+  LandmarkState& ls = landmarks_[l];
+  CarrierScores& entry = ls.carrier_cache[to];
+  if (entry.epoch != ls.present_epoch || entry.overall.empty()) return false;
+  entry.overall[0] += 0.125;  // desync one column from its siblings
+  return true;
 }
 
 double DtnFlowRouter::link_expected_delay(LandmarkId from,
@@ -309,6 +403,7 @@ void DtnFlowRouter::note_station_ingress(Network& net, LandmarkId l,
 }
 
 void DtnFlowRouter::on_packet_generated(Network& net, PacketId pid) {
+  arena().reset();  // top-level hook entry (util/arena.hpp lifetime rule)
   const Packet& p = net.packet(pid);
   DTN_ASSERT(p.state == net::PacketState::kAtStation);
   note_station_ingress(net, p.src, pid);
@@ -332,12 +427,13 @@ bool DtnFlowRouter::dispatch_packet(Network& net, LandmarkId l, PacketId pid) {
   if (cfg_.direct_delivery) {
     NodeId best = trace::kNoNode;
     double best_p = 0.0;
-    for (const CarrierScore& cs : carrier_scores(net, l, p.dst)) {
-      if (!cs.predicted_to) continue;
-      if (!net.node_buffer(cs.node).has_space(p.size_kb)) continue;
-      if (cs.overall > best_p) {
-        best_p = cs.overall;
-        best = cs.node;
+    const CarrierScores& cs = carrier_scores(net, l, p.dst);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (cs.predicted_to[i] == 0) continue;
+      if (!net.node_buffer(cs.node[i]).has_space(p.size_kb)) continue;
+      if (cs.overall[i] > best_p) {
+        best_p = cs.overall[i];
+        best = cs.node[i];
       }
     }
     if (best != trace::kNoNode) {
@@ -360,15 +456,18 @@ bool DtnFlowRouter::dispatch_packet(Network& net, LandmarkId l, PacketId pid) {
 
   NodeId best = trace::kNoNode;
   double best_p = 0.0;
-  for (const CarrierScore& cs : carrier_scores(net, l, next)) {
-    if (!net.node_buffer(cs.node).has_space(p.size_kb)) continue;
+  const CarrierScores& cs = carrier_scores(net, l, next);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (!net.node_buffer(cs.node[i]).has_space(p.size_kb)) continue;
     // Only plausible carriers qualify: handing packets to visitors with
     // a token transit probability toward the next hop just bounces them
     // between stations and wandering nodes.
-    if (!cs.predicted_to && cs.raw < kCarrierProbabilityFloor) continue;
-    if (cs.overall > best_p) {
-      best_p = cs.overall;
-      best = cs.node;
+    if (cs.predicted_to[i] == 0 && cs.raw[i] < kCarrierProbabilityFloor) {
+      continue;
+    }
+    if (cs.overall[i] > best_p) {
+      best_p = cs.overall[i];
+      best = cs.node[i];
     }
   }
   if (best == trace::kNoNode) return false;
@@ -383,7 +482,11 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
                                           NodeId n) {
   const auto span = net.station_packets(l);
   if (span.empty()) return;
-  std::vector<PacketId> queue(span.begin(), span.end());
+  // Hook-local scratch (queue snapshot, delay column, sort order) lives
+  // in the shard's arena: reclaimed wholesale when the enclosing
+  // top-level hook resets it, zero steady-state heap traffic.
+  ArenaVector<PacketId> queue(span.begin(), span.end(),
+                              ArenaAllocator<PacketId>(arena()));
   const double now = net.now();
   // One conditional-distribution fill covers every packet of the offer:
   // the loop below reads P(next-hop | n's context) per packet, and n's
@@ -394,20 +497,29 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
                               ? accuracy_.at(n, l)
                               : 1.0;
   // §IV-D.5 forwarding priority: packets whose expected delay fits the
-  // remaining TTL first, by smallest remaining TTL.
-  std::vector<double> route_delay(queue.size());
+  // remaining TTL first, by smallest remaining TTL.  Both sort keys are
+  // precomputed into packed columns: the comparator then reads two
+  // doubles and a flag instead of chasing the packet store per
+  // comparison.  The comparator's decisions are unchanged, so the
+  // resulting permutation is bit-identical to the old in-comparator
+  // recomputation.
+  ArenaVector<double> route_delay(queue.size(),
+                                  ArenaAllocator<double>(arena()));
+  ArenaVector<double> ttl_left(queue.size(), ArenaAllocator<double>(arena()));
+  ArenaVector<std::uint8_t> eligible(queue.size(),
+                                     ArenaAllocator<std::uint8_t>(arena()));
   for (std::size_t i = 0; i < queue.size(); ++i) {
-    route_delay[i] = landmarks_[l].table->delay_to(net.packet(queue[i]).dst);
+    const Packet& p = net.packet(queue[i]);
+    route_delay[i] = landmarks_[l].table->delay_to(p.dst);
+    ttl_left[i] = p.remaining_ttl(now);
+    eligible[i] = route_delay[i] <= ttl_left[i] ? 1 : 0;
   }
-  std::vector<std::size_t> order(queue.size());
+  ArenaVector<std::size_t> order(queue.size(),
+                                 ArenaAllocator<std::size_t>(arena()));
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const Packet& pa = net.packet(queue[a]);
-    const Packet& pb = net.packet(queue[b]);
-    const bool ea = route_delay[a] <= pa.remaining_ttl(now);
-    const bool eb = route_delay[b] <= pb.remaining_ttl(now);
-    if (ea != eb) return ea;
-    return pa.remaining_ttl(now) < pb.remaining_ttl(now);
+    if (eligible[a] != eligible[b]) return eligible[a] != 0;
+    return ttl_left[a] < ttl_left[b];
   });
 
   std::size_t handed = 0;
@@ -451,19 +563,29 @@ void DtnFlowRouter::offer_packets_to_node(Network& net, LandmarkId l,
   }
 }
 
-std::vector<PacketId> DtnFlowRouter::upload_packets(Network& net, NodeId n,
+ArenaVector<PacketId> DtnFlowRouter::upload_packets(Network& net, NodeId n,
                                                     LandmarkId l,
                                                     bool force_all,
                                                     std::size_t max_count,
                                                     bool only_reached_hop) {
-  std::vector<PacketId> uploaded;
+  ArenaVector<PacketId> uploaded{ArenaAllocator<PacketId>(arena())};
   const auto carried = net.node_packets(n);
-  std::vector<PacketId> to_check(carried.begin(), carried.end());
+  ArenaVector<PacketId> to_check(carried.begin(), carried.end(),
+                                 ArenaAllocator<PacketId>(arena()));
   // Most-urgent-first upload order (§IV-D.5): smallest remaining TTL.
+  // The key is precomputed per packet; sorting (key, pid) pairs makes
+  // the same comparator decisions as the old by-pid sort with
+  // in-comparator TTL recomputation, so the order is bit-identical.
   const double now = net.now();
-  std::sort(to_check.begin(), to_check.end(), [&](PacketId a, PacketId b) {
-    return net.packet(a).remaining_ttl(now) < net.packet(b).remaining_ttl(now);
-  });
+  ArenaVector<std::pair<double, PacketId>> keyed{
+      ArenaAllocator<std::pair<double, PacketId>>(arena())};
+  keyed.reserve(to_check.size());
+  for (const PacketId pid : to_check) {
+    keyed.emplace_back(net.packet(pid).remaining_ttl(now), pid);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < keyed.size(); ++i) to_check[i] = keyed[i].second;
   for (const PacketId pid : to_check) {
     if (max_count != 0 && uploaded.size() >= max_count) break;
     Packet& p = net.packet(pid);
@@ -513,6 +635,7 @@ bool DtnFlowRouter::landmark_uploading_mode(LandmarkId l) const {
 }
 
 void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
+  arena().reset();  // top-level hook entry (util/arena.hpp lifetime rule)
   NodeState& ns = nodes_[node];
   const LandmarkId prev = net.previous_landmark(node);
   // The present set (and the newcomer's prediction state, below) is
@@ -629,10 +752,30 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
   }
 }
 
+void DtnFlowRouter::on_departure_batch_begin(Network& net, LandmarkId l,
+                                             std::size_t count) {
+  (void)net;
+  // Advance the epoch for the whole batch at once — by exactly `count`,
+  // so serialized epoch values match unbatched replay bit-for-bit —
+  // and bank the balance for the per-node hooks to consume.  Nothing
+  // in on_departure consults the carrier cache, so no entry is ever
+  // built against the prepaid epoch while the present set still
+  // shrinks (contract in net/router.hpp).
+  landmarks_[l].present_epoch += count;
+  epoch_prepaid_[sim::current_shard()] += count;
+}
+
 void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
   NodeState& ns = nodes_[node];
   // The departing node leaves the present set once this hook returns.
-  ++landmarks_[l].present_epoch;
+  // Inside a batch the epoch advance was prepaid by
+  // on_departure_batch_begin; consume the balance instead of bumping.
+  if (std::uint64_t& prepaid = epoch_prepaid_[sim::current_shard()];
+      prepaid > 0) {
+    --prepaid;
+  } else {
+    ++landmarks_[l].present_epoch;
+  }
   // A crashed node departs carrying nothing new (its crash already
   // dropped the control state it held).
   if (net.node_down(node)) return;
@@ -820,6 +963,7 @@ void DtnFlowRouter::on_contact(Network& net, NodeId arriving, NodeId present,
                                LandmarkId l) {
   (void)l;
   if (!cfg_.node_to_node_relay) return;
+  arena().reset();  // top-level hook entry (util/arena.hpp lifetime rule)
   // Suitability vectors travel both ways (accounted like the baselines').
   net.account_control(2.0 * static_cast<double>(net.num_landmarks()));
   relay_between_nodes(net, arriving, present);
@@ -829,7 +973,8 @@ void DtnFlowRouter::on_contact(Network& net, NodeId arriving, NodeId present,
 void DtnFlowRouter::relay_between_nodes(Network& net, NodeId from,
                                         NodeId to) {
   const auto carried = net.node_packets(from);
-  const std::vector<PacketId> pids(carried.begin(), carried.end());
+  const ArenaVector<PacketId> pids(carried.begin(), carried.end(),
+                                   ArenaAllocator<PacketId>(arena()));
   for (const PacketId pid : pids) {
     const Packet& p = net.packet(pid);
     if (!net.node_buffer(to).has_space(p.size_kb)) continue;
@@ -852,6 +997,7 @@ void DtnFlowRouter::relay_between_nodes(Network& net, NodeId from,
 }
 
 void DtnFlowRouter::on_time_unit(Network& net, std::size_t unit_index) {
+  arena().reset();  // top-level hook entry (util/arena.hpp lifetime rule)
   for (const auto& inj : cfg_.loop_injections) {
     if (inj.at_unit == unit_index) inject_loop(inj.dst, inj.cycle);
   }
@@ -1077,6 +1223,7 @@ void DtnFlowRouter::checkpoint_load(persist::Reader& r, Network& net) {
   d.post_outage_reconvergences = r.u64();
   diag_slots_.assign(1, d);
   scratch_slots_.assign(1, {});
+  ensure_arenas(1);  // restored runs start serial; prepare_shards regrows
 }
 
 }  // namespace dtn::core

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -43,6 +44,7 @@
 #include "net/network.hpp"
 #include "net/router.hpp"
 #include "sim/shard_coordinator.hpp"
+#include "util/arena.hpp"
 #include "util/flat_matrix.hpp"
 
 namespace dtn::core {
@@ -179,6 +181,7 @@ class DtnFlowRouter final : public net::Router {
   void prepare_shards(std::size_t num_shards) override {
     diag_slots_.assign(num_shards, DtnFlowDiagnostics{});
     scratch_slots_.assign(num_shards, {});
+    ensure_arenas(num_shards);
   }
 
   void on_init(net::Network& net) override;
@@ -186,6 +189,13 @@ class DtnFlowRouter final : public net::Router {
                   net::LandmarkId l) override;
   void on_departure(net::Network& net, net::NodeId node,
                     net::LandmarkId l) override;
+  /// Batched contact dispatch (docs/simd-hot-path.md): prepay the
+  /// present-epoch advance for a whole same-(time, l) departure batch
+  /// so on_departure skips its per-node bump; serialized epoch values
+  /// stay identical to unbatched replay.  The prepaid balance is always
+  /// zero at event boundaries (audited).
+  void on_departure_batch_begin(net::Network& net, net::LandmarkId l,
+                                std::size_t count) override;
   void on_contact(net::Network& net, net::NodeId arriving,
                   net::NodeId present, net::LandmarkId l) override;
   void on_packet_generated(net::Network& net, net::PacketId pid) override;
@@ -232,6 +242,22 @@ class DtnFlowRouter final : public net::Router {
   void inject_loop(net::LandmarkId dst,
                    std::span<const net::LandmarkId> cycle);
 
+  /// Test-only fault injection for the auditor's negative tests: skew
+  /// the scratch arena's incremental byte counter (the accounting-drift
+  /// bug class `Arena::check` exists to catch).
+  void debug_corrupt_arena_accounting_for_test() {
+    DTN_ASSERT(!arena_slots_.empty());
+    arena_slots_[0]->debug_corrupt_accounting_for_test();
+  }
+
+  /// Test-only fault injection: desynchronize one column of a *valid*
+  /// carrier-cache entry without bumping the present epoch (the
+  /// SoA-mirror bug class — a score column updated without its
+  /// siblings).  Returns false when the cache entry is not currently
+  /// valid (nothing to corrupt).
+  bool debug_corrupt_carrier_cache_for_test(net::LandmarkId l,
+                                            net::LandmarkId to);
+
   /// §IV-E.4 helper: the destination node's most frequently visited
   /// landmarks (up to `count`), the places to address node-bound packets
   /// to.
@@ -259,19 +285,27 @@ class DtnFlowRouter final : public net::Router {
     std::uint32_t total_stays = 0;
   };
 
-  /// One present node's cached suitability as a carrier toward a given
+  /// The present nodes' cached suitability as carriers toward a given
   /// target landmark, snapshotted in present order (the scan order the
-  /// deterministic-replay contract fixes).
-  struct CarrierScore {
-    net::NodeId node;
+  /// deterministic-replay contract fixes).  Structure-of-arrays: each
+  /// score component is one contiguous column, so the refinement sweep
+  /// in carrier_scores and the dispatch scans read packed doubles
+  /// instead of striding over an array of structs
+  /// (docs/simd-hot-path.md).  Valid iff `epoch` matches the owning
+  /// landmark's present_epoch.
+  struct CarrierScores {
+    std::uint64_t epoch = 0;
+    /// Present nodes, in present order.
+    std::vector<net::NodeId> node;
     /// Overall transit probability (raw x accuracy refinement) — the
     /// ranking key of §IV-D.3/4.
-    double overall;
+    std::vector<double> overall;
     /// Raw P(next = target | node's context), for the §IV-D.3
     /// plausibility floor.
-    double raw;
+    std::vector<double> raw;
     /// Node's predicted next landmark equals the target (§IV-D.2).
-    bool predicted_to;
+    std::vector<std::uint8_t> predicted_to;
+    [[nodiscard]] std::size_t size() const { return node.size(); }
   };
 
   struct LandmarkState {
@@ -298,11 +332,7 @@ class DtnFlowRouter final : public net::Router {
     /// its epoch matches present_epoch).  Departure-time dispatch scans
     /// reuse the scores across every packet of an association instead
     /// of re-deriving per-candidate probabilities per packet.
-    struct CarrierCacheEntry {
-      std::uint64_t epoch = 0;
-      std::vector<CarrierScore> scores;
-    };
-    std::vector<CarrierCacheEntry> carrier_cache;
+    std::vector<CarrierScores> carrier_cache;
   };
 
   /// The node's overall probability of transiting to `to` from its
@@ -313,11 +343,20 @@ class DtnFlowRouter final : public net::Router {
 
   /// Cached carrier scores of the nodes present at `l` toward target
   /// landmark `to`, in present order; rebuilt lazily when the present
-  /// set mutates.  The returned span is valid until the next arrival or
-  /// departure at `l`.
-  std::span<const CarrierScore> carrier_scores(const net::Network& net,
-                                               net::LandmarkId l,
-                                               net::LandmarkId to);
+  /// set mutates (scalar gather of per-node predictor/accuracy reads,
+  /// then one fused SIMD select/multiply sweep over the packed
+  /// columns).  The returned reference is valid until the next arrival
+  /// or departure at `l`.
+  const CarrierScores& carrier_scores(const net::Network& net,
+                                      net::LandmarkId l, net::LandmarkId to);
+
+  /// The out-of-line rebuild half of carrier_scores (the epoch-hit fast
+  /// path stays small enough for the dispatch scans to inline).
+  const CarrierScores& rebuild_carrier_scores(const net::Network& net,
+                                              LandmarkState& ls,
+                                              CarrierScores& entry,
+                                              net::LandmarkId l,
+                                              net::LandmarkId to);
 
   /// Choose the next hop (and expected delay) for `dst` at landmark `l`,
   /// applying load balancing.  Returns false when unreachable.
@@ -338,8 +377,10 @@ class DtnFlowRouter final : public net::Router {
   /// Upload from node to station per the step-5 rules; returns uploaded
   /// packet ids.  `max_count` 0 = unlimited; `only_reached_hop`
   /// restricts to packets whose chosen next hop is this landmark
-  /// (forwarding-mode uplink restriction, §IV-D.5).
-  std::vector<net::PacketId> upload_packets(net::Network& net, net::NodeId n,
+  /// (forwarding-mode uplink restriction, §IV-D.5).  The returned list
+  /// lives in the current shard's scratch arena — valid until the
+  /// enclosing top-level hook returns (util/arena.hpp lifetime rule).
+  ArenaVector<net::PacketId> upload_packets(net::Network& net, net::NodeId n,
                                             net::LandmarkId l, bool force_all,
                                             std::size_t max_count = 0,
                                             bool only_reached_hop = false);
@@ -400,6 +441,21 @@ class DtnFlowRouter final : public net::Router {
   [[nodiscard]] std::vector<double>& distribution_scratch() {
     return scratch_slots_[sim::current_shard()];
   }
+  /// Per-shard scratch arenas for hook-local vector churn (offer
+  /// queues, sort orders, upload lists; util/arena.hpp).  Reset at
+  /// top-level hook entry; hooks never nest, so nothing outlives its
+  /// hook.  unique_ptr because Arena is non-copyable/non-movable.
+  std::vector<std::unique_ptr<Arena>> arena_slots_;
+  [[nodiscard]] Arena& arena() {
+    return *arena_slots_[sim::current_shard()];
+  }
+  /// Grow/shrink the arena chain to `n` slots and rewind every arena.
+  void ensure_arenas(std::size_t n);
+  /// Present-epoch advances prepaid by on_departure_batch_begin and
+  /// consumed by on_departure, one slot per shard (a departure batch
+  /// never crosses shards).  Always zero at event boundaries — audited,
+  /// never serialized.
+  std::vector<std::uint64_t> epoch_prepaid_{0};
 };
 
 }  // namespace dtn::core

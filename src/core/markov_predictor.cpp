@@ -6,6 +6,7 @@
 #include "persist/serializer.hpp"
 #include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 
 namespace dtn::core {
 
@@ -13,6 +14,17 @@ namespace {
 // 20 bits per landmark id allows 3 context slots in 64 bits.
 constexpr std::uint64_t kSlotBits = 20;
 constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+
+// Probe-table empty slot: valid packed keys occupy at most 60 bits
+// (order <= 3), so all-ones can never collide with one.
+constexpr std::uint64_t kEmptyProbe = ~0ULL;
+constexpr std::size_t kInitialProbeCap = 64;
+
+// Multiplicative (Fibonacci) mix; the high half decorrelates the
+// low-entropy packed landmark ids before the power-of-two mask.
+[[nodiscard]] inline std::size_t probe_index(std::uint64_t key) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32);
+}
 }  // namespace
 
 MarkovPredictor::MarkovPredictor(std::size_t num_landmarks, std::size_t order)
@@ -23,6 +35,8 @@ MarkovPredictor::MarkovPredictor(std::size_t num_landmarks, std::size_t order)
   DTN_ASSERT(order_ >= 1 && order_ <= 3);
   DTN_ASSERT(num_landmarks_ > 0 && num_landmarks_ < (1ULL << kSlotBits));
   context_.reserve(order_ + 1);
+  probe_keys_.assign(kInitialProbeCap, kEmptyProbe);
+  probe_ids_.assign(kInitialProbeCap, 0);
   // Stamp 0 marks "never seen"; real stamps start at 1.
   stamp_ = 0;
 }
@@ -39,26 +53,51 @@ std::uint64_t MarkovPredictor::context_key() const {
 }
 
 std::uint32_t MarkovPredictor::intern_context(std::uint64_t key) {
-  const auto [it, inserted] =
-      context_ids_.try_emplace(key, static_cast<std::uint32_t>(
-                                        context_count_.size()));
-  if (inserted) {
-    context_keys_.push_back(key);
-    context_count_.push_back(0);
-    successors_.emplace_back();
-    best_successor_.push_back(kNoLandmark);
-    best_count_.push_back(0);
+  DTN_ASSERT(key != kEmptyProbe);
+  const std::size_t mask = probe_keys_.size() - 1;
+  std::size_t i = probe_index(key) & mask;
+  while (probe_keys_[i] != key) {
+    if (probe_keys_[i] == kEmptyProbe) {
+      const auto id = static_cast<std::uint32_t>(context_count_.size());
+      probe_keys_[i] = key;
+      probe_ids_[i] = id;
+      context_keys_.push_back(key);
+      context_count_.push_back(0);
+      successors_.emplace_back();
+      best_successor_.push_back(kNoLandmark);
+      best_count_.push_back(0);
+      // Grow at 1/2 load: linear probing stays ~2 slot reads per miss.
+      if (2 * context_keys_.size() >= probe_keys_.size()) {
+        probe_rehash(2 * probe_keys_.size());
+      }
+      return id;
+    }
+    i = (i + 1) & mask;
   }
-  return it->second;
+  return probe_ids_[i];
+}
+
+void MarkovPredictor::probe_rehash(std::size_t capacity) {
+  DTN_ASSERT((capacity & (capacity - 1)) == 0 &&
+             capacity >= 2 * context_keys_.size());
+  probe_keys_.assign(capacity, kEmptyProbe);
+  probe_ids_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::uint32_t id = 0; id < context_keys_.size(); ++id) {
+    std::size_t i = probe_index(context_keys_[id]) & mask;
+    while (probe_keys_[i] != kEmptyProbe) i = (i + 1) & mask;
+    probe_keys_[i] = context_keys_[id];
+    probe_ids_[i] = id;
+  }
 }
 
 void MarkovPredictor::switch_context(std::uint32_t ctx) {
   current_ctx_ = ctx;
   ++stamp_;
-  const auto& succ = successors_[ctx];
+  const SuccRow& succ = successors_[ctx];
   for (std::uint32_t i = 0; i < succ.size(); ++i) {
-    successor_pos_[succ[i].landmark] = i;
-    successor_stamp_[succ[i].landmark] = stamp_;
+    successor_pos_[succ.landmark[i]] = i;
+    successor_stamp_[succ.landmark[i]] = stamp_;
   }
 }
 
@@ -69,17 +108,18 @@ void MarkovPredictor::record_visit(LandmarkId l) {
     // A full context precedes l: count the (k+1)-gram c.l in the
     // current context's contiguous successor row.
     DTN_ASSERT(current_ctx_ != kNoContext);
-    auto& succ = successors_[current_ctx_];
+    SuccRow& succ = successors_[current_ctx_];
     std::uint32_t pos;
     if (successor_stamp_[l] == stamp_) {
       pos = successor_pos_[l];
     } else {
       pos = static_cast<std::uint32_t>(succ.size());
-      succ.push_back({l, 0});
+      succ.landmark.push_back(l);
+      succ.count.push_back(0);
       successor_pos_[l] = pos;
       successor_stamp_[l] = stamp_;
     }
-    const std::uint32_t count = ++succ[pos].count;
+    const std::uint32_t count = ++succ.count[pos];
     // Maintain the argmax incrementally.  Counts only ever grow by one,
     // so "new count beats the best, or ties it with a smaller id" keeps
     // best_successor_ equal to the full-scan argmax with
@@ -106,36 +146,35 @@ void MarkovPredictor::record_visit(LandmarkId l) {
   }
 }
 
-LandmarkId MarkovPredictor::current() const {
-  return context_.empty() ? kNoLandmark : context_.back();
-}
-
-bool MarkovPredictor::can_predict() const {
-  return context_.size() == order_ && current_ctx_ != kNoContext &&
-         !successors_[current_ctx_].empty();
-}
-
-LandmarkId MarkovPredictor::predict() const {
-  if (context_.size() < order_) return kNoLandmark;
-  return best_successor_[current_ctx_];  // kNoLandmark until a successor
-}
-
-double MarkovPredictor::probability_of(LandmarkId l) const {
-  DTN_ASSERT(l < num_landmarks_);
-  if (context_.size() < order_) return 0.0;
-  if (successor_stamp_[l] != stamp_) return 0.0;  // l never followed c
-  const auto& entry = successors_[current_ctx_][successor_pos_[l]];
-  return static_cast<double>(entry.count) /
-         static_cast<double>(context_count_[current_ctx_]);
-}
-
 void MarkovPredictor::next_distribution(std::vector<double>& out) const {
   out.assign(num_landmarks_, 0.0);
   if (context_.size() < order_) return;
-  const auto& succ = successors_[current_ctx_];
+  const SuccRow& succ = successors_[current_ctx_];
   const auto total = static_cast<double>(context_count_[current_ctx_]);
-  for (const SuccCount& entry : succ) {
-    out[entry.landmark] = static_cast<double>(entry.count) / total;
+  const std::size_t n = succ.size();
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+  if (simd::kEnabled && !simd::scalar_forced() && n >= simd::kDoubleLanes) {
+    // SoA pass: convert + divide the contiguous count column a vector
+    // at a time (per-lane u32->f64 convert and divide are exactly the
+    // scalar results), then scatter through the landmark column.
+    const simd::VDouble vtotal = simd::broadcast(total);
+    double probs[simd::kDoubleLanes];
+    std::size_t i = 0;
+    for (; i + simd::kDoubleLanes <= n; i += simd::kDoubleLanes) {
+      simd::VU32 counts = simd::loadu_u32(&succ.count[i]);
+      simd::storeu(probs, simd::to_double(counts) / vtotal);
+      for (std::size_t j = 0; j < simd::kDoubleLanes; ++j) {
+        out[succ.landmark[i + j]] = probs[j];
+      }
+    }
+    for (; i < n; ++i) {
+      out[succ.landmark[i]] = static_cast<double>(succ.count[i]) / total;
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    out[succ.landmark[i]] = static_cast<double>(succ.count[i]) / total;
   }
 }
 
@@ -154,11 +193,13 @@ void MarkovPredictor::save(persist::Writer& w) const {
   w.u64(context_keys_.size());
   for (const std::uint64_t k : context_keys_) w.u64(k);
   for (const std::uint32_t c : context_count_) w.u32(c);
-  for (const auto& row : successors_) {
+  for (const SuccRow& row : successors_) {
+    // Interleaved (landmark, count) pairs: the SoA split must not change
+    // the checkpoint byte layout.
     w.u64(row.size());
-    for (const SuccCount& s : row) {
-      w.u32(s.landmark);
-      w.u32(s.count);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w.u32(row.landmark[i]);
+      w.u32(row.count[i]);
     }
   }
   for (const LandmarkId l : best_successor_) w.u32(l);
@@ -186,11 +227,13 @@ void MarkovPredictor::load(persist::Reader& r) {
   context_count_.resize(contexts);
   for (std::uint32_t& c : context_count_) c = r.u32();
   successors_.assign(contexts, {});
-  for (auto& row : successors_) {
-    row.resize(static_cast<std::size_t>(r.u64()));
-    for (SuccCount& s : row) {
-      s.landmark = r.u32();
-      s.count = r.u32();
+  for (SuccRow& row : successors_) {
+    const auto len = static_cast<std::size_t>(r.u64());
+    row.landmark.resize(len);
+    row.count.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      row.landmark[i] = r.u32();
+      row.count[i] = r.u32();
     }
   }
   best_successor_.resize(contexts);
@@ -206,59 +249,99 @@ void MarkovPredictor::load(persist::Reader& r) {
   if (current_ctx_ != kNoContext && current_ctx_ >= contexts) {
     throw persist::FormatError("checkpoint predictor current context id out of range");
   }
-  // Rebuild the (deliberately unserialized) hash map from the dense key
-  // vector; duplicate keys mean a corrupt image.
-  context_ids_.clear();
-  context_ids_.reserve(contexts);
+  // Rebuild the (deliberately unserialized) probe table from the dense
+  // key vector; duplicate or over-wide keys mean a corrupt image (a
+  // valid key has exactly `order_` 20-bit slots, so it can never equal
+  // the empty-slot sentinel either).
+  std::size_t capacity = kInitialProbeCap;
+  while (capacity < 2 * (contexts + 1)) capacity *= 2;
+  probe_keys_.assign(capacity, kEmptyProbe);
+  probe_ids_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
   for (std::uint32_t id = 0; id < contexts; ++id) {
-    const auto [it, inserted] =
-        context_ids_.emplace(context_keys_[id], id);
-    (void)it;
-    if (!inserted) {
-      throw persist::FormatError("checkpoint predictor has duplicate context keys");
+    const std::uint64_t key = context_keys_[id];
+    if ((key >> (kSlotBits * order_)) != 0) {  // shift <= 60, well-defined
+      throw persist::FormatError("checkpoint predictor context key out of range");
     }
+    std::size_t i = probe_index(key) & mask;
+    while (probe_keys_[i] != kEmptyProbe) {
+      if (probe_keys_[i] == key) {
+        throw persist::FormatError("checkpoint predictor has duplicate context keys");
+      }
+      i = (i + 1) & mask;
+    }
+    probe_keys_[i] = key;
+    probe_ids_[i] = id;
   }
 }
 
 void MarkovPredictor::audit(sim::AuditReport& report) const {
   const std::size_t contexts = context_count_.size();
+  std::size_t probe_occupied = 0;
+  for (const std::uint64_t k : probe_keys_) {
+    if (k != kEmptyProbe) ++probe_occupied;
+  }
   if (successors_.size() != contexts || best_successor_.size() != contexts ||
-      best_count_.size() != contexts || context_ids_.size() != contexts) {
+      best_count_.size() != contexts || probe_occupied != contexts) {
     report.fail("flat-store arrays disagree in size (contexts=" +
                 std::to_string(contexts) + ")");
     return;
   }
+  // Every dense key must resolve to its own id through the probe table
+  // (the bug class: a rehash or insert that desynchronizes the mirror).
+  const std::size_t probe_mask = probe_keys_.size() - 1;
+  for (std::uint32_t id = 0; id < contexts; ++id) {
+    std::size_t i = probe_index(context_keys_[id]) & probe_mask;
+    while (probe_keys_[i] != context_keys_[id]) {
+      if (probe_keys_[i] == kEmptyProbe) break;
+      i = (i + 1) & probe_mask;
+    }
+    if (probe_keys_[i] != context_keys_[id] || probe_ids_[i] != id) {
+      report.fail("context key " + std::to_string(context_keys_[id]) +
+                  " does not resolve to dense id " + std::to_string(id) +
+                  " through the probe table");
+      return;
+    }
+  }
   std::vector<std::uint8_t> seen(num_landmarks_, 0);
   for (std::size_t ctx = 0; ctx < contexts; ++ctx) {
-    const auto& row = successors_[ctx];
+    const SuccRow& row = successors_[ctx];
+    if (row.landmark.size() != row.count.size()) {
+      report.fail("context " + std::to_string(ctx) +
+                  ": SoA successor columns disagree in length (" +
+                  std::to_string(row.landmark.size()) + " landmarks vs " +
+                  std::to_string(row.count.size()) + " counts)");
+      continue;
+    }
     // Full-scan argmax with the same tie-break the hot path maintains
     // incrementally; the two must agree at all times.
     LandmarkId best = kNoLandmark;
     std::uint32_t best_count = 0;
     std::uint64_t row_sum = 0;
     std::fill(seen.begin(), seen.end(), std::uint8_t{0});
-    for (const SuccCount& entry : row) {
-      if (entry.landmark >= num_landmarks_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const LandmarkId lm = row.landmark[i];
+      const std::uint32_t cnt = row.count[i];
+      if (lm >= num_landmarks_) {
         report.fail("context " + std::to_string(ctx) +
                     ": successor landmark out of range");
         continue;
       }
-      if (seen[entry.landmark] != 0) {
+      if (seen[lm] != 0) {
         report.fail("context " + std::to_string(ctx) +
                     ": duplicate successor row entry for landmark " +
-                    std::to_string(entry.landmark));
+                    std::to_string(lm));
       }
-      seen[entry.landmark] = 1;
-      if (entry.count == 0) {
+      seen[lm] = 1;
+      if (cnt == 0) {
         report.fail("context " + std::to_string(ctx) +
                     ": zero-count successor row entry for landmark " +
-                    std::to_string(entry.landmark));
+                    std::to_string(lm));
       }
-      row_sum += entry.count;
-      if (entry.count > best_count ||
-          (entry.count == best_count && entry.landmark < best)) {
-        best = entry.landmark;
-        best_count = entry.count;
+      row_sum += cnt;
+      if (cnt > best_count || (cnt == best_count && lm < best)) {
+        best = lm;
+        best_count = cnt;
       }
     }
     if (best != best_successor_[ctx] || best_count != best_count_[ctx]) {
@@ -288,9 +371,9 @@ void MarkovPredictor::audit(sim::AuditReport& report) const {
       report.fail("current context id out of range");
       return;
     }
-    const auto& row = successors_[current_ctx_];
+    const SuccRow& row = successors_[current_ctx_];
     for (std::size_t i = 0; i < row.size(); ++i) {
-      const LandmarkId l = row[i].landmark;
+      const LandmarkId l = row.landmark[i];
       if (successor_stamp_[l] != stamp_ || successor_pos_[l] != i) {
         report.fail("dense index stale for successor landmark " +
                     std::to_string(l) + " of the current context");
@@ -299,7 +382,7 @@ void MarkovPredictor::audit(sim::AuditReport& report) const {
     for (LandmarkId l = 0; l < num_landmarks_; ++l) {
       if (successor_stamp_[l] != stamp_) continue;
       if (successor_pos_[l] >= row.size() ||
-          row[successor_pos_[l]].landmark != l) {
+          row.landmark[successor_pos_[l]] != l) {
         report.fail("dense index points landmark " + std::to_string(l) +
                     " at the wrong successor row slot");
       }

@@ -25,10 +25,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/assert.hpp"
 
 namespace dtn::sim {
 class AuditReport;
@@ -59,16 +59,38 @@ class MarkovPredictor {
   /// Length of the collapsed visiting sequence so far.
   [[nodiscard]] std::size_t history_length() const { return history_len_; }
 
+  // The four query entry points below are defined in-class: the replay
+  // hot loop calls them once per (carrier, destination) pair, so the
+  // call itself must inline down to a handful of array reads
+  // (docs/simd-hot-path.md).
+
   /// True when the current context has been seen before (a prediction
   /// can be made).
-  [[nodiscard]] bool can_predict() const;
+  [[nodiscard]] bool can_predict() const {
+    return context_.size() == order_ && current_ctx_ != kNoContext &&
+           !successors_[current_ctx_].empty();
+  }
 
   /// Most probable next landmark, or kNoLandmark when no prediction can
   /// be made.  Ties break toward the smaller landmark id (determinism).
-  [[nodiscard]] LandmarkId predict() const;
+  /// (`current_ctx_ == kNoContext` iff the context has never been full —
+  /// one sentinel load instead of recomputing the context length.)
+  [[nodiscard]] LandmarkId predict() const {
+    if (current_ctx_ == kNoContext) return kNoLandmark;
+    return best_successor_[current_ctx_];  // kNoLandmark until a successor
+  }
 
   /// P(next = l | current context); 0 when no prediction can be made.
-  [[nodiscard]] double probability_of(LandmarkId l) const;
+  [[nodiscard]] double probability_of(LandmarkId l) const {
+    DTN_ASSERT(l < num_landmarks_);
+    // Sentinel guard first: before any full context stamp_ is still 0
+    // and would spuriously match the zero-initialized stamp array.
+    if (current_ctx_ == kNoContext) return 0.0;
+    if (successor_stamp_[l] != stamp_) return 0.0;  // l never followed c
+    const SuccRow& succ = successors_[current_ctx_];
+    return static_cast<double>(succ.count[successor_pos_[l]]) /
+           static_cast<double>(context_count_[current_ctx_]);
+  }
 
   /// Full conditional distribution over landmarks (all zeros when the
   /// context is unseen), written into `out` (resized to num_landmarks).
@@ -76,11 +98,16 @@ class MarkovPredictor {
   /// scratch buffer across calls.
   void next_distribution(std::vector<double>& out) const;
 
-  /// Allocating convenience overload of the above.
+  /// Allocating convenience overload of the above.  TEST-ONLY: replay
+  /// code must use the scratch-buffer overload (the determinism lint
+  /// rejects this spelling outside tests/ — see
+  /// scripts/determinism_lint.py).
   [[nodiscard]] std::vector<double> next_distribution() const;
 
   /// The landmark of the most recent visit (kNoLandmark before any).
-  [[nodiscard]] LandmarkId current() const;
+  [[nodiscard]] LandmarkId current() const {
+    return context_.empty() ? kNoLandmark : context_.back();
+  }
 
   // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
   /// Serialize the full flat store and query cache.  The hash map is
@@ -108,12 +135,17 @@ class MarkovPredictor {
   bool debug_corrupt_argmax_for_test();
 
  private:
-  /// A successor observed after some context, with its (k+1)-gram
-  /// count N(c . l).  Rows of these live contiguously per context, in
-  /// first-observation order.
-  struct SuccCount {
-    LandmarkId landmark;
-    std::uint32_t count;
+  /// Successors observed after some context, with their (k+1)-gram
+  /// counts N(c . l), in first-observation order.  Structure-of-arrays:
+  /// the count column is contiguous so `next_distribution` can sweep it
+  /// with SIMD (docs/simd-hot-path.md); checkpoints still serialize the
+  /// row interleaved (landmark, count) pairwise, so the byte layout is
+  /// unchanged from the array-of-structs era.
+  struct SuccRow {
+    std::vector<LandmarkId> landmark;
+    std::vector<std::uint32_t> count;
+    [[nodiscard]] std::size_t size() const { return landmark.size(); }
+    [[nodiscard]] bool empty() const { return landmark.empty(); }
   };
 
   static constexpr std::uint32_t kNoContext = 0xffffffffu;
@@ -126,6 +158,10 @@ class MarkovPredictor {
   /// Dense id for `key`, allocating flat-store rows on first sight.
   std::uint32_t intern_context(std::uint64_t key);
 
+  /// Double the probe table and reinsert every key from the dense
+  /// context_keys_ mirror.
+  void probe_rehash(std::size_t capacity);
+
   /// Make `ctx` the current context: refresh the dense successor index
   /// used by the O(1) query path.
   void switch_context(std::uint32_t ctx);
@@ -137,16 +173,24 @@ class MarkovPredictor {
   std::vector<LandmarkId> context_;
 
   // -- flat per-context transition store --------------------------------
-  /// Packed context key -> dense context id.  Touched only by
-  /// `record_visit` (update path); queries never hash.
-  std::unordered_map<std::uint64_t, std::uint32_t> context_ids_;
+  /// Packed context key -> dense context id: open-addressing
+  /// linear-probe table (power-of-two capacity, all-ones empty
+  /// sentinel — valid keys fit in 60 bits, 3 x 20-bit slots).  A flat
+  /// table keeps the once-per-transit intern at ~one cache line
+  /// instead of std::unordered_map's bucket chase.  Never serialized
+  /// and never iterated (slot order is capacity-dependent);
+  /// context_keys_ below mirrors the same information in the
+  /// deterministic insertion order.  Touched only by `record_visit`
+  /// (update path); queries never hash.
+  std::vector<std::uint64_t> probe_keys_;
+  std::vector<std::uint32_t> probe_ids_;
   /// Dense context id -> packed key (insertion order).  The
-  /// deterministic mirror of context_ids_, used by checkpointing.
+  /// deterministic mirror of the probe table, used by checkpointing.
   std::vector<std::uint64_t> context_keys_;
   /// N(c) per context id.
   std::vector<std::uint32_t> context_count_;
   /// Successor-count rows per context id (contiguous, first-seen order).
-  std::vector<std::vector<SuccCount>> successors_;
+  std::vector<SuccRow> successors_;
   /// Incrementally maintained argmax per context id: the most frequent
   /// successor (ties toward the smaller landmark id) and its count.
   std::vector<LandmarkId> best_successor_;

@@ -8,6 +8,7 @@
 #include "persist/serializer.hpp"
 #include "sim/invariant_auditor.hpp"
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 
 namespace dtn::core {
 
@@ -15,6 +16,7 @@ RoutingTable::RoutingTable(LandmarkId self, std::size_t num_landmarks)
     : self_(self),
       link_delay_(num_landmarks, kInfiniteDelay),
       advertised_(num_landmarks, num_landmarks, kInfiniteDelay),
+      advertised_T_(num_landmarks, num_landmarks, kInfiniteDelay),
       last_seq_(num_landmarks, 0),
       advertised_time_(num_landmarks, 0.0),
       expired_(num_landmarks, 0),
@@ -27,6 +29,16 @@ RoutingTable::RoutingTable(LandmarkId self, std::size_t num_landmarks)
   // merged anything from it (direct links are usable immediately).
   for (std::size_t v = 0; v < num_landmarks; ++v) {
     advertised_.at(v, v) = 0.0;
+    advertised_T_.at(v, v) = 0.0;
+  }
+}
+
+void RoutingTable::rebuild_transposed() {
+  const std::size_t n = link_delay_.size();
+  for (std::size_t o = 0; o < n; ++o) {
+    for (std::size_t d = 0; d < n; ++d) {
+      advertised_T_.at(d, o) = advertised_.at(o, d);
+    }
   }
 }
 
@@ -67,19 +79,51 @@ bool RoutingTable::merge(const DistanceVector& dv, double now) {
   last_seq_[dv.origin] = dv.seq + 1;
   advertised_time_[dv.origin] = now;
   expired_[dv.origin] = 0;  // a fresh vector revives a withdrawn origin
-  for (std::size_t d = 0; d < dv.delay.size(); ++d) {
-    // A neighbor advertises delay 0 to itself regardless of payload.
-    const double incoming = d == dv.origin ? 0.0 : dv.delay[d];
-    double& cell = advertised_.at(dv.origin, d);
-    if (cell != incoming) {
-      cell = incoming;
+  const std::size_t n = dv.delay.size();
+  const LandmarkId origin = dv.origin;
+  double* row = advertised_.row_ptr(origin);
+  const double* in = dv.delay.data();
+  // Apply one incoming cell: advertised matrix, transposed mirror and
+  // dirty marking move together.
+  const auto apply = [&](std::size_t d, double incoming) {
+    if (row[d] != incoming) {
+      row[d] = incoming;
+      advertised_T_.at(d, origin) = incoming;
       mark_dirty(static_cast<LandmarkId>(d));
     }
+  };
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+  if (simd::kEnabled && !simd::scalar_forced()) {
+    // Vectorized changed-cell scan: compare a whole block at a time and
+    // fall back to per-cell application only inside blocks that differ.
+    // Cells are visited in ascending destination order either way, so
+    // the dirty list grows in exactly the serial order.
+    const auto sweep = [&](std::size_t lo, std::size_t hi) {
+      std::size_t d = lo;
+      for (; d + simd::kDoubleLanes <= hi; d += simd::kDoubleLanes) {
+        const simd::VMask diff = simd::loadu(row + d) != simd::loadu(in + d);
+        if (!simd::any(diff)) continue;
+        for (std::size_t j = d; j < d + simd::kDoubleLanes; ++j) {
+          apply(j, in[j]);
+        }
+      }
+      for (; d < hi; ++d) apply(d, in[d]);
+    };
+    // A neighbor advertises delay 0 to itself regardless of payload, so
+    // the origin cell splits the row into two plain compare segments.
+    sweep(0, origin);
+    apply(origin, 0.0);
+    sweep(origin + 1, n);
+    return true;
+  }
+#endif
+  for (std::size_t d = 0; d < n; ++d) {
+    apply(d, d == origin ? 0.0 : in[d]);
   }
   return true;
 }
 
-Route RoutingTable::compute_column(LandmarkId dst) const {
+Route RoutingTable::compute_column_scalar(LandmarkId dst) const {
   if (dst == self_) {
     Route r;
     r.next = self_;
@@ -114,6 +158,101 @@ Route RoutingTable::compute_column(LandmarkId dst) const {
     return pr;
   }
   return r;
+}
+
+Route RoutingTable::compute_column(LandmarkId dst) const {
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+  if (!simd::kEnabled || simd::scalar_forced()) {
+    return compute_column_scalar(dst);
+  }
+  if (dst == self_) {
+    Route r;
+    r.next = self_;
+    r.delay = 0.0;
+    return r;
+  }
+  // Fused min / second-min sweep over the contiguous cost row
+  // cost[v] = link_delay[v] + advertised_T[dst][v].  Equivalent to the
+  // scalar running best/backup scan: the best hop is the *first* index
+  // attaining the row minimum, the backup the first index attaining the
+  // minimum with the best excluded — exactly the strict-< tie-break
+  // order of the serial loop (docs/simd-hot-path.md).  Excluded
+  // neighbors need no masking: link_delay_[self_] is always infinite,
+  // and any infinite link or advertisement makes cost[v] infinite,
+  // which can never win.  Each lane tracks its two smallest values
+  // (with multiplicity), so one pass yields both the minimum and the
+  // minimum-excluding-one-instance; indices are recovered by short
+  // equality scans that recompute cost with the identical ld + adv
+  // arithmetic (no scratch stores).
+  const std::size_t n = link_delay_.size();
+  const double* ld = link_delay_.data();
+  const double* adv = advertised_T_.row_ptr(dst);
+  // Two independent accumulator pairs break the min/min latency chain;
+  // merging two (smallest, second-smallest) pairs afterwards is the
+  // same multiset-union merge the lane reduction performs.
+  simd::VDouble vm1 = simd::broadcast(kInfiniteDelay);
+  simd::VDouble vm2 = vm1;
+  simd::VDouble wm1 = vm1;
+  simd::VDouble wm2 = vm1;
+  std::size_t v = 0;
+  for (; v + 2 * simd::kDoubleLanes <= n; v += 2 * simd::kDoubleLanes) {
+    const simd::VDouble c0 = simd::loadu(ld + v) + simd::loadu(adv + v);
+    const simd::VDouble c1 = simd::loadu(ld + v + simd::kDoubleLanes) +
+                             simd::loadu(adv + v + simd::kDoubleLanes);
+    vm2 = simd::vmin(vm2, simd::vmax(vm1, c0));
+    vm1 = simd::vmin(vm1, c0);
+    wm2 = simd::vmin(wm2, simd::vmax(wm1, c1));
+    wm1 = simd::vmin(wm1, c1);
+  }
+  for (; v + simd::kDoubleLanes <= n; v += simd::kDoubleLanes) {
+    const simd::VDouble c = simd::loadu(ld + v) + simd::loadu(adv + v);
+    vm2 = simd::vmin(vm2, simd::vmax(vm1, c));
+    vm1 = simd::vmin(vm1, c);
+  }
+  vm2 = simd::vmin(simd::vmin(vm2, wm2), simd::vmax(vm1, wm1));
+  vm1 = simd::vmin(vm1, wm1);
+  // Merge the per-lane pairs, then the scalar tail: for two multisets
+  // with smallest pairs (a1, a2) and (b1, b2), the merged pair is
+  // (min(a1, b1), min(max(a1, b1), a2, b2)).
+  double m1 = kInfiniteDelay;
+  double m2 = kInfiniteDelay;
+  for (std::size_t lane = 0; lane < simd::kDoubleLanes; ++lane) {
+    const double b1 = vm1[lane];
+    const double b2 = vm2[lane];
+    const double hi = m1 > b1 ? m1 : b1;
+    m1 = m1 < b1 ? m1 : b1;
+    m2 = m2 < b2 ? m2 : b2;
+    m2 = m2 < hi ? m2 : hi;
+  }
+  for (; v < n; ++v) {
+    const double c = ld[v] + adv[v];
+    const double hi = m1 > c ? m1 : c;
+    m1 = m1 < c ? m1 : c;
+    m2 = m2 < hi ? m2 : hi;
+  }
+  Route r;
+  if (m1 != kInfiniteDelay) {
+    std::size_t best = 0;
+    while (ld[best] + adv[best] != m1) ++best;
+    r.next = static_cast<LandmarkId>(best);
+    r.delay = ld[best] + adv[best];  // the first-argmin's bits
+    if (m2 != kInfiniteDelay) {
+      std::size_t backup = best == 0 ? 1 : 0;
+      while (backup == best || ld[backup] + adv[backup] != m2) ++backup;
+      r.backup_next = static_cast<LandmarkId>(backup);
+      r.backup_delay = ld[backup] + adv[backup];
+    }
+  }
+  if (pinned_[dst] != 0) {
+    Route pr = pin_route_[dst];
+    pr.backup_next = r.next;
+    pr.backup_delay = r.delay;
+    return pr;
+  }
+  return r;
+#else
+  return compute_column_scalar(dst);
+#endif
 }
 
 void RoutingTable::recompute_column(LandmarkId dst) const {
@@ -192,6 +331,7 @@ std::size_t RoutingTable::expire_stale(double cutoff) {
     if (advertised_time_[o] >= cutoff) continue;
     for (std::size_t d = 0; d < n; ++d) {
       advertised_.at(o, d) = kInfiniteDelay;
+      advertised_T_.at(d, o) = kInfiniteDelay;
     }
     expired_[o] = 1;
     ++expired;
@@ -273,13 +413,35 @@ void RoutingTable::audit(sim::AuditReport& report) const {
   if (all_dirty_ && !dirty_) {
     report.fail("all_dirty_ set on a clean table");
   }
+  // SoA mirror: the transposed advertised matrix must equal advertised_
+  // cell-for-cell, bit-for-bit — a merge path that forgot the mirror
+  // would silently feed the SIMD column sweep stale costs.
+  if (advertised_T_.rows() != n || advertised_T_.cols() != n) {
+    report.fail("transposed advertised mirror has the wrong shape");
+    return;
+  }
+  for (std::size_t o = 0; o < n; ++o) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (std::bit_cast<std::uint64_t>(advertised_.at(o, d)) !=
+          std::bit_cast<std::uint64_t>(advertised_T_.at(d, o))) {
+        report.fail(prefix(static_cast<LandmarkId>(d)) +
+                    "transposed advertised mirror diverges from "
+                    "advertised_[" + std::to_string(o) + "][" +
+                    std::to_string(d) + "] (" +
+                    std::to_string(advertised_.at(o, d)) + " vs " +
+                    std::to_string(advertised_T_.at(d, o)) + ")");
+      }
+    }
+  }
   // Correctness: every column *not* marked stale must already equal the
-  // from-scratch min-over-neighbors scan, bit for bit.
+  // from-scratch min-over-neighbors scan, bit for bit.  The reference
+  // is always the *scalar* loop, so this doubles as a SIMD-vs-scalar
+  // cross-check of whatever path produced the cached routes.
   if (all_dirty_) return;  // every column is legitimately stale
   for (std::size_t d = 0; d < n; ++d) {
     if (column_dirty_[d] != 0) continue;
     const auto dst = static_cast<LandmarkId>(d);
-    const Route fresh = compute_column(dst);
+    const Route fresh = compute_column_scalar(dst);
     const Route& cached = routes_[d];
     if (fresh.next != cached.next ||
         std::bit_cast<std::uint64_t>(fresh.delay) !=
@@ -303,6 +465,15 @@ void RoutingTable::debug_corrupt_advertised_for_test(LandmarkId origin,
   DTN_ASSERT(origin < link_delay_.size());
   DTN_ASSERT(dst < link_delay_.size());
   advertised_.at(origin, dst) = delay;  // deliberately NOT marked dirty
+  advertised_T_.at(dst, origin) = delay;
+}
+
+void RoutingTable::debug_corrupt_transposed_for_test(LandmarkId origin,
+                                                     LandmarkId dst,
+                                                     double delay) {
+  DTN_ASSERT(origin < link_delay_.size());
+  DTN_ASSERT(dst < link_delay_.size());
+  advertised_T_.at(dst, origin) = delay;  // advertised_ left alone
 }
 
 namespace {
@@ -373,6 +544,9 @@ void RoutingTable::load(persist::Reader& r) {
   }
   all_dirty_ = r.boolean();
   dirty_ = r.boolean();
+  // The transposed mirror is derived state and deliberately absent from
+  // the image (the byte layout predates it); rebuild it.
+  rebuild_transposed();
 }
 
 }  // namespace dtn::core

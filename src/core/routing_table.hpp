@@ -141,16 +141,31 @@ class RoutingTable {
 
   /// Test-only fault injection for the auditor's negative tests: change
   /// an advertised delay *without* marking the destination column dirty
-  /// (the exact bug class the incremental recompute invites).
+  /// (the exact bug class the incremental recompute invites).  Keeps the
+  /// transposed mirror in sync — the mirror is not the bug under test.
   void debug_corrupt_advertised_for_test(LandmarkId origin, LandmarkId dst,
+                                         double delay);
+
+  /// Test-only fault injection: desynchronize one cell of the transposed
+  /// advertised mirror (the SoA-mirror bug class — a merge path that
+  /// forgot to update the transpose).  The auditor must catch it.
+  void debug_corrupt_transposed_for_test(LandmarkId origin, LandmarkId dst,
                                          double delay);
 
  private:
   /// Bring every dirty destination column up to date (no-op when clean).
   void recompute() const;
   /// The full min-over-neighbors scan for one destination (pins
-  /// applied); pure — shared by recompute_column and audit.
+  /// applied); dispatches to the SIMD two-pass sweep or the scalar
+  /// reference loop — both produce bit-identical Routes
+  /// (docs/simd-hot-path.md).
   [[nodiscard]] Route compute_column(LandmarkId dst) const;
+  /// The scalar reference scan (the pre-SIMD running best/backup loop).
+  /// The auditor always compares against this, so a SIMD divergence in
+  /// the cached routes is caught as a clean-column mismatch.
+  [[nodiscard]] Route compute_column_scalar(LandmarkId dst) const;
+  /// Rebuild advertised_T_ from advertised_ (construction and load).
+  void rebuild_transposed();
   /// Recompute the route toward one destination into routes_.
   void recompute_column(LandmarkId dst) const;
   /// Mark one destination column stale.
@@ -161,6 +176,12 @@ class RoutingTable {
   LandmarkId self_;
   std::vector<double> link_delay_;
   FlatMatrix<double> advertised_;        // [origin][dst]
+  /// Transposed mirror of advertised_ ([dst][origin]) so the per-column
+  /// min scan reads one contiguous row.  Derived state: never
+  /// serialized (checkpoint byte layout is unchanged), rebuilt on load,
+  /// updated cell-for-cell by merge/expire_stale, audited against
+  /// advertised_ bit-for-bit.
+  FlatMatrix<double> advertised_T_;      // [dst][origin]
   std::vector<std::uint64_t> last_seq_;  // last merged seq + 1 per origin
   std::vector<double> advertised_time_;  // when each origin last advertised
   std::vector<std::uint8_t> expired_;    // origins withdrawn by expire_stale

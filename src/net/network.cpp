@@ -166,6 +166,13 @@ void Network::schedule_dynamic_events() {
     ev.b = static_cast<std::uint32_t>(j);
     sim_.schedule(workload_[j].time, ev);
   }
+  // The serial packet table grows by exactly one row per generation
+  // event; without the upfront reservation every reallocation copies
+  // the whole table, station_path vectors included.
+  packets_.reserve(packets_.size() + cfg_.manual_packets.size() +
+                   workload_.size());
+  logical_delivered_.reserve(logical_delivered_.size() +
+                             cfg_.manual_packets.size() + workload_.size());
 }
 
 void Network::run() {
@@ -189,7 +196,13 @@ void Network::run() {
   // have in a fault-free run.
   schedule_faults();
 
-  sim_.run_until(trace_end_, &cursor);
+  // Batched contact dispatch needs the cursor for lookahead; per-event
+  // auditing must observe every event boundary, so it forces the
+  // unbatched path (mid-batch present_pos_ is deferred).
+  batch_source_ = cfg_.batch_contacts && !auditor_.enabled() ? &cursor
+                                                             : nullptr;
+  sim_.run_until_with(trace_end_, &cursor);
+  batch_source_ = nullptr;
   drop_expired();
   // One final audit so short runs (fewer events than the period) still
   // get checked at least once when auditing is on.
@@ -390,8 +403,45 @@ void Network::run_sharded(std::size_t num_shards, ThreadPool* pool,
         ctx.now = ref.time;
         ctx.cur_seq = ref.seq;
         ++ctx.events;
-        dispatch_sharded(trace::materialize(ref));
-        ++ti;
+        // Batched contact dispatch, sharded flavor: consecutive
+        // same-(time, landmark) departures in this shard's stream
+        // collapse into one handle_departure_batch call.  Generation
+        // events cannot interleave (at equal times their seqs sit above
+        // the trace range), and barrier audits only ever run with every
+        // batch completed, so the deferred present_pos_ renumber is
+        // never observable.
+        if (cfg_.batch_contacts && (ref.visit_and_phase & 1u) != 0 &&
+            ti + 1 < trace_stream.size() &&
+            trace_stream[ti + 1].time == ref.time) {
+          const trace::Visit& first =
+              trace_.visits(ref.node)[ref.visit_and_phase >> 1];
+          std::vector<const trace::Visit*>& batch = ctx.batch;
+          batch.clear();
+          batch.push_back(&first);
+          std::size_t tj = ti + 1;
+          for (; tj < trace_stream.size(); ++tj) {
+            const trace::ShardEventRef& next = trace_stream[tj];
+            if (next.time != ref.time || (next.visit_and_phase & 1u) == 0 ||
+                !(next.key() < bound)) {
+              break;
+            }
+            const trace::Visit& visit =
+                trace_.visits(next.node)[next.visit_and_phase >> 1];
+            if (visit.landmark != first.landmark) break;
+            ctx.cur_seq = next.seq;
+            ++ctx.events;
+            batch.push_back(&visit);
+          }
+          if (batch.size() >= 2) {
+            handle_departure_batch(batch.data(), batch.size());
+          } else {
+            handle_departure(first);
+          }
+          ti = tj;
+        } else {
+          dispatch_sharded(trace::materialize(ref));
+          ++ti;
+        }
       } else {
         const sim::Event& ev = dyn_stream[di];
         if (!(sim::EventKey{ev.time, ev.seq} < bound)) break;
@@ -1187,11 +1237,20 @@ void Network::audit_checkpoint_crc(sim::AuditReport& report) const {
 void Network::dispatch(const sim::Event& ev) {
   auditor_.on_event();
   switch (ev.kind) {
-    case sim::EventKind::kArrival:
-      handle_arrival(trace_.visits(ev.a)[ev.b]);
+    case sim::EventKind::kArrival: {
+      const trace::Visit& visit = trace_.visits(ev.a)[ev.b];
+      handle_arrival(visit);
+      if (batch_source_ != nullptr) {
+        drain_arrival_batch(ev.time, visit.landmark);
+      }
       break;
+    }
     case sim::EventKind::kDeparture:
-      handle_departure(trace_.visits(ev.a)[ev.b]);
+      if (batch_source_ != nullptr) {
+        dispatch_departure_batched(ev);
+      } else {
+        handle_departure(trace_.visits(ev.a)[ev.b]);
+      }
       break;
     case sim::EventKind::kPacketGen: {
       const WorkloadEntry& w = workload_[ev.b];
@@ -2225,6 +2284,97 @@ void Network::handle_departure(const trace::Visit& visit) {
   node.location = kNoLandmark;
   node.previous = visit.landmark;
   node.history.push_back(visit);
+}
+
+void Network::handle_departure_batch(const trace::Visit* const* visits,
+                                     std::size_t count) {
+  DTN_ASSERT(count >= 2);
+  const LandmarkId l = visits[0]->landmark;
+  StationState& station = stations_[l];
+  // One epoch advance for the whole batch (DtnFlowRouter prepays by
+  // `count`, so serialized epoch values stay identical to unbatched
+  // replay); the per-node hooks below then skip their bumps.
+  router_.on_departure_batch_begin(*this, l, count);
+  std::size_t min_pos = station.present.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const trace::Visit& visit = *visits[i];
+    NodeState& node = nodes_[visit.node];
+    DTN_ASSERT(node.location == visit.landmark);
+    // Exact unbatched interleaving: each hook runs with every earlier
+    // batch member already erased from the present set.
+    router_.on_departure(*this, visit.node, visit.landmark);
+    // The full suffix renumber is deferred to the end of the batch, but
+    // the *members'* own entries are kept exact as the vector shrinks
+    // (next loop): each member then reads its true position here, and
+    // its entry goes stale at exactly the value the unbatched path
+    // leaves behind — present_pos_ is serialized stale entries and all,
+    // so even departed nodes' leftovers must match bit-for-bit.
+    const std::uint32_t pos = present_pos_[visit.node];
+    DTN_ASSERT(pos < station.present.size() &&
+               station.present[pos] == visit.node);
+    station.present.erase(station.present.begin() + pos);
+    if (pos < min_pos) min_pos = pos;
+    for (std::size_t j = i + 1; j < count; ++j) {
+      std::uint32_t& later = present_pos_[visits[j]->node];
+      if (later > pos) --later;
+    }
+    node.location = kNoLandmark;
+    node.previous = visit.landmark;
+    node.history.push_back(visit);
+  }
+  // One suffix renumber for the whole batch instead of one per erase.
+  for (std::size_t i = min_pos; i < station.present.size(); ++i) {
+    present_pos_[station.present[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void Network::drain_arrival_batch(double time, LandmarkId l) {
+  // Arrivals keep their per-event hook work — on_arrival observes the
+  // incrementally growing present set — so grouping them only saves the
+  // simulator merge step per event.  Queue events cannot interleave: at
+  // equal times their seqs sit above the cursor's range (seq floor).
+  while (!batch_source_->exhausted()) {
+    const sim::Event& next = batch_source_->peek();
+    if (next.kind != sim::EventKind::kArrival || next.time != time) break;
+    const trace::Visit& visit = trace_.visits(next.a)[next.b];
+    if (visit.landmark != l) break;
+    batch_source_->advance();
+    sim_.absorb_external_event();
+    auditor_.on_event();
+    handle_arrival(visit);
+  }
+}
+
+void Network::dispatch_departure_batched(const sim::Event& ev) {
+  const trace::Visit& first = trace_.visits(ev.a)[ev.b];
+  if (batch_source_->exhausted()) {
+    handle_departure(first);
+    return;
+  }
+  // Cheap single-peek fast path: ties of distinct visits at one exact
+  // timestamp are rare in continuous-time traces.
+  {
+    const sim::Event& next = batch_source_->peek();
+    if (next.kind != sim::EventKind::kDeparture || next.time != ev.time ||
+        trace_.visits(next.a)[next.b].landmark != first.landmark) {
+      handle_departure(first);
+      return;
+    }
+  }
+  std::vector<const trace::Visit*>& batch = batch_scratch();
+  batch.clear();
+  batch.push_back(&first);
+  while (!batch_source_->exhausted()) {
+    const sim::Event& next = batch_source_->peek();
+    if (next.kind != sim::EventKind::kDeparture || next.time != ev.time) break;
+    const trace::Visit& visit = trace_.visits(next.a)[next.b];
+    if (visit.landmark != first.landmark) break;
+    batch_source_->advance();
+    sim_.absorb_external_event();
+    auditor_.on_event();
+    batch.push_back(&visit);
+  }
+  handle_departure_batch(batch.data(), batch.size());
 }
 
 }  // namespace dtn::net

@@ -59,6 +59,18 @@ struct WorkloadConfig {
   /// the environment also enable it).  0 = disabled (default).
   std::uint64_t audit_period_events = 0;
 
+  /// Group consecutive same-(time, landmark) arrivals/departures from
+  /// the trace into one dispatch (docs/simd-hot-path.md): the
+  /// present-set index and the router's carrier-score cache epoch then
+  /// update once per batch instead of once per event.  Batching is
+  /// state-transparent — final state, counters and digests are
+  /// bit-identical either way (the golden-digest tests force it off and
+  /// compare) — and is automatically disabled while per-event auditing
+  /// or checkpoint stepping needs to observe every event boundary.
+  /// Excluded from the checkpoint config fingerprint for the same
+  /// reason the audit period is.
+  bool batch_contacts = true;
+
   /// Optional per-landmark destination weights for the Poisson
   /// workload; empty = uniform over the other landmarks.  Skewed
   /// weights create hot-spot traffic (overloaded links, §IV-E.3).
@@ -316,6 +328,27 @@ class Network {
   void handle_arrival(const trace::Visit& visit);
   void handle_departure(const trace::Visit& visit);
 
+  // -- batched contact dispatch (docs/simd-hot-path.md) -----------------
+  /// Depart every visit in `visits` (all same (time, landmark),
+  /// consecutive in the merged event order) with the exact per-node
+  /// hook -> erase interleaving of repeated handle_departure calls, but
+  /// only one present_pos_ suffix renumber and one carrier-cache epoch
+  /// advance (Router::on_departure_batch_begin) for the whole batch.
+  void handle_departure_batch(const trace::Visit* const* visits,
+                              std::size_t count);
+  /// Serial-path drains: while the next cursor event continues the
+  /// current same-(time, kind, landmark) run, consume it inside this
+  /// dispatch.  Sound because queue events can never interleave — at
+  /// equal times every queue seq sits above the cursor's seq range
+  /// (Simulator::set_seq_floor), so consecutive same-time cursor events
+  /// are adjacent in the merged order.
+  void drain_arrival_batch(double time, LandmarkId l);
+  void dispatch_departure_batched(const sim::Event& ev);
+  [[nodiscard]] std::vector<const trace::Visit*>& batch_scratch() {
+    return sharded_run_ ? contexts_[sim::current_shard()].batch
+                        : batch_scratch_;
+  }
+
   // -- sharded engine (docs/parallel-engine.md) -------------------------
   /// One generation event of the pre-drawn Poisson workload.  Drawn
   /// before the replay from per-landmark RNG streams so serial and
@@ -382,6 +415,7 @@ class Network {
     RunCounters counters;
     std::vector<DeliveryRecord> records;
     std::vector<PacketId> scratch;
+    std::vector<const trace::Visit*> batch;
     double now = 0.0;
     std::uint64_t cur_seq = 0;
     std::uint64_t events = 0;
@@ -496,6 +530,14 @@ class Network {
   bool any_node_addressed_ = false;
   /// Reused per-arrival scratch list (avoids an allocation per event).
   std::vector<PacketId> scratch_;
+  /// Reused departure-batch visit list (serial path; shards use their
+  /// context's slot).
+  std::vector<const trace::Visit*> batch_scratch_;
+  /// Live trace cursor to drain same-(time, kind, landmark) runs from,
+  /// set for the duration of a serial run() when batching is on; null
+  /// when batching is off (unbatched config, per-event auditing, or a
+  /// checkpointed run whose step hook must see every event boundary).
+  sim::EventSource* batch_source_ = nullptr;
   RunCounters counters_;
 
   /// Pre-drawn Poisson workload (build_workload), rank order.

@@ -63,6 +63,20 @@ class Router {
     (void)net; (void)node; (void)l;
   }
 
+  /// `count` consecutive same-(time, l) departures are about to be
+  /// processed as one batch: on_departure fires for each node exactly
+  /// as in unbatched replay, but a router that maintains a
+  /// presence-derived cache epoch may advance it here by `count` at
+  /// once (keeping serialized epoch values identical to unbatched
+  /// replay) and skip the per-departure bumps.  An overriding router
+  /// must not consult presence-derived caches from on_departure — the
+  /// prepaid epoch marks them fresh while the present set is still
+  /// shrinking.  Default: no-op (per-departure hooks see no change).
+  virtual void on_departure_batch_begin(Network& net, LandmarkId l,
+                                        std::size_t count) {
+    (void)net; (void)l; (void)count;
+  }
+
   /// `arriving` just arrived at `l` where `present` already is.  Called
   /// once per (arriving, present) pair; routers handle both directions.
   virtual void on_contact(Network& net, NodeId arriving, NodeId present,

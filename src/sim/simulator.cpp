@@ -40,33 +40,7 @@ void Simulator::dispatch(const Event& ev) {
 }
 
 void Simulator::run_until(double end_time, EventSource* source) {
-  while (true) {
-    const bool queue_ready =
-        !queue_.empty() && queue_.next_time() <= end_time;
-    const bool source_ready = source != nullptr && !source->exhausted() &&
-                              source->peek().time <= end_time;
-    if (!queue_ready && !source_ready) break;
-    bool take_source = source_ready;
-    if (queue_ready && source_ready) {
-      const Event& head = source->peek();
-      take_source = head.time < queue_.next_time() ||
-                    (head.time == queue_.next_time() &&
-                     head.seq < queue_.next_seq());
-    }
-    if (take_source) {
-      const Event ev = source->peek();
-      source->advance();
-      now_ = ev.time;
-      ++executed_;
-      dispatch(ev);
-    } else {
-      const Event ev = queue_.pop();
-      now_ = ev.time;
-      ++executed_;
-      dispatch(ev);
-    }
-  }
-  now_ = end_time;
+  run_until_with(end_time, source);
 }
 
 bool Simulator::run_until(double end_time, EventSource* source, StepFn step,

@@ -65,6 +65,43 @@ class Simulator {
   void run_until(double end_time) { run_until(end_time, nullptr); }
   void run_until(double end_time, EventSource* source);
 
+  /// Statically-typed run_until: `Source` is the concrete EventSource
+  /// type, so the per-event exhausted()/peek()/advance() calls
+  /// devirtualize (and the header-inline ones inline) instead of going
+  /// through the vtable ~4 times per event.  The merge order is the
+  /// virtual overload's, line for line — the replay engine drives its
+  /// final trace::TraceCursor through this.
+  template <class Source>
+  void run_until_with(double end_time, Source* source) {
+    while (true) {
+      const bool queue_ready =
+          !queue_.empty() && queue_.next_time() <= end_time;
+      const bool source_ready = source != nullptr && !source->exhausted() &&
+                                source->peek().time <= end_time;
+      if (!queue_ready && !source_ready) break;
+      bool take_source = source_ready;
+      if (queue_ready && source_ready) {
+        const Event& head = source->peek();
+        take_source = head.time < queue_.next_time() ||
+                      (head.time == queue_.next_time() &&
+                       head.seq < queue_.next_seq());
+      }
+      if (take_source) {
+        const Event ev = source->peek();
+        source->advance();
+        now_ = ev.time;
+        ++executed_;
+        dispatch(ev);
+      } else {
+        const Event ev = queue_.pop();
+        now_ = ev.time;
+        ++executed_;
+        dispatch(ev);
+      }
+    }
+    now_ = end_time;
+  }
+
   /// Observer called after each dispatched event in the stepped
   /// run_until overload; returning false suspends the loop (the clock
   /// stays at the last event's time instead of jumping to `end_time`).
@@ -82,6 +119,13 @@ class Simulator {
   void run();
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Account one event a dispatcher consumed directly from the active
+  /// EventSource (batched contact dispatch drains same-time runs inside
+  /// one dispatch): keeps events_executed() — and therefore checkpoint
+  /// images — identical to unbatched replay.  Only legal from inside a
+  /// dispatch at the current time, so the clock needs no update.
+  void absorb_external_event() { ++executed_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   /// Pre-size the queue storage.

@@ -1,5 +1,7 @@
 #include "trace/cursor.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <string>
 
 #include "persist/serializer.hpp"
@@ -8,8 +10,10 @@ namespace dtn::trace {
 
 namespace {
 
-[[nodiscard]] inline bool earlier_head(double ta, std::uint64_t sa, double tb,
-                                       std::uint64_t sb) {
+[[nodiscard]] inline bool earlier_head(std::uint64_t ta, std::uint64_t sa,
+                                       std::uint64_t tb, std::uint64_t sb) {
+  // Packed comparison: time bit patterns order like the doubles they
+  // encode (non-negative times only, asserted where heads are built).
   if (ta != tb) return ta < tb;
   return sa < sb;
 }
@@ -32,7 +36,9 @@ TraceCursor::TraceCursor(const Trace& trace) : trace_(&trace) {
 
 TraceCursor::Head TraceCursor::head_of(NodeId n, std::uint32_t e) const {
   const Visit& v = trace_->visits(n)[e / 2];
-  return Head{(e % 2 == 0) ? v.start : v.end, seq_base_[n] + e, n};
+  const double t = (e % 2 == 0) ? v.start : v.end;
+  DTN_ASSERT(t >= 0.0);  // the packed-key ordering needs this
+  return Head{std::bit_cast<std::uint64_t>(t), seq_base_[n] + e, n};
 }
 
 void TraceCursor::reset() {
@@ -48,8 +54,12 @@ void TraceCursor::rebuild_heap() {
       heap_.push_back(head_of(n, pos_[i]));
     }
   }
-  // Floyd heap construction.
-  for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  // Floyd heap construction over the quaternary layout: every internal
+  // node is a parent of heap_.size() - 1 or earlier, i.e. at most
+  // (size - 2) / 4.
+  if (heap_.size() >= 2) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
   if (!heap_.empty()) materialize_top();
 }
 
@@ -82,7 +92,7 @@ void TraceCursor::load(persist::Reader& r) {
 void TraceCursor::materialize_top() {
   const Head& top = heap_.front();
   const std::uint32_t e = pos_[top.node];
-  current_.time = top.time;
+  current_.time = std::bit_cast<double>(top.time_bits);
   current_.seq = top.seq;
   current_.kind = (e % 2 == 0) ? sim::EventKind::kArrival
                                : sim::EventKind::kDeparture;
@@ -108,19 +118,26 @@ void TraceCursor::advance() {
 }
 
 void TraceCursor::sift_down(std::size_t i) {
+  // Quaternary layout: half the levels of a binary heap, so the
+  // replace-top sift after every advance() touches half the cache
+  // lines.  The heap's internal arrangement never leaks — extraction
+  // follows the total (time_bits, seq) order (seq is unique), so the
+  // replay event order is identical to the binary layout's.
   const std::size_t n = heap_.size();
   Head item = heap_[i];
   while (true) {
-    const std::size_t left = 2 * i + 1;
-    if (left >= n) break;
-    std::size_t child = left;
-    const std::size_t right = left + 1;
-    if (right < n && earlier_head(heap_[right].time, heap_[right].seq,
-                                  heap_[left].time, heap_[left].seq)) {
-      child = right;
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t child = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier_head(heap_[c].time_bits, heap_[c].seq,
+                       heap_[child].time_bits, heap_[child].seq)) {
+        child = c;
+      }
     }
-    if (!earlier_head(heap_[child].time, heap_[child].seq, item.time,
-                      item.seq)) {
+    if (!earlier_head(heap_[child].time_bits, heap_[child].seq,
+                      item.time_bits, item.seq)) {
       break;
     }
     heap_[i] = heap_[child];

@@ -67,9 +67,14 @@ class TraceCursor final : public sim::EventSource {
   void load(persist::Reader& r);
 
  private:
+  /// Heap entry with the (time, seq) key packed into two u64s: for the
+  /// non-negative finite times a finalized trace holds, the IEEE-754
+  /// bit pattern orders exactly like the double, so the hot sift
+  /// compares integers instead of branching on a double tie
+  /// (the packed-event-key idiom of sim/event_queue.hpp).
   struct Head {
-    double time;        ///< time of the node's next event
-    std::uint64_t seq;  ///< global sequence of that event
+    std::uint64_t time_bits;  ///< bit pattern of the event time (>= 0)
+    std::uint64_t seq;        ///< global sequence of that event
     NodeId node;
   };
 
@@ -85,7 +90,7 @@ class TraceCursor final : public sim::EventSource {
   std::vector<std::uint32_t> pos_;
   /// Sequence base per node: 2 * (visits of all lower-numbered nodes).
   std::vector<std::uint64_t> seq_base_;
-  std::vector<Head> heap_;  // min-heap by (time, seq)
+  std::vector<Head> heap_;  // quaternary min-heap by (time, seq)
   sim::Event current_;      // materialized top of the merge
   std::uint64_t total_events_ = 0;
 };

@@ -1,0 +1,129 @@
+// Portable explicit-SIMD wrapper for the replay hot paths
+// (docs/simd-hot-path.md).
+//
+// The replay engine promises bit-identical output for a given (trace,
+// router, seed) triple, so only *lane-exact* operations are exposed:
+// per-lane add / multiply / divide / compare / select, whose IEEE-754
+// results are identical to the scalar loop they replace.  Nothing here
+// may fuse (no FMA), reassociate, or otherwise change the arithmetic —
+// horizontal reductions are provided only for min over non-NaN data,
+// where the result is order-independent.
+//
+// Dispatch is compile-time: the vector width is fixed by the target ISA
+// (via GCC/Clang vector extensions, so the same code serves SSE2, AVX,
+// AVX-512 and NEON without intrinsics), and `-DDTN_SIMD_SCALAR` or an
+// unknown compiler collapses every helper to width 1.  A runtime
+// force-scalar flag (`DTN_SIMD_FORCE_SCALAR=1`, or
+// `force_scalar_for_test`) lets the bit-equality tests run both code
+// paths in one binary; hot loops test `scalar_forced()` once per call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace dtn::simd {
+
+// -- width selection --------------------------------------------------
+#if defined(DTN_SIMD_SCALAR)
+inline constexpr std::size_t kDoubleLanes = 1;
+#elif defined(__GNUC__) && defined(__AVX512F__)
+inline constexpr std::size_t kDoubleLanes = 8;
+#elif defined(__GNUC__) && defined(__AVX__)
+inline constexpr std::size_t kDoubleLanes = 4;
+#elif defined(__GNUC__) && (defined(__SSE2__) || defined(__aarch64__))
+inline constexpr std::size_t kDoubleLanes = 2;
+#else
+inline constexpr std::size_t kDoubleLanes = 1;
+#endif
+
+inline constexpr bool kEnabled = kDoubleLanes > 1;
+
+// -- runtime scalar-fallback flag -------------------------------------
+// getenv only selects *which* of two bit-identical code paths runs, so
+// it cannot perturb replay output; reading it once keeps the hot-loop
+// check to a single predictable branch.
+inline bool& scalar_forced_flag() {
+  static bool forced = [] {
+    const char* v = std::getenv("DTN_SIMD_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return forced;
+}
+
+[[nodiscard]] inline bool scalar_forced() { return scalar_forced_flag(); }
+
+/// Tests flip this to compare the vector and scalar paths in-process.
+inline void force_scalar_for_test(bool on) { scalar_forced_flag() = on; }
+
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+
+// -- vector types (GCC/Clang vector extensions) -----------------------
+using VDouble =
+    double __attribute__((vector_size(kDoubleLanes * sizeof(double))));
+// Comparison results: all-ones / all-zero 64-bit lanes.
+using VMask =
+    long long __attribute__((vector_size(kDoubleLanes * sizeof(long long))));
+// One 32-bit lane per double lane (count columns feeding conversions).
+using VU32 = std::uint32_t
+    __attribute__((vector_size(kDoubleLanes * sizeof(std::uint32_t))));
+
+[[nodiscard]] inline VDouble loadu(const double* p) {
+  VDouble v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void storeu(double* p, VDouble v) { std::memcpy(p, &v, sizeof v); }
+
+[[nodiscard]] inline VU32 loadu_u32(const std::uint32_t* p) {
+  VU32 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Per-lane u32 -> f64 conversion (exact: every uint32 is a double).
+[[nodiscard]] inline VDouble to_double(VU32 v) {
+  return __builtin_convertvector(v, VDouble);
+}
+
+[[nodiscard]] inline VDouble broadcast(double x) {
+  VDouble v;
+  for (std::size_t i = 0; i < kDoubleLanes; ++i) v[i] = x;
+  return v;
+}
+
+/// Per-lane minimum.  Exact only for non-NaN input (delay tables never
+/// hold NaN; ±0.0 ambiguity cannot arise because delays are >= +0.0).
+[[nodiscard]] inline VDouble vmin(VDouble a, VDouble b) {
+  return (a < b) ? a : b;
+}
+
+/// Per-lane maximum (same non-NaN caveat as vmin).
+[[nodiscard]] inline VDouble vmax(VDouble a, VDouble b) {
+  return (a > b) ? a : b;
+}
+
+/// Per-lane select: mask lane all-ones -> a, else b.
+[[nodiscard]] inline VDouble vselect(VMask m, VDouble a, VDouble b) {
+  return m ? a : b;
+}
+
+/// True when any lane of a comparison result is set.
+[[nodiscard]] inline bool any(VMask m) {
+  long long acc = 0;
+  for (std::size_t i = 0; i < kDoubleLanes; ++i) acc |= m[i];
+  return acc != 0;
+}
+
+/// Horizontal minimum of all lanes (order-independent for non-NaN).
+[[nodiscard]] inline double hmin(VDouble v) {
+  double m = v[0];
+  for (std::size_t i = 1; i < kDoubleLanes; ++i) m = v[i] < m ? v[i] : m;
+  return m;
+}
+
+#endif  // vector extensions available
+
+}  // namespace dtn::simd

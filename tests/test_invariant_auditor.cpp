@@ -312,6 +312,131 @@ class AbortingCorruptRouter : public net::Router {
   bool fired_ = false;
 };
 
+// -- SIMD-era SoA mirrors (docs/simd-hot-path.md) -----------------------
+
+TEST(RoutingTableAudit, DetectsTransposedMirrorDesync) {
+  auto t = converged_table();
+  // Desynchronize one cell of the transposed advertised mirror — the
+  // bug class where a merge path updates advertised_ but forgets the
+  // transpose the SIMD column sweep reads.
+  t.debug_corrupt_transposed_for_test(/*origin=*/1, /*dst=*/2, 3.0);
+  AuditReport report;
+  t.audit(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(any_failure_mentions(report, "transposed advertised mirror"))
+      << report.to_string();
+}
+
+TEST(NetworkAudit, DetectsArenaAccountingDrift) {
+  const auto trace = relay_chain_trace(6.0);
+  DtnFlowRouter router;
+  Network net(trace, router, chain_workload());
+  net.run();
+  router.debug_corrupt_arena_accounting_for_test();
+  AuditReport report;
+  net.audit(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(any_failure_mentions(report, "arena")) << report.to_string();
+}
+
+// Overlapping visit windows (unlike the never-co-located relay chain):
+// node 0 departs landmark 0 while node 1 is still present, so the
+// departure-time dispatch rebuilds carrier scores over a non-empty
+// present set — the precondition for a *valid* cache entry to corrupt.
+trace::Trace overlapping_trace(double days) {
+  trace::Trace t(/*num_nodes=*/2, /*num_landmarks=*/3);
+  const auto periods =
+      static_cast<std::size_t>(days * kDay / (2.0 * trace::kHour));
+  for (std::size_t p = 0; p < periods; ++p) {
+    const double base = static_cast<double>(p) * 2.0 * trace::kHour;
+    t.add_visit({0, 0, base, base + 40.0 * trace::kMinute});
+    t.add_visit({0, 1, base + 60.0 * trace::kMinute,
+                 base + 90.0 * trace::kMinute});
+    t.add_visit({1, 0, base + 10.0 * trace::kMinute,
+                 base + 50.0 * trace::kMinute});
+    t.add_visit({1, 2, base + 70.0 * trace::kMinute,
+                 base + 100.0 * trace::kMinute});
+  }
+  t.finalize();
+  return t;
+}
+
+// A valid carrier-cache entry only exists between a dispatch-time
+// rebuild and the next present-set mutation: every arrival and
+// departure bumps present_epoch, so entries built while dispatching in
+// on_arrival / on_packet_generated are stale again by the next hook.
+// The desync must therefore be seeded from *inside* one of those hooks,
+// right after the inner dispatch ran.  DtnFlowRouter is final; this
+// shim forwards every replay hook to an inner instance and corrupts +
+// audits mid-hook.  Batching is disabled for this run: a mid-batch
+// audit would (correctly) see the deferred present-set renumber as
+// inconsistent.
+class CacheCorruptingShim : public net::Router {
+ public:
+  explicit CacheCorruptingShim(DtnFlowRouter& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] bool uses_stations() const override {
+    return inner_.uses_stations();
+  }
+  void on_init(Network& net) override { inner_.on_init(net); }
+  void on_arrival(Network& net, net::NodeId node,
+                  net::LandmarkId l) override {
+    inner_.on_arrival(net, node, l);
+    try_corrupt(net, l);
+  }
+  void on_departure(Network& net, net::NodeId node,
+                    net::LandmarkId l) override {
+    inner_.on_departure(net, node, l);
+  }
+  void on_contact(Network& net, net::NodeId arriving, net::NodeId present,
+                  net::LandmarkId l) override {
+    inner_.on_contact(net, arriving, present, l);
+  }
+  void on_packet_generated(Network& net, net::PacketId pid) override {
+    inner_.on_packet_generated(net, pid);
+    try_corrupt(net, net.packet(pid).src);
+  }
+  void on_time_unit(Network& net, std::size_t unit_index) override {
+    inner_.on_time_unit(net, unit_index);
+  }
+  void audit(const Network& net, AuditReport& report) const override {
+    inner_.audit(net, report);
+  }
+
+  bool fired_ = false;
+  AuditReport report_;
+
+ private:
+  void try_corrupt(Network& net, net::LandmarkId l) {
+    if (fired_) return;
+    const auto landmarks = static_cast<net::LandmarkId>(net.num_landmarks());
+    for (net::LandmarkId to = 0; to < landmarks; ++to) {
+      if (inner_.debug_corrupt_carrier_cache_for_test(l, to)) {
+        fired_ = true;
+        net.audit(report_);
+        break;
+      }
+    }
+  }
+
+  DtnFlowRouter& inner_;
+};
+
+TEST(NetworkAudit, DetectsCarrierCacheDesyncMidRun) {
+  const auto trace = overlapping_trace(6.0);
+  DtnFlowRouter inner;
+  CacheCorruptingShim router(inner);
+  auto cfg = chain_workload();
+  cfg.batch_contacts = false;
+  Network net(trace, router, cfg);
+  net.run();
+  ASSERT_TRUE(router.fired_);
+  EXPECT_FALSE(router.report_.ok());
+  EXPECT_TRUE(any_failure_mentions(router.report_, "cached score"))
+      << router.report_.to_string();
+}
+
 TEST(NetworkAuditDeathTest, PeriodicAuditorAbortsOnCorruption) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
