@@ -84,6 +84,13 @@ SUPPRESS_BARE_RE = re.compile(r"//\s*det-lint:\s*ok(?!\()")
 
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 
+# Type-alias declarations, tracked so members declared through an alias
+# chain (`using NameTable = NameMap; NameTable table_;`) are still
+# recognized as unordered containers.
+ALIAS_USING_RE = re.compile(r"\busing\s+(\w+)\s*=\s*([^;]+);")
+ALIAS_TYPEDEF_RE = re.compile(r"\btypedef\s+([^;]+?)\s+(\w+)\s*;")
+TYPE_HEAD_RE = re.compile(r"^(?:const\s+)?([\w:]+)")
+
 # Ambient nondeterminism, with negative lookbehind so member accesses
 # (ev.time), qualified names (x::time) and identifiers ending in the
 # word (run_time() etc.) do not match.
@@ -143,9 +150,10 @@ def find_unordered_names(text: str) -> set[str]:
 
     Pragmatic single-pass parse: from each `unordered_*` keyword, walk
     the balanced <...> template argument list, then capture the
-    declared identifier after it.  Type aliases of unordered containers
-    are out of scope (declare them where the lint can see, or suppress
-    at the iteration site)."""
+    declared identifier after it.  Aliases are handled separately
+    (find_alias_edges / unordered_alias_names); constructs neither pass
+    can see — `auto&` bindings, members of other objects — are the
+    semantic analyzer's job (tools/analyzer, docs/static-analysis.md)."""
     names: set[str] = set()
     for m in UNORDERED_DECL_RE.finditer(text):
         i = text.find("<", m.end())
@@ -165,6 +173,50 @@ def find_unordered_names(text: str) -> set[str]:
         decl = re.match(r"\s*[&*]?\s*(\w+)\s*[;={(,)]", text[j + 1:j + 256])
         if decl:
             names.add(decl.group(1))
+    return names
+
+
+def find_alias_edges(text: str) -> dict[str, str]:
+    """Alias name -> target type text, for every using/typedef."""
+    edges: dict[str, str] = {}
+    for m in ALIAS_USING_RE.finditer(text):
+        edges[m.group(1)] = m.group(2).strip()
+    for m in ALIAS_TYPEDEF_RE.finditer(text):
+        edges[m.group(2)] = m.group(1).strip()
+    return edges
+
+
+def unordered_alias_names(edges: dict[str, str]) -> set[str]:
+    """Alias names whose (transitive) target *is* an unordered container
+    — matched on the type head, so a std::vector<NameMap> alias does not
+    count (iterating the vector is deterministic)."""
+    unordered: set[str] = set()
+    for name, target in edges.items():
+        head = TYPE_HEAD_RE.match(target)
+        if head and UNORDERED_DECL_RE.fullmatch(
+                head.group(1).split("::")[-1]):
+            unordered.add(name)
+    changed = True
+    while changed:
+        changed = False
+        for name, target in edges.items():
+            if name in unordered:
+                continue
+            head = TYPE_HEAD_RE.match(target)
+            if head and head.group(1).split("::")[-1] in unordered:
+                unordered.add(name)
+                changed = True
+    return unordered
+
+
+def find_alias_typed_names(text: str, aliases: set[str]) -> set[str]:
+    """Names of variables/members declared with an unordered alias type
+    (`NameTable table_;`)."""
+    names: set[str] = set()
+    for alias in aliases:
+        for m in re.finditer(r"\b" + re.escape(alias) +
+                             r"\b\s*[&*]?\s*(\w+)\s*[;={(,]", text):
+            names.add(m.group(1))
     return names
 
 
@@ -258,14 +310,23 @@ def main() -> int:
             return 2
 
     # Pass 1: every unordered container declared anywhere under src/
-    # (headers declare the members the .cpp files iterate).
+    # (headers declare the members the .cpp files iterate), including
+    # declarations through using/typedef alias chains.
     unordered_names: set[str] = set()
+    alias_edges: dict[str, str] = {}
+    texts: dict[Path, str] = {}
     for path in files:
-        unordered_names |= find_unordered_names(path.read_text(
-            encoding="utf-8", errors="replace"))
+        texts[path] = path.read_text(encoding="utf-8", errors="replace")
+        unordered_names |= find_unordered_names(texts[path])
+        alias_edges.update(find_alias_edges(texts[path]))
+    aliases = unordered_alias_names(alias_edges)
+    for text in texts.values():
+        unordered_names |= find_alias_typed_names(text, aliases)
     if args.verbose:
         print(f"unordered containers declared: "
               f"{', '.join(sorted(unordered_names)) or '(none)'}")
+        print(f"unordered aliases tracked: "
+              f"{', '.join(sorted(aliases)) or '(none)'}")
 
     # Pass 2: hazards.
     findings: list[Finding] = []

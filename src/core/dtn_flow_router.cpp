@@ -576,12 +576,33 @@ ArenaVector<PacketId> DtnFlowRouter::upload_packets(Network& net, NodeId n,
   // The key is precomputed per packet; sorting (key, pid) pairs makes
   // the same comparator decisions as the old by-pid sort with
   // in-comparator TTL recomputation, so the order is bit-identical.
+  // Keys are computed as a gather of deadlines followed by a blockwise
+  // `deadline - now`: the per-lane IEEE subtraction is the exact
+  // operation remaining_ttl(now) performs, so key values — and the
+  // sort order they induce — are unchanged.
   const double now = net.now();
+  const std::size_t m = to_check.size();
+  ArenaVector<double> ttl_keys{ArenaAllocator<double>(arena())};
+  ttl_keys.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    ttl_keys[k] = net.packet(to_check[k]).deadline();
+  }
+  std::size_t k = 0;
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+  if (simd::kEnabled && !simd::scalar_forced()) {
+    const simd::VDouble vnow = simd::broadcast(now);
+    for (; k + simd::kDoubleLanes <= m; k += simd::kDoubleLanes) {
+      simd::storeu(ttl_keys.data() + k,
+                   simd::loadu(ttl_keys.data() + k) - vnow);
+    }
+  }
+#endif
+  for (; k < m; ++k) ttl_keys[k] -= now;
   ArenaVector<std::pair<double, PacketId>> keyed{
       ArenaAllocator<std::pair<double, PacketId>>(arena())};
-  keyed.reserve(to_check.size());
-  for (const PacketId pid : to_check) {
-    keyed.emplace_back(net.packet(pid).remaining_ttl(now), pid);
+  keyed.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    keyed.emplace_back(ttl_keys[j], to_check[j]);
   }
   std::sort(keyed.begin(), keyed.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -661,6 +682,7 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
   if (prev != kNoLandmark && prev != l) {
     // Transit observed: bandwidth measurement (arrival side).
     bw_.record_transit(prev, l);
+    // shard-check: ok(distributed_bandwidth forces shard_safe()==false)
     if (dbw_.has_value()) dbw_->record_arrival(prev, l);
     ++diag().transits_observed;
     // Score the prediction made when the node sat at `prev`.
@@ -702,6 +724,7 @@ void DtnFlowRouter::on_arrival(Network& net, NodeId node, LandmarkId l) {
   if (ns.carried_token.has_value()) {
     if (dbw_.has_value()) {
       net.account_control(1.0);
+      // shard-check: ok(distributed_bandwidth forces shard_safe()==false)
       (void)dbw_->deliver_token(l, *ns.carried_token);
     }
     ns.carried_token.reset();
@@ -814,6 +837,7 @@ void DtnFlowRouter::on_departure(Network& net, NodeId node, LandmarkId l) {
   // predicted to close (§IV-C.1).
   if (dbw_.has_value() && ns.predicted_from == l &&
       ns.predicted_next != kNoLandmark) {
+    // shard-check: ok(distributed_bandwidth forces shard_safe()==false)
     ns.carried_token = dbw_->issue_token(l, ns.predicted_next);
   }
 

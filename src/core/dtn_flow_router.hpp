@@ -44,6 +44,7 @@
 #include "net/network.hpp"
 #include "net/router.hpp"
 #include "sim/shard_coordinator.hpp"
+#include "util/annotations.hpp"
 #include "util/arena.hpp"
 #include "util/flat_matrix.hpp"
 
@@ -413,23 +414,38 @@ class DtnFlowRouter final : public net::Router {
   [[nodiscard]] double link_expected_delay(net::LandmarkId from,
                                            net::LandmarkId to) const;
 
+  // Shard-safety annotations (util/annotations.hpp, tools/analyzer):
+  // LOCAL state is partitioned by the event's landmark/node or by
+  // per-shard slot, so concurrent shard hooks never contend; SHARED
+  // state must not be written from shard-reachable code.  The
+  // annotations are member-granular: loop correction rewriting OTHER
+  // landmarks' rows inside `landmarks_` is below their resolution,
+  // which is exactly why that feature stays behind the runtime
+  // shard_safe() gate.
+  DTN_CKPT_SKIP("pinned by the checkpoint config fingerprint")
   DtnFlowConfig cfg_;
-  BandwidthEstimator bw_{1, 0.5};  // re-initialized in on_init
-  std::optional<DistributedBandwidth> dbw_;
-  std::vector<NodeState> nodes_;
-  std::vector<LandmarkState> landmarks_;
+  /// Transit counts land in the (prev, l) cell, owned by the arrival
+  /// event's shard.
+  DTN_SHARD_LOCAL BandwidthEstimator bw_{1, 0.5};  // re-initialized in on_init
+  /// §IV-C.1 token counters are cross-landmark shared state; the
+  /// feature forces shard_safe() == false (serial fallback).
+  DTN_SHARD_SHARED std::optional<DistributedBandwidth> dbw_;
+  DTN_SHARD_LOCAL std::vector<NodeState> nodes_;
+  DTN_SHARD_LOCAL std::vector<LandmarkState> landmarks_;
   /// Mirror of the injector's station-outage set (maintained through the
   /// fault hooks; all zeros without a fault plan).  choose_next_hop has
   /// no Network access, so the fallback check reads this mirror — the
   /// audit hook cross-checks it against the injector's ground truth.
-  std::vector<std::uint8_t> station_down_;
+  DTN_SHARD_SHARED std::vector<std::uint8_t> station_down_;
   /// Landmarks recovered from an outage and waiting for their first
   /// accepted distance vector (re-convergence accounting).
-  std::vector<std::uint8_t> needs_reconvergence_;
-  FlatMatrix<double> accuracy_;
+  /// Cleared per-landmark on the first accepted DV after recovery (the
+  /// event's own landmark cell); set only by the serial fault hooks.
+  DTN_SHARD_LOCAL std::vector<std::uint8_t> needs_reconvergence_;
+  DTN_SHARD_LOCAL FlatMatrix<double> accuracy_;
   /// Diagnostics, one slot per shard so concurrent shard loops never
   /// contend (serial runs and the shard coordinator use slot 0).
-  std::vector<DtnFlowDiagnostics> diag_slots_{1};
+  DTN_SHARD_LOCAL std::vector<DtnFlowDiagnostics> diag_slots_{1};
   [[nodiscard]] DtnFlowDiagnostics& diag() {
     return diag_slots_[sim::current_shard()];
   }
@@ -437,6 +453,7 @@ class DtnFlowRouter final : public net::Router {
   /// Scratch buffers for per-node conditional distributions (reused by
   /// offer_packets_to_node; avoids a vector allocation per offer), one
   /// per shard like diag_slots_.
+  DTN_SHARD_LOCAL DTN_CKPT_SKIP("per-shard scratch, rebuilt empty on resume")
   std::vector<std::vector<double>> scratch_slots_{1};
   [[nodiscard]] std::vector<double>& distribution_scratch() {
     return scratch_slots_[sim::current_shard()];
@@ -445,6 +462,7 @@ class DtnFlowRouter final : public net::Router {
   /// queues, sort orders, upload lists; util/arena.hpp).  Reset at
   /// top-level hook entry; hooks never nest, so nothing outlives its
   /// hook.  unique_ptr because Arena is non-copyable/non-movable.
+  DTN_SHARD_LOCAL DTN_CKPT_SKIP("per-hook scratch arenas, rewound on resume")
   std::vector<std::unique_ptr<Arena>> arena_slots_;
   [[nodiscard]] Arena& arena() {
     return *arena_slots_[sim::current_shard()];
@@ -455,6 +473,7 @@ class DtnFlowRouter final : public net::Router {
   /// consumed by on_departure, one slot per shard (a departure batch
   /// never crosses shards).  Always zero at event boundaries — audited,
   /// never serialized.
+  DTN_SHARD_LOCAL DTN_CKPT_SKIP("always zero at event boundaries (audited)")
   std::vector<std::uint64_t> epoch_prepaid_{0};
 };
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 
 namespace dtn::sim {
@@ -182,7 +183,9 @@ class MarkovPredictor {
   /// context_keys_ below mirrors the same information in the
   /// deterministic insertion order.  Touched only by `record_visit`
   /// (update path); queries never hash.
+  DTN_CKPT_SKIP("probe table derived from context_keys_; load rebuilds it")
   std::vector<std::uint64_t> probe_keys_;
+  DTN_CKPT_SKIP("probe table derived from context_keys_; load rebuilds it")
   std::vector<std::uint32_t> probe_ids_;
   /// Dense context id -> packed key (insertion order).  The
   /// deterministic mirror of the probe table, used by checkpointing.

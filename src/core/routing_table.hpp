@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/annotations.hpp"
 #include "util/flat_matrix.hpp"
 
 namespace dtn::sim {
@@ -181,6 +182,7 @@ class RoutingTable {
   /// serialized (checkpoint byte layout is unchanged), rebuilt on load,
   /// updated cell-for-cell by merge/expire_stale, audited against
   /// advertised_ bit-for-bit.
+  DTN_CKPT_SKIP("transposed mirror of advertised_; load rebuilds it")
   FlatMatrix<double> advertised_T_;      // [dst][origin]
   std::vector<std::uint64_t> last_seq_;  // last merged seq + 1 per origin
   std::vector<double> advertised_time_;  // when each origin last advertised

@@ -1,13 +1,19 @@
 #include "net/buffer.hpp"
 
-#include <algorithm>
-
 #include "persist/serializer.hpp"
+#include "util/simd.hpp"
 
 namespace dtn::net {
 
+// The id list is a flat uint32 array, so membership scans vectorize
+// with simd::find_u32 (docs/simd-hot-path.md); it returns the same
+// index as std::find, so behaviour is unchanged.  add() runs the scan
+// too (the duplicate-id assert is always on), which made these scans
+// the whole cost of BM_BufferAddRemove.
+
 bool Buffer::contains(PacketId pid) const {
-  return std::find(packets_.begin(), packets_.end(), pid) != packets_.end();
+  return simd::find_u32(packets_.data(), packets_.size(), pid) !=
+         packets_.size();
 }
 
 bool Buffer::add(PacketId pid, std::uint32_t size_kb) {
@@ -19,11 +25,12 @@ bool Buffer::add(PacketId pid, std::uint32_t size_kb) {
 }
 
 void Buffer::remove(PacketId pid, std::uint32_t size_kb) {
-  const auto it = std::find(packets_.begin(), packets_.end(), pid);
-  DTN_ASSERT(it != packets_.end());
+  const std::size_t i =
+      simd::find_u32(packets_.data(), packets_.size(), pid);
+  DTN_ASSERT(i != packets_.size());
   // Swap-erase: buffer order is not meaningful; routers that need a
   // priority order sort a copy.
-  *it = packets_.back();
+  packets_[i] = packets_.back();
   packets_.pop_back();
   DTN_ASSERT(used_kb_ >= size_kb);
   used_kb_ -= size_kb;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/buffer.hpp"
+#include "util/annotations.hpp"
 #include "net/packet.hpp"
 #include "net/router.hpp"
 #include "sim/fault_injector.hpp"
@@ -412,13 +413,16 @@ class Network {
   /// coordinator's context during barrier phases.  Cache-line padded so
   /// neighboring shards never false-share counters.
   struct alignas(128) ShardContext {
-    RunCounters counters;
-    std::vector<DeliveryRecord> records;
-    std::vector<PacketId> scratch;
-    std::vector<const trace::Visit*> batch;
-    double now = 0.0;
-    std::uint64_t cur_seq = 0;
-    std::uint64_t events = 0;
+    // Every member is the owning shard's private slot (selected through
+    // sim::current_shard()); the coordinator only reads them at barrier
+    // phases, after wait_idle() has synchronized the shard loops.
+    DTN_SHARD_LOCAL RunCounters counters;
+    DTN_SHARD_LOCAL std::vector<DeliveryRecord> records;
+    DTN_SHARD_LOCAL std::vector<PacketId> scratch;
+    DTN_SHARD_LOCAL std::vector<const trace::Visit*> batch;
+    DTN_SHARD_LOCAL double now = 0.0;
+    DTN_SHARD_LOCAL std::uint64_t cur_seq = 0;
+    DTN_SHARD_LOCAL std::uint64_t events = 0;
   };
   /// Shard-loop event dispatch: only trace and generation events ever
   /// reach shards (sweeps/ticks run at barriers, faults are rejected).

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "sim/event.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 
 namespace dtn::persist {
@@ -197,6 +198,9 @@ class EventQueue {
 
   void grow_if_full();  // cold path, out of line
 
+  // save() serializes the events of pay_ (each key's (time, seq) rides
+  // inside its Event); load() re-derives the key array from them.
+  DTN_CKPT_SKIP("key mirror of pay_; the image carries (time, seq) per event")
   std::vector<Key> keys_;   // binary min-heap, comparison-hot
   std::vector<Event> pay_;  // parallel payloads, moved alongside
   std::uint64_t next_seq_ = 0;

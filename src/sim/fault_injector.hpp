@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -191,6 +192,7 @@ class FaultInjector {
   void load(persist::Reader& r);
 
  private:
+  DTN_CKPT_SKIP("construction-time plan; resume rebuilds the injector from it")
   FaultPlan plan_;
   Rng crash_rng_;
   Rng outage_rng_;

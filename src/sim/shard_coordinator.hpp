@@ -28,6 +28,8 @@
 #include <span>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace dtn::sim {
 
 /// The global execution order of the replay engine: events are totally
@@ -106,7 +108,9 @@ class ScopedShard {
   ScopedShard& operator=(const ScopedShard&) = delete;
 
  private:
-  std::size_t prev_;
+  /// Saved ordinal of the guard's own thread (restored on destruction);
+  /// never visible to any other shard.
+  DTN_SHARD_LOCAL std::size_t prev_;
 };
 
 }  // namespace dtn::sim

@@ -20,6 +20,7 @@
 
 #include "sim/event.hpp"
 #include "sim/event_queue.hpp"
+#include "util/annotations.hpp"
 
 namespace dtn::sim {
 
@@ -148,10 +149,14 @@ class Simulator {
   void dispatch(const Event& ev);
 
   EventQueue queue_;
+  DTN_CKPT_SKIP("dispatch hook; the owner re-registers it before resume")
   DispatchFn dispatch_ = nullptr;
+  DTN_CKPT_SKIP("dispatch hook; the owner re-registers it before resume")
   void* dispatch_ctx_ = nullptr;
   // Slab pool of closure slots for kCallback events.
+  DTN_CKPT_SKIP("no live callbacks at snapshot points (asserted in save)")
   std::vector<EventFn> slots_;
+  DTN_CKPT_SKIP("no live callbacks at snapshot points (asserted in save)")
   std::vector<std::uint32_t> free_slots_;
   double now_ = 0.0;
   std::uint64_t executed_ = 0;

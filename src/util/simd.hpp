@@ -124,6 +124,81 @@ inline void storeu(double* p, VDouble v) { std::memcpy(p, &v, sizeof v); }
   return m;
 }
 
+// -- full-width 32-bit lanes ------------------------------------------
+// Twice as many u32 lanes as double lanes in the same register width;
+// used for id-list scans (net::Buffer's packet list).
+inline constexpr std::size_t kU32Lanes = kDoubleLanes * 2;
+using VU32W = std::uint32_t
+    __attribute__((vector_size(kU32Lanes * sizeof(std::uint32_t))));
+// Comparison results on VU32W: all-ones / all-zero 32-bit lanes.
+using VMask32 = std::int32_t
+    __attribute__((vector_size(kU32Lanes * sizeof(std::int32_t))));
+
+[[nodiscard]] inline VU32W loadu_u32w(const std::uint32_t* p) {
+  VU32W v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+[[nodiscard]] inline VU32W broadcast_u32(std::uint32_t x) {
+  VU32W v;
+  for (std::size_t i = 0; i < kU32Lanes; ++i) v[i] = x;
+  return v;
+}
+
+[[nodiscard]] inline bool any32(VMask32 m) {
+  // Reduce through a 64-bit view: half as many lane extracts as the
+  // obvious 32-bit loop, and extracts are the expensive part (each one
+  // is a shuffle+move on SSE-class hardware).
+  using VMask64 = std::int64_t
+      __attribute__((vector_size(kU32Lanes * sizeof(std::int32_t))));
+  const VMask64 w = (VMask64)m;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < kU32Lanes / 2; ++i) acc |= w[i];
+  return acc != 0;
+}
+
 #endif  // vector extensions available
+
+/// Index of the first element equal to `needle`, or `n` when absent.
+/// Exact std::find replacement: the vector path only locates the first
+/// matching block, then a scalar scan inside it picks the first lane,
+/// so the returned index is identical to the scalar loop's.
+[[nodiscard]] inline std::size_t find_u32(const std::uint32_t* p,
+                                          std::size_t n,
+                                          std::uint32_t needle) {
+  std::size_t i = 0;
+#if defined(__GNUC__) && !defined(DTN_SIMD_SCALAR)
+  if (kEnabled && !scalar_forced()) {
+    const VU32W want = broadcast_u32(needle);
+    // Four blocks per step: the vertical mask ORs are one instruction
+    // each, so the horizontal any32 (the expensive part) is paid once
+    // per 4*kU32Lanes elements.  On a hit the scalar rescan of the
+    // step picks the first matching lane, keeping the returned index
+    // identical to the plain scalar loop's.
+    constexpr std::size_t kStep = 4 * kU32Lanes;
+    for (; i + kStep <= n; i += kStep) {
+      const VMask32 m0 = loadu_u32w(p + i) == want;
+      const VMask32 m1 = loadu_u32w(p + i + kU32Lanes) == want;
+      const VMask32 m2 = loadu_u32w(p + i + 2 * kU32Lanes) == want;
+      const VMask32 m3 = loadu_u32w(p + i + 3 * kU32Lanes) == want;
+      if (!any32((m0 | m1) | (m2 | m3))) continue;
+      for (std::size_t j = i; j < i + kStep; ++j) {
+        if (p[j] == needle) return j;
+      }
+    }
+    for (; i + kU32Lanes <= n; i += kU32Lanes) {
+      if (!any32(loadu_u32w(p + i) == want)) continue;
+      for (std::size_t j = i; j < i + kU32Lanes; ++j) {
+        if (p[j] == needle) return j;
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (p[i] == needle) return i;
+  }
+  return n;
+}
 
 }  // namespace dtn::simd

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   DTN_ASSERT(task);
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     DTN_ASSERT(!stop_);
     tasks_.push(std::move(task));
   }
@@ -36,16 +36,19 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  // Manual predicate loop: keeps the guarded reads inside this
+  // capability-holding scope instead of a lambda the thread-safety
+  // analysis would treat as a separate unannotated function.
+  while (!(tasks_.empty() && active_ == 0)) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -53,7 +56,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -4,15 +4,21 @@
 // replicates / sweep points concurrently.  Tasks must be independent;
 // determinism is preserved because each replicate owns its seed and the
 // runner writes results into pre-sized slots (no ordering dependence).
+//
+// The queue state is guarded by an annotated Mutex (util/annotations.hpp)
+// so the clang presets' -Wthread-safety pass proves the lock discipline
+// of the pool — and of the shard barrier paths built on wait_idle()
+// (docs/parallel-engine.md) — at compile time.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace dtn {
 
@@ -28,23 +34,24 @@ class ThreadPool {
   /// Enqueue a task; tasks must not throw (they run under noexcept
   /// dispatch — a throwing task aborts the process, which is what we
   /// want in a batch simulator).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) DTN_EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() DTN_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() DTN_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ DTN_GUARDED_BY(mutex_);
+  /// condition_variable_any waits on the annotated Mutex directly.
+  std::condition_variable_any cv_task_;
+  std::condition_variable_any cv_idle_;
+  std::size_t active_ DTN_GUARDED_BY(mutex_) = 0;
+  bool stop_ DTN_GUARDED_BY(mutex_) = false;
 };
 
 /// Run body(i) for i in [0, n) across the pool; blocks until complete.

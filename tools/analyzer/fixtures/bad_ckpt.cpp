@@ -1,0 +1,39 @@
+// Seeded violation for the checkpoint-coverage check (test_analyzer.py):
+// a checkpointable class with one member absent from both halves of the
+// save/load pair and no DTN_CKPT_SKIP annotation.
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+class Writer;
+class Reader;
+
+class Counters {
+ public:
+  void checkpoint_save(Writer& w) const;
+  void checkpoint_load(Reader& r);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t forgotten_ = 0;  // LINE: never serialized, not skipped
+  DTN_CKPT_SKIP("scratch rebuilt lazily")
+  std::vector<double> cache_;
+};
+
+void Counters::checkpoint_save(Writer& w) const {
+  (void)w;
+  (void)counts_;
+  (void)epoch_;
+}
+
+void Counters::checkpoint_load(Reader& r) {
+  (void)r;
+  (void)counts_;
+  (void)epoch_;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Seeded violations for the shard-safety check (test_analyzer.py):
+// a shard hook writing shared state directly, writing shared state
+// through a same-class helper, and writing an unannotated member.
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+class ShardedRouter {
+ public:
+  void on_arrival(std::uint32_t node, std::uint32_t landmark) {
+    visits_[landmark] += 1;  // fine: shard-local write
+    total_visits_ += 1;      // LINE: write to DTN_SHARD_SHARED member
+    scratch_counter_ = node;  // LINE: write to unannotated member
+    bump_global();
+  }
+
+ private:
+  void bump_global() {
+    global_epoch_ += 1;  // LINE: shared write reached through a helper
+  }
+
+  DTN_SHARD_LOCAL std::vector<std::uint64_t> visits_;
+  DTN_SHARD_SHARED std::uint64_t total_visits_ = 0;
+  DTN_SHARD_SHARED std::uint64_t global_epoch_ = 0;
+  std::uint64_t scratch_counter_ = 0;
+};
+
+}  // namespace fixture
