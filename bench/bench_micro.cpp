@@ -304,6 +304,34 @@ void BM_EndToEndCampusRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndCampusRun);
 
+void BM_OverloadReplay(benchmark::State& state) {
+  // The campus run with stations bounded far below the offered load and
+  // the drop-oldest policy on: every station admission runs the
+  // eviction scan, so this guards the bounded-store hot path (victim
+  // selection + slab swap-erase) rather than the happy path.
+  dtn::trace::CampusTraceConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_landmarks = 10;
+  cfg.num_communities = 4;
+  cfg.days = 6.0;
+  cfg.seed = 9;
+  const auto trace = dtn::trace::generate_campus_trace(cfg);
+  for (auto _ : state) {
+    dtn::core::DtnFlowRouter router;
+    dtn::net::WorkloadConfig wl;
+    wl.packets_per_landmark_per_day = 30.0;
+    wl.time_unit = 0.5 * dtn::trace::kDay;
+    wl.ttl = 2.0 * dtn::trace::kDay;
+    wl.node_memory_kb = 30;
+    wl.store.station_memory_kb = 10;
+    wl.store.policy = dtn::net::EvictionPolicy::kDropOldest;
+    dtn::net::Network net(trace, router, wl);
+    net.run();
+    benchmark::DoNotOptimize(net.counters().evicted_policy);
+  }
+}
+BENCHMARK(BM_OverloadReplay);
+
 void BM_EndToEndReplayEventsPerSec(benchmark::State& state) {
   // Replay-engine throughput in events/second on a DART-quick-shaped
   // trace: the full Network event path (trace cursor merge, typed

@@ -7,6 +7,8 @@
 //         [--input trace.csv] [--replicates 3] [--seed 1] [--shards 4]
 //         [--fault-node-crash-rate 0.05 --fault-station-outage-rate 0.1
 //          --fault-transfer-fail 0.02 ...]   (docs/fault-injection.md)
+//         [--station-memory 20 --store-policy drop-oldest --store-dedup
+//          --spill-dir spill/]               (docs/bounded-store.md)
 //
 // Routers: DTN-FLOW, SimBet, PROPHET, PGR, GeoComm, PER, Direct,
 // Epidemic, SprayWait, or "all".
@@ -24,8 +26,10 @@
 // snapshots and exits with status 3 after N events — a deterministic
 // stand-in for kill -9 used by the CI round-trip smoke.
 #include <cstdio>
+#include <filesystem>
 
 #include "metrics/experiment.hpp"
+#include "net/bundle_store.hpp"
 #include "persist/checkpoint.hpp"
 #include "routing/factory.hpp"
 #include "sim/fault_injector.hpp"
@@ -104,7 +108,7 @@ int run_service(const dtn::CliOptions& opts, const dtn::trace::Trace& trace,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const dtn::CliOptions opts(argc, argv, {"serve"});
+  const dtn::CliOptions opts(argc, argv, {"serve", "store-dedup"});
 
   dtn::trace::Trace trace;
   const std::string input = opts.get("input", "");
@@ -153,6 +157,31 @@ int main(int argc, char** argv) {
       opts.get_double("unit-days", 1.0) * dtn::trace::kDay;
   workload.warmup_fraction = opts.get_double("warmup", 0.25);
   workload.seed = opts.get_seed(1) * 97 + 3;
+  // Bounded-store overload knobs (docs/bounded-store.md); the defaults
+  // keep stations unbounded and every policy off.
+  workload.store.station_memory_kb =
+      static_cast<std::uint64_t>(opts.get_int("station-memory", 0));
+  const std::string policy_name = opts.get("store-policy", "reject");
+  if (!dtn::net::parse_eviction_policy(policy_name, &workload.store.policy)) {
+    std::fprintf(stderr,
+                 "simulate: unknown --store-policy %s (use reject, "
+                 "drop-oldest, drop-largest-expected-delay or ttl-expire)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  workload.store.dedup = opts.has("store-dedup");
+  workload.store.spill_dir = opts.get("spill-dir", "");
+  if (!workload.store.spill_dir.empty()) {
+    std::filesystem::create_directories(workload.store.spill_dir);
+  }
+  if (workload.store.station_memory_kb > 0) {
+    std::printf("stations: bounded to %llu kB, policy %s%s%s\n",
+                static_cast<unsigned long long>(
+                    workload.store.station_memory_kb),
+                dtn::net::to_string(workload.store.policy),
+                workload.store.dedup ? ", dedup on" : "",
+                workload.store.spill_dir.empty() ? "" : ", spill enabled");
+  }
   workload.faults = dtn::sim::fault_plan_from_cli(opts);
   if (workload.faults.has_value()) {
     std::printf("faults: seeded plan %llu (crash rate %.3f/day, outage rate "

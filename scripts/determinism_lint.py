@@ -77,6 +77,11 @@ REQUIRED_COVERED_FILES = (
     # bit-identical replay path (docs/simd-hot-path.md).
     "src/util/simd.hpp",
     "src/util/arena.hpp",
+    # The bounded bundle store picks eviction victims and orders its
+    # dedup/spill structures; any iteration-order nondeterminism here
+    # changes which bundles survive overload (docs/bounded-store.md).
+    "src/net/bundle_store.hpp",
+    "src/net/bundle_store.cpp",
 )
 
 SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*ok\(([^)]*)\)")

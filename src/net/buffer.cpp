@@ -16,6 +16,10 @@ bool Buffer::contains(PacketId pid) const {
          packets_.size();
 }
 
+std::size_t Buffer::index_of(PacketId pid) const {
+  return simd::find_u32(packets_.data(), packets_.size(), pid);
+}
+
 bool Buffer::add(PacketId pid, std::uint32_t size_kb) {
   if (!has_space(size_kb)) return false;
   DTN_ASSERT(!contains(pid));
@@ -27,7 +31,11 @@ bool Buffer::add(PacketId pid, std::uint32_t size_kb) {
 void Buffer::remove(PacketId pid, std::uint32_t size_kb) {
   const std::size_t i =
       simd::find_u32(packets_.data(), packets_.size(), pid);
-  DTN_ASSERT(i != packets_.size());
+  remove_at(i, size_kb);
+}
+
+void Buffer::remove_at(std::size_t i, std::uint32_t size_kb) {
+  DTN_ASSERT(i < packets_.size());
   // Swap-erase: buffer order is not meaningful; routers that need a
   // priority order sort a copy.
   packets_[i] = packets_.back();

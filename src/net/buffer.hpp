@@ -25,18 +25,27 @@ class Buffer {
   [[nodiscard]] std::uint64_t used_kb() const { return used_kb_; }
   [[nodiscard]] bool unbounded() const { return capacity_kb_ == 0; }
   [[nodiscard]] bool has_space(std::uint32_t size_kb) const {
-    return unbounded() || used_kb_ + size_kb <= capacity_kb_;
+    // Compare by subtraction: `used_kb_ + size_kb` can wrap for
+    // adversarial capacities near UINT64_MAX (e.g. loaded from a
+    // hostile checkpoint), which would admit into a full buffer.
+    return unbounded() ||
+           (used_kb_ <= capacity_kb_ && size_kb <= capacity_kb_ - used_kb_);
   }
   [[nodiscard]] std::size_t count() const { return packets_.size(); }
   [[nodiscard]] bool empty() const { return packets_.empty(); }
   [[nodiscard]] std::span<const PacketId> packets() const { return packets_; }
   [[nodiscard]] bool contains(PacketId pid) const;
+  /// Position of `pid` in the id list, or count() when absent (lets
+  /// BundleStore keep a metadata slab parallel to the id list).
+  [[nodiscard]] std::size_t index_of(PacketId pid) const;
 
   /// Insert; returns false (and leaves the buffer unchanged) on overflow.
   [[nodiscard]] bool add(PacketId pid, std::uint32_t size_kb);
 
   /// Remove a packet that must be present.
   void remove(PacketId pid, std::uint32_t size_kb);
+  /// Remove by known position (swap-erase), skipping the membership scan.
+  void remove_at(std::size_t i, std::uint32_t size_kb);
 
   // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
   /// Serialize capacity, byte accounting and the id list verbatim (the

@@ -1,0 +1,495 @@
+#include "net/bundle_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "persist/serializer.hpp"
+#include "sim/invariant_auditor.hpp"
+#include "util/assert.hpp"
+
+namespace dtn::net {
+
+namespace {
+
+// Each spill record is a standalone persist::Writer image (magic,
+// schema version, one "spill" section, end marker) appended to the
+// per-station file, so a torn tail is detectable by the same CRC/
+// framing checks checkpoints use (docs/bounded-store.md).
+constexpr std::string_view kSpillSection = "spill";
+
+}  // namespace
+
+const char* to_string(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kReject:
+      return "reject";
+    case EvictionPolicy::kDropOldest:
+      return "drop-oldest";
+    case EvictionPolicy::kDropLargestExpectedDelay:
+      return "drop-largest-expected-delay";
+    case EvictionPolicy::kTtlExpire:
+      return "ttl-expire";
+  }
+  return "?";
+}
+
+bool parse_eviction_policy(std::string_view s, EvictionPolicy* out) {
+  for (const EvictionPolicy p :
+       {EvictionPolicy::kReject, EvictionPolicy::kDropOldest,
+        EvictionPolicy::kDropLargestExpectedDelay,
+        EvictionPolicy::kTtlExpire}) {
+    if (s == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BundleStore::configure(std::uint64_t capacity_kb, EvictionPolicy policy,
+                            bool dedup, std::string spill_path) {
+  DTN_ASSERT(core_.empty() && spill_.empty());
+  core_ = Buffer(capacity_kb);
+  policy_ = policy;
+  dedup_ = dedup;
+  spill_path_ = std::move(spill_path);
+  // Spilling into an unbounded store can never trigger; keep the
+  // backend off so audits need not special-case it.
+  if (core_.unbounded()) spill_path_.clear();
+  if (spill_enabled()) spill_reset();
+}
+
+bool BundleStore::contains(PacketId pid) const {
+  return core_.contains(pid) || spilled(pid);
+}
+
+bool BundleStore::spilled(PacketId pid) const {
+  for (const SpillRecord& rec : spill_) {
+    if (rec.pid == pid) return true;
+  }
+  return false;
+}
+
+std::vector<PacketId> BundleStore::spilled_ids() const {
+  std::vector<PacketId> ids;
+  ids.reserve(spill_.size());
+  for (const SpillRecord& rec : spill_) ids.push_back(rec.pid);
+  return ids;
+}
+
+bool BundleStore::add(PacketId pid, std::uint32_t size_kb) {
+  AdmitRequest req;
+  req.pid = pid;
+  req.size_kb = size_kb;
+  req.logical = pid;
+  req.check_dedup = false;
+  return admit(req, nullptr) == Admit::kStored;
+}
+
+void BundleStore::note_seen(PacketId logical) {
+  if (!dedup_ || logical == kNoPacket) return;
+  const auto it = std::lower_bound(seen_.begin(), seen_.end(), logical);
+  if (it == seen_.end() || *it != logical) seen_.insert(it, logical);
+}
+
+bool BundleStore::seen_logical(PacketId logical) const {
+  if (!dedup_) return false;
+  return std::binary_search(seen_.begin(), seen_.end(), logical);
+}
+
+void BundleStore::place(PacketId pid, const Entry& e) {
+  const bool ok = core_.add(pid, e.size_kb);
+  DTN_ASSERT(ok);
+  meta_.push_back(e);
+  if (e.retention != Retention::kNone) ++retained_;
+  note_seen(e.logical);
+}
+
+Admit BundleStore::admit(const AdmitRequest& req,
+                         std::vector<PacketId>* evicted_out) {
+  DTN_ASSERT(req.pid != kNoPacket);
+  DTN_ASSERT(!contains(req.pid));
+  if (req.check_dedup && seen_logical(req.logical)) {
+    return Admit::kRefusedDuplicate;
+  }
+  Entry e;
+  e.admit_seq = next_admit_seq_;
+  e.expected_delay = req.expected_delay;
+  e.deadline = req.deadline;
+  e.logical = req.logical;
+  e.size_kb = req.size_kb;
+  e.retention = req.retention;
+  if (!core_.has_space(req.size_kb)) {
+    if (req.allow_spill && spill_enabled()) {
+      ++next_admit_seq_;
+      spill_out(req.pid, e);
+      return Admit::kSpilled;
+    }
+    if (policy_ == EvictionPolicy::kReject ||
+        !evict_for(req.size_kb, evicted_out)) {
+      return Admit::kRefusedCapacity;
+    }
+  }
+  ++next_admit_seq_;
+  place(req.pid, e);
+  return Admit::kStored;
+}
+
+std::size_t BundleStore::pick_victim() const {
+  // Deterministic victim selection: a pure function of entry metadata
+  // with admission-sequence tie-breaks, so reruns and shards agree.
+  std::size_t best = meta_.size();
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    const Entry& e = meta_[i];
+    if (e.retention != Retention::kNone) continue;
+    if (best == meta_.size()) {
+      best = i;
+      continue;
+    }
+    const Entry& b = meta_[best];
+    bool better = false;
+    switch (policy_) {
+      case EvictionPolicy::kReject:
+        break;
+      case EvictionPolicy::kDropOldest:
+        better = e.admit_seq < b.admit_seq;
+        break;
+      case EvictionPolicy::kDropLargestExpectedDelay:
+        better = e.expected_delay > b.expected_delay ||
+                 (e.expected_delay == b.expected_delay &&
+                  e.admit_seq < b.admit_seq);
+        break;
+      case EvictionPolicy::kTtlExpire:
+        better = e.deadline < b.deadline ||
+                 (e.deadline == b.deadline && e.admit_seq < b.admit_seq);
+        break;
+    }
+    if (better) best = i;
+  }
+  return best;
+}
+
+bool BundleStore::evict_for(std::uint32_t size_kb,
+                            std::vector<PacketId>* evicted_out) {
+  DTN_ASSERT(evicted_out != nullptr);
+  // Feasibility first: refuse without touching the store unless evicting
+  // every retention-free bundle would actually make room.  Evicting some
+  // victims and then refusing anyway would lose bundles for nothing.
+  if (!core_.unbounded()) {
+    if (size_kb > core_.capacity_kb()) return false;
+    std::uint64_t evictable = 0;
+    for (const Entry& e : meta_) {
+      if (e.retention == Retention::kNone) evictable += e.size_kb;
+    }
+    DTN_ASSERT(core_.used_kb() >= evictable);
+    if (size_kb > core_.capacity_kb() - (core_.used_kb() - evictable)) {
+      return false;
+    }
+  }
+  while (!core_.has_space(size_kb)) {
+    const std::size_t victim = pick_victim();
+    DTN_ASSERT(victim != meta_.size());  // guaranteed by the pre-check
+    const PacketId pid = core_.packets()[victim];
+    evicted_out->push_back(pid);
+    remove(pid, meta_[victim].size_kb, nullptr);
+  }
+  return true;
+}
+
+void BundleStore::remove(PacketId pid, std::uint32_t size_kb,
+                         std::vector<PacketId>* recalled_out) {
+  const std::size_t i = core_.index_of(pid);
+  if (i != core_.count()) {
+    DTN_ASSERT(meta_[i].size_kb == size_kb);
+    if (meta_[i].retention != Retention::kNone) {
+      DTN_ASSERT(retained_ > 0);
+      --retained_;
+    }
+    core_.remove_at(i, size_kb);
+    // Mirror the Buffer's swap-erase so the slab stays parallel.
+    meta_[i] = meta_.back();
+    meta_.pop_back();
+    recall_while_fits(recalled_out);
+    return;
+  }
+  // Spilled bundle (TTL sweeps reach them through the packet table).
+  // Stable erase: the FIFO recall order of the others is part of the
+  // replay contract.
+  for (std::size_t s = 0; s < spill_.size(); ++s) {
+    if (spill_[s].pid != pid) continue;
+    DTN_ASSERT(spill_[s].entry.size_kb == size_kb);
+    DTN_ASSERT(spilled_kb_ >= size_kb);
+    spilled_kb_ -= size_kb;
+    spill_.erase(spill_.begin() + static_cast<std::ptrdiff_t>(s));
+    return;
+  }
+  DTN_ASSERT(false && "remove: packet not in store");
+}
+
+void BundleStore::set_retention_if_held(PacketId pid, Retention r) {
+  const std::size_t i = core_.index_of(pid);
+  if (i == core_.count()) return;
+  Entry& e = meta_[i];
+  if (e.retention != Retention::kNone) --retained_;
+  e.retention = r;
+  if (e.retention != Retention::kNone) ++retained_;
+}
+
+Retention BundleStore::retention(PacketId pid) const {
+  const std::size_t i = core_.index_of(pid);
+  return i == core_.count() ? Retention::kNone : meta_[i].retention;
+}
+
+// -- spill backend -----------------------------------------------------
+
+void BundleStore::spill_reset() {
+  std::ofstream out(spill_path_, std::ios::binary | std::ios::trunc);
+  DTN_ASSERT(out.good() && "cannot create spill file");
+  spill_tail_ = 0;
+}
+
+std::uint64_t BundleStore::spill_append(PacketId pid, const Entry& e) {
+  persist::Writer w;
+  w.begin_section(kSpillSection);
+  w.u32(pid);
+  w.u32(e.size_kb);
+  w.u64(e.admit_seq);
+  w.u8(static_cast<std::uint8_t>(e.retention));
+  w.f64(e.expected_delay);
+  w.f64(e.deadline);
+  w.u32(e.logical);
+  w.end_section();
+  w.finish();
+  std::ofstream out(spill_path_, std::ios::binary | std::ios::app);
+  DTN_ASSERT(out.good() && "cannot open spill file for append");
+  out.write(reinterpret_cast<const char*>(w.buffer().data()),
+            static_cast<std::streamsize>(w.buffer().size()));
+  DTN_ASSERT(out.good() && "spill append failed");
+  return w.buffer().size();
+}
+
+BundleStore::Entry BundleStore::spill_fetch(const SpillRecord& rec) const {
+  std::ifstream in(spill_path_, std::ios::binary);
+  DTN_ASSERT(in.good() && "cannot open spill file for recall");
+  in.seekg(static_cast<std::streamoff>(rec.offset));
+  std::vector<std::uint8_t> bytes(rec.length);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  DTN_ASSERT(in.gcount() == static_cast<std::streamsize>(bytes.size()));
+  persist::Reader r(std::move(bytes));
+  r.expect_section(kSpillSection);
+  Entry e;
+  const PacketId pid = r.u32();
+  e.size_kb = r.u32();
+  e.admit_seq = r.u64();
+  e.retention = static_cast<Retention>(r.u8());
+  e.expected_delay = r.f64();
+  e.deadline = r.f64();
+  e.logical = r.u32();
+  r.end_section();
+  r.finish();
+  // The file is load-bearing: a recall whose on-disk record disagrees
+  // with the in-memory index is corruption, not a soft error.
+  DTN_ASSERT(pid == rec.pid);
+  DTN_ASSERT(e.size_kb == rec.entry.size_kb);
+  DTN_ASSERT(e.admit_seq == rec.entry.admit_seq);
+  return e;
+}
+
+void BundleStore::spill_out(PacketId pid, const Entry& e) {
+  SpillRecord rec;
+  rec.entry = e;
+  rec.pid = pid;
+  rec.offset = spill_tail_;
+  rec.length = spill_append(pid, e);
+  spill_tail_ += rec.length;
+  spilled_kb_ += e.size_kb;
+  spill_.push_back(rec);
+  note_seen(e.logical);
+}
+
+void BundleStore::recall_while_fits(std::vector<PacketId>* recalled_out) {
+  while (!spill_.empty() && core_.has_space(spill_.front().entry.size_kb)) {
+    const SpillRecord rec = spill_.front();
+    spill_.erase(spill_.begin());
+    DTN_ASSERT(spilled_kb_ >= rec.entry.size_kb);
+    spilled_kb_ -= rec.entry.size_kb;
+    const Entry e = spill_fetch(rec);
+    place(rec.pid, e);
+    if (recalled_out != nullptr) recalled_out->push_back(rec.pid);
+  }
+}
+
+// -- checkpointing -----------------------------------------------------
+
+void BundleStore::save(persist::Writer& w) const {
+  core_.save(w);
+  for (const Entry& e : meta_) {
+    w.u64(e.admit_seq);
+    w.f64(e.expected_delay);
+    w.f64(e.deadline);
+    w.u32(e.logical);
+    w.u32(e.size_kb);
+    w.u8(static_cast<std::uint8_t>(e.retention));
+  }
+  w.u64(next_admit_seq_);
+  w.u64(retained_);
+  w.u64(seen_.size());
+  for (const PacketId id : seen_) w.u32(id);
+  w.u64(spill_.size());
+  // Offsets/lengths are artifacts of the local file (it may contain
+  // holes from removed records); load rewrites a compacted file and
+  // recomputes them, which keeps save→load→save byte-identical.
+  for (const SpillRecord& rec : spill_) {
+    w.u32(rec.pid);
+    w.u64(rec.entry.admit_seq);
+    w.f64(rec.entry.expected_delay);
+    w.f64(rec.entry.deadline);
+    w.u32(rec.entry.logical);
+    w.u32(rec.entry.size_kb);
+    w.u8(static_cast<std::uint8_t>(rec.entry.retention));
+  }
+}
+
+void BundleStore::load(persist::Reader& r) {
+  core_.load(r);
+  meta_.resize(core_.count());
+  retained_ = 0;
+  for (Entry& e : meta_) {
+    e.admit_seq = r.u64();
+    e.expected_delay = r.f64();
+    e.deadline = r.f64();
+    e.logical = r.u32();
+    e.size_kb = r.u32();
+    e.retention = static_cast<Retention>(r.u8());
+    if (e.retention > Retention::kForwardPending) {
+      throw persist::FormatError("bundle store: bad retention value");
+    }
+  }
+  next_admit_seq_ = r.u64();
+  retained_ = r.u64();
+  seen_.resize(static_cast<std::size_t>(r.u64()));
+  for (PacketId& id : seen_) id = r.u32();
+  spill_.resize(static_cast<std::size_t>(r.u64()));
+  if (!spill_.empty() && !spill_enabled()) {
+    throw persist::FormatError(
+        "bundle store: snapshot has spilled bundles but spill is disabled");
+  }
+  if (spill_enabled()) spill_reset();
+  spilled_kb_ = 0;
+  for (SpillRecord& rec : spill_) {
+    rec.pid = r.u32();
+    rec.entry.admit_seq = r.u64();
+    rec.entry.expected_delay = r.f64();
+    rec.entry.deadline = r.f64();
+    rec.entry.logical = r.u32();
+    rec.entry.size_kb = r.u32();
+    rec.entry.retention = static_cast<Retention>(r.u8());
+    // Rewrite the (freshly truncated) spill file from the snapshot so
+    // resume does not depend on the original machine's file.
+    rec.offset = spill_tail_;
+    rec.length = spill_append(rec.pid, rec.entry);
+    spill_tail_ += rec.length;
+    spilled_kb_ += rec.entry.size_kb;
+  }
+}
+
+// -- invariant auditing ------------------------------------------------
+
+void BundleStore::audit(sim::AuditReport& report,
+                        std::string_view label) const {
+  const std::string who(label);
+  auto fail = [&](const std::string& detail) {
+    report.fail(who + ": " + detail);
+  };
+  // Pool accounting: slab parallel to the id list, byte totals match.
+  if (meta_.size() != core_.count()) {
+    fail("entry slab has " + std::to_string(meta_.size()) +
+         " entries for " + std::to_string(core_.count()) + " ids");
+    return;  // the per-entry checks below index meta_ by id position
+  }
+  std::uint64_t bytes = 0;
+  std::uint64_t retained = 0;
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    bytes += meta_[i].size_kb;
+    if (meta_[i].retention != Retention::kNone) ++retained;
+    if (meta_[i].admit_seq >= next_admit_seq_) {
+      fail("entry " + std::to_string(core_.packets()[i]) +
+           " admit_seq beyond the admission counter");
+    }
+  }
+  if (bytes != core_.used_kb()) {
+    fail("slab bytes " + std::to_string(bytes) + " != used_kb " +
+         std::to_string(core_.used_kb()));
+  }
+  if (!core_.unbounded() && core_.used_kb() > core_.capacity_kb()) {
+    fail("used_kb " + std::to_string(core_.used_kb()) +
+         " exceeds capacity " + std::to_string(core_.capacity_kb()));
+  }
+  if (retained != retained_) {
+    fail("retained cache " + std::to_string(retained_) + " != recount " +
+         std::to_string(retained));
+  }
+  // Dedup set: sorted unique; every resident logical is a member.
+  if (!std::is_sorted(seen_.begin(), seen_.end()) ||
+      std::adjacent_find(seen_.begin(), seen_.end()) != seen_.end()) {
+    fail("dedup set not sorted-unique");
+  } else if (dedup_) {
+    for (const Entry& e : meta_) {
+      if (!seen_logical(e.logical)) {
+        fail("resident logical " + std::to_string(e.logical) +
+             " missing from dedup set");
+      }
+    }
+    for (const SpillRecord& rec : spill_) {
+      if (!seen_logical(rec.entry.logical)) {
+        fail("spilled logical " + std::to_string(rec.entry.logical) +
+             " missing from dedup set");
+      }
+    }
+  }
+  // Spill index: byte totals, strictly increasing record extents, ids
+  // disjoint from memory.
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t prev_end = 0;
+  for (std::size_t s = 0; s < spill_.size(); ++s) {
+    const SpillRecord& rec = spill_[s];
+    spill_bytes += rec.entry.size_kb;
+    if (s > 0 && rec.offset < prev_end) {
+      fail("spill records overlap at index " + std::to_string(s));
+    }
+    prev_end = rec.offset + rec.length;
+    if (core_.contains(rec.pid)) {
+      fail("packet " + std::to_string(rec.pid) +
+           " both in memory and spilled");
+    }
+  }
+  if (prev_end > spill_tail_) {
+    fail("spill index extends past the file tail");
+  }
+  if (spill_bytes != spilled_kb_) {
+    fail("spill index bytes " + std::to_string(spill_bytes) +
+         " != spilled_kb " + std::to_string(spilled_kb_));
+  }
+  if (!spill_.empty() && core_.unbounded()) {
+    fail("unbounded store has spilled bundles");
+  }
+}
+
+void BundleStore::debug_corrupt_dedup_order_for_test(int delta) {
+  if (delta > 0) {
+    DTN_ASSERT(!seen_.empty());
+    seen_.push_back(seen_.front());
+  } else {
+    seen_.pop_back();
+  }
+}
+
+void BundleStore::debug_corrupt_pool_size_for_test(int delta) {
+  DTN_ASSERT(!meta_.empty());
+  meta_.front().size_kb = static_cast<std::uint32_t>(
+      static_cast<std::int32_t>(meta_.front().size_kb) + delta);
+}
+
+}  // namespace dtn::net

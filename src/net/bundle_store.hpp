@@ -1,0 +1,293 @@
+// Bounded-memory bundle store (docs/bounded-store.md).
+//
+// Replaces naive per-packet Buffer entries on nodes and (newly
+// boundable) landmark stations.  The id list and byte accounting stay
+// in the embedded net::Buffer — its swap-erase order is the replay
+// contract routers observe — and a parallel slab of POD entry metadata
+// (admission sequence, retention constraint, expected delay, TTL
+// deadline, logical id) rides along under the same swap-erase, so
+// admission and eviction stay O(1)/O(n-scan) with no per-entry
+// allocation.
+//
+// On top of the pooled entries sit the robustness features, all off by
+// default so the stock configuration replays bit-identical to the
+// unbounded model:
+//
+//  * Retention constraints (DTN7-ESP's RETENTION_CONSTRAINT_* shape):
+//    dispatch-pending source data and forward-pending retry-ledger
+//    entries are never eviction victims.
+//  * Deterministic eviction policies — drop-oldest (min admission
+//    sequence), drop-largest-expected-delay (the routing table's
+//    expected inter-landmark delay, ties to oldest), ttl-expire
+//    (earliest deadline, ties to oldest) — that free space for an
+//    incoming bundle instead of rejecting it.  Victim order is a pure
+//    function of store contents, so serial and sharded replays evict
+//    identically.
+//  * A received-id dedup set (sorted flat vector, deterministic
+//    iteration) letting multicopy routers suppress re-admission of
+//    logicals this store already carried.
+//  * An optional spill-to-disk backend for over-subscribed stations:
+//    overflow bundles append persist::Writer-framed records to a
+//    per-station file and are recalled FIFO as memory frees up.
+//    Spilled entries count toward contains()/spilled accounting but
+//    are invisible to packets() — carriers only see in-memory bundles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/packet.hpp"
+#include "util/annotations.hpp"
+
+namespace dtn::persist {
+class Writer;
+class Reader;
+}  // namespace dtn::persist
+
+namespace dtn::sim {
+class AuditReport;
+}  // namespace dtn::sim
+
+namespace dtn::net {
+
+/// What a full store does with an incoming bundle that does not fit.
+enum class EvictionPolicy : std::uint8_t {
+  kReject = 0,                  ///< refuse admission (the pre-store behaviour)
+  kDropOldest = 1,              ///< evict the smallest admission sequence
+  kDropLargestExpectedDelay = 2,///< evict the worst expected delivery delay
+  kTtlExpire = 3,               ///< evict the earliest TTL deadline
+};
+
+[[nodiscard]] const char* to_string(EvictionPolicy p);
+/// Parses the CLI spellings ("reject", "drop-oldest",
+/// "drop-largest-expected-delay", "ttl-expire"); false on unknown input.
+[[nodiscard]] bool parse_eviction_policy(std::string_view s,
+                                         EvictionPolicy* out);
+
+/// Why a bundle may not be chosen as an eviction victim (DTN7-ESP's
+/// retention constraints).
+enum class Retention : std::uint8_t {
+  kNone = 0,
+  /// Source data waiting at its origin station for a first carrier.
+  kDispatchPending = 1,
+  /// A failed transfer's retry is pending in the ledger (fault paths).
+  kForwardPending = 2,
+};
+
+/// Per-workload store configuration (net::WorkloadConfig::store).  The
+/// default value bounds nothing and enables nothing: replays are
+/// bit-identical to the unbounded §V-A.1 model.
+struct BundleStoreConfig {
+  /// Landmark-station capacity; 0 keeps stations unbounded (§V-A.1).
+  std::uint64_t station_memory_kb = 0;
+  EvictionPolicy policy = EvictionPolicy::kReject;
+  /// Received-id duplicate suppression for multicopy routers.
+  bool dedup = false;
+  /// When non-empty and stations are bounded, station overflow spills
+  /// to `<spill_dir>/station_<l>.spill` instead of being refused.  The
+  /// directory is relocatable across checkpoint resume (the resumed
+  /// process rewrites its spill files from the snapshot), so it is not
+  /// part of the config fingerprint beyond the enabled bit.
+  std::string spill_dir;
+};
+
+/// Outcome of one admission attempt.
+enum class Admit : std::uint8_t {
+  kStored,            ///< admitted in memory (possibly after evictions)
+  kSpilled,           ///< written to the spill backend
+  kRefusedCapacity,   ///< no space and the policy could not make any
+  kRefusedDuplicate,  ///< dedup set already saw this logical id
+};
+
+class BundleStore {
+ public:
+  BundleStore() = default;
+  explicit BundleStore(std::uint64_t capacity_kb) : core_(capacity_kb) {}
+
+  /// Everything an admission decision needs, captured at the call site
+  /// so the store never reaches back into the packet table.
+  struct AdmitRequest {
+    PacketId pid = kNoPacket;
+    std::uint32_t size_kb = 1;
+    PacketId logical = kNoPacket;
+    Retention retention = Retention::kNone;
+    double expected_delay = 0.0;
+    double deadline = std::numeric_limits<double>::infinity();
+    /// Consult the dedup set (callers skip this for e.g. a copy
+    /// returning to a store that legitimately re-hosts it).
+    bool check_dedup = true;
+    /// Station call sites allow spill; node stores never spill.
+    bool allow_spill = false;
+  };
+
+  /// Applies policy/dedup/spill and reconfigures capacity.  Called once
+  /// per store before the replay starts (config is fingerprinted, not
+  /// checkpointed).  Truncates any stale spill file at `spill_path`.
+  void configure(std::uint64_t capacity_kb, EvictionPolicy policy, bool dedup,
+                 std::string spill_path);
+
+  // -- Buffer-compatible read surface (routers compile unchanged) ------
+  [[nodiscard]] std::uint64_t capacity_kb() const {
+    return core_.capacity_kb();
+  }
+  [[nodiscard]] std::uint64_t used_kb() const { return core_.used_kb(); }
+  [[nodiscard]] bool unbounded() const { return core_.unbounded(); }
+  [[nodiscard]] bool has_space(std::uint32_t size_kb) const {
+    return core_.has_space(size_kb);
+  }
+  /// In-memory bundles only (what carriers can pick up).
+  [[nodiscard]] std::size_t count() const { return core_.count(); }
+  [[nodiscard]] bool empty() const {
+    return core_.empty() && spill_.empty();
+  }
+  [[nodiscard]] std::span<const PacketId> packets() const {
+    return core_.packets();
+  }
+  /// True for in-memory *and* spilled bundles (the packet table's
+  /// holder invariant covers both).
+  [[nodiscard]] bool contains(PacketId pid) const;
+
+  // -- admission / removal ---------------------------------------------
+  /// Buffer-compatible convenience: admit with default metadata and no
+  /// dedup/spill involvement.  False on refusal.
+  [[nodiscard]] bool add(PacketId pid, std::uint32_t size_kb);
+
+  /// Full admission path.  On kStored after evictions, the victim ids
+  /// (already removed from the store) are appended to `evicted_out` for
+  /// the caller to retire; `evicted_out` may be null when the policy is
+  /// kReject.  Never evicts bundles whose retention != kNone.
+  [[nodiscard]] Admit admit(const AdmitRequest& req,
+                            std::vector<PacketId>* evicted_out);
+
+  /// Remove a bundle that must be present (in memory or spilled).
+  /// Removing an in-memory bundle recalls spilled bundles FIFO while
+  /// they fit; recalled ids are appended to `recalled_out` (may be
+  /// null) so callers can count them.
+  void remove(PacketId pid, std::uint32_t size_kb,
+              std::vector<PacketId>* recalled_out = nullptr);
+
+  // -- retention ---------------------------------------------------------
+  /// Updates the retention constraint if `pid` is held in memory;
+  /// no-op otherwise (spilled bundles are never transfer candidates, so
+  /// they never acquire forward-pending status).
+  void set_retention_if_held(PacketId pid, Retention r);
+  /// Retention of an in-memory bundle (kNone when absent or spilled).
+  [[nodiscard]] Retention retention(PacketId pid) const;
+  [[nodiscard]] std::uint64_t retained_count() const { return retained_; }
+
+  // -- dedup -------------------------------------------------------------
+  [[nodiscard]] bool dedup_enabled() const { return dedup_; }
+  /// True when the dedup set has seen `logical` (always false when
+  /// dedup is off, so router pre-checks are no-ops by default).
+  [[nodiscard]] bool seen_logical(PacketId logical) const;
+  [[nodiscard]] std::size_t dedup_seen_count() const { return seen_.size(); }
+
+  // -- spill -------------------------------------------------------------
+  [[nodiscard]] bool spill_enabled() const { return !spill_path_.empty(); }
+  [[nodiscard]] std::size_t spilled_count() const { return spill_.size(); }
+  [[nodiscard]] std::uint64_t spilled_kb() const { return spilled_kb_; }
+  [[nodiscard]] bool spilled(PacketId pid) const;
+  /// Spilled packet ids in FIFO (recall) order.
+  [[nodiscard]] std::vector<PacketId> spilled_ids() const;
+
+  [[nodiscard]] EvictionPolicy policy() const { return policy_; }
+
+  // -- checkpointing (src/persist/, docs/checkpointing.md) --------------
+  /// Layout: the embedded Buffer image, then per-entry metadata in id
+  /// order, the admission counter, the dedup set, and the spill index
+  /// (metadata only — offsets are an artifact of the local file and are
+  /// recomputed by load, which rewrites a compacted spill file).
+  void save(persist::Writer& w) const;
+  void load(persist::Reader& r);
+
+  // -- invariant auditing (sim/invariant_auditor.hpp) -------------------
+  /// Re-derives the pool accounting (metadata slab parallel to the id
+  /// list, byte totals, capacity bound), the retained-count cache, the
+  /// dedup set's sorted-unique and membership invariants, and the spill
+  /// index (sizes, strictly increasing offsets, id disjointness from
+  /// memory).  `label` prefixes failure details ("node 3", "station 7").
+  void audit(sim::AuditReport& report, std::string_view label) const;
+
+  /// Test-only seeded corruption for the auditor's negative tests; each
+  /// is exactly revertible by the opposite sign.
+  void debug_corrupt_used_kb_for_test(int delta) {
+    core_.debug_corrupt_used_kb_for_test(delta);
+  }
+  void debug_corrupt_retained_for_test(int delta) {
+    retained_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(retained_) + delta);
+  }
+  void debug_corrupt_spilled_kb_for_test(int delta) {
+    spilled_kb_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(spilled_kb_) + delta);
+  }
+  /// +1: duplicate the first seen id at the back (breaks sortedness);
+  /// -1: undo.
+  void debug_corrupt_dedup_order_for_test(int delta);
+  /// +1: skew the first entry's slab size against the Buffer
+  /// accounting; -1: undo.
+  void debug_corrupt_pool_size_for_test(int delta);
+
+ private:
+  struct Entry {
+    std::uint64_t admit_seq = 0;
+    double expected_delay = 0.0;
+    double deadline = std::numeric_limits<double>::infinity();
+    PacketId logical = kNoPacket;
+    std::uint32_t size_kb = 0;
+    Retention retention = Retention::kNone;
+  };
+  /// Spill index row: full metadata lives here (the checkpoint
+  /// serializes the index, not the file), plus where the framed record
+  /// sits in the spill file for recall-time verification.
+  struct SpillRecord {
+    Entry entry;
+    PacketId pid = kNoPacket;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+  };
+
+  void note_seen(PacketId logical);
+  /// Store `pid` in memory with `e`'s metadata (space must exist).
+  void place(PacketId pid, const Entry& e);
+  /// Evicts retention-free victims per `policy_` until `size_kb` fits;
+  /// false (store unchanged beyond prior victims) when it cannot.
+  bool evict_for(std::uint32_t size_kb, std::vector<PacketId>* evicted_out);
+  [[nodiscard]] std::size_t pick_victim() const;
+  void spill_out(PacketId pid, const Entry& e);
+  void recall_while_fits(std::vector<PacketId>* recalled_out);
+  /// Appends one framed record to the spill file; returns its length.
+  std::uint64_t spill_append(PacketId pid, const Entry& e);
+  /// Reads a record back and cross-checks it against the index row.
+  [[nodiscard]] Entry spill_fetch(const SpillRecord& rec) const;
+  /// Truncate/create the spill file and reset the append tail.
+  void spill_reset();
+
+  Buffer core_;
+  /// Pooled entry slab, parallel to core_.packets() (same swap-erase).
+  std::vector<Entry> meta_;
+  std::uint64_t next_admit_seq_ = 0;
+  /// Cache of entries with retention != kNone (audit() recounts it).
+  std::uint64_t retained_ = 0;
+  /// Sorted unique logical ids this store has admitted (dedup set).
+  std::vector<PacketId> seen_;
+  /// FIFO of spilled bundles (front recalled first).
+  std::vector<SpillRecord> spill_;
+  DTN_CKPT_SKIP("derived: load recomputes it while rewriting the spill file")
+  std::uint64_t spilled_kb_ = 0;
+  DTN_CKPT_SKIP("derived: next append offset of the rewritten spill file")
+  std::uint64_t spill_tail_ = 0;
+  DTN_CKPT_SKIP("configuration, pinned by the config fingerprint")
+  EvictionPolicy policy_ = EvictionPolicy::kReject;
+  DTN_CKPT_SKIP("configuration, pinned by the config fingerprint")
+  bool dedup_ = false;
+  DTN_CKPT_SKIP("configuration, pinned by the config fingerprint")
+  std::string spill_path_;
+};
+
+}  // namespace dtn::net

@@ -50,6 +50,9 @@ Network::Network(const trace::Trace& trace, Router& router,
   auditor_.register_check(
       "network.checkpoint_crc",
       [this](sim::AuditReport& r) { audit_checkpoint_crc(r); });
+  auditor_.register_check(
+      "network.bundle_store",
+      [this](sim::AuditReport& r) { audit_bundle_stores(r); });
   // Fault plan: engage the injector (which validates the plan against
   // the trace's node/landmark universe, throwing std::invalid_argument
   // on malformed config).
@@ -57,12 +60,25 @@ Network::Network(const trace::Trace& trace, Router& router,
     faults_.emplace(*cfg_.faults, trace.num_nodes(), trace.num_landmarks());
   }
   outage_recovery_pending_.assign(trace.num_landmarks(), -1.0);
-  nodes_.reserve(trace.num_nodes());
-  for (std::size_t n = 0; n < trace.num_nodes(); ++n) {
-    nodes_.emplace_back(cfg_.node_memory_kb);
+  nodes_.resize(trace.num_nodes());
+  for (NodeState& n : nodes_) {
+    n.buffer.configure(cfg_.node_memory_kb, cfg_.store.policy,
+                       cfg_.store.dedup, /*spill_path=*/{});
   }
   present_pos_.resize(trace.num_nodes(), 0);
   stations_.resize(trace.num_landmarks());
+  for (LandmarkId l = 0; l < stations_.size(); ++l) {
+    // Spill only applies to bounded stations; BundleStore::configure
+    // drops the path again when the capacity is 0 (unbounded §V-A.1).
+    std::string spill_path;
+    if (!cfg_.store.spill_dir.empty() && cfg_.store.station_memory_kb > 0) {
+      spill_path = cfg_.store.spill_dir + "/station_" + std::to_string(l) +
+                   ".spill";
+    }
+    stations_[l].storage.configure(cfg_.store.station_memory_kb,
+                                   cfg_.store.policy, cfg_.store.dedup,
+                                   std::move(spill_path));
+  }
   trace_begin_ = trace.begin_time();
   trace_end_ = trace.end_time();
   workload_start_ =
@@ -685,6 +701,13 @@ RunCounters Network::merged_shard_counters(std::uint64_t* events_out) const {
     total.refused_buffer += c.refused_buffer;
     total.packet_forwards += c.packet_forwards;
     total.replications += c.replications;
+    total.evicted_policy += c.evicted_policy;
+    total.evicted_kb += c.evicted_kb;
+    total.admission_shed += c.admission_shed;
+    total.duplicates_suppressed += c.duplicates_suppressed;
+    total.dedup_refused += c.dedup_refused;
+    total.spilled_bundles += c.spilled_bundles;
+    total.recalled_bundles += c.recalled_bundles;
     // Every account_control summand is an integer-valued double (entry
     // counts), so all partial sums are exact and the per-shard
     // regrouping cannot change the total's bits.
@@ -733,6 +756,14 @@ void Network::write_config_fingerprint(persist::Writer& w) const {
   w.f64(cfg_.ttl);
   w.u32(cfg_.packet_size_kb);
   w.u64(cfg_.node_memory_kb);
+  // Bounded-store configuration (docs/bounded-store.md).  The spill
+  // *directory* is deliberately excluded: resume rewrites its spill
+  // files from the snapshot, so the directory is relocatable — only
+  // whether spilling is enabled is pinned.
+  w.u64(cfg_.store.station_memory_kb);
+  w.u8(static_cast<std::uint8_t>(cfg_.store.policy));
+  w.boolean(cfg_.store.dedup);
+  w.boolean(!cfg_.store.spill_dir.empty());
   w.f64(cfg_.warmup_fraction);
   w.f64(cfg_.time_unit);
   w.u64(cfg_.seed);
@@ -807,6 +838,12 @@ void Network::check_config_fingerprint(persist::Reader& r) const {
   want_f64(cfg_.ttl, "packet TTL");
   want_u32(cfg_.packet_size_kb, "packet size");
   want_u64(cfg_.node_memory_kb, "node memory");
+  want_u64(cfg_.store.station_memory_kb, "station memory");
+  if (r.u8() != static_cast<std::uint8_t>(cfg_.store.policy)) {
+    mismatch("eviction policy");
+  }
+  want_bool(cfg_.store.dedup, "store dedup");
+  want_bool(!cfg_.store.spill_dir.empty(), "store spill enabled");
   want_f64(cfg_.warmup_fraction, "warmup fraction");
   want_f64(cfg_.time_unit, "time unit");
   want_u64(cfg_.seed, "workload seed");
@@ -892,6 +929,13 @@ void Network::save_tail_sections(persist::Writer& w,
   w.f64(counters.total_delay);
   persist::write_vec(w, counters.delivery_delays);
   persist::write_vec(w, counters.delivery_hops);
+  w.u64(counters.evicted_policy);
+  w.u64(counters.evicted_kb);
+  w.u64(counters.admission_shed);
+  w.u64(counters.duplicates_suppressed);
+  w.u64(counters.dedup_refused);
+  w.u64(counters.spilled_bundles);
+  w.u64(counters.recalled_bundles);
   w.u64(counters.node_crashes);
   w.u64(counters.node_reboots);
   w.u64(counters.station_outages);
@@ -1019,6 +1063,13 @@ void Network::load_tail_sections(persist::Reader& r) {
   counters_.total_delay = r.f64();
   persist::read_vec(r, counters_.delivery_delays);
   persist::read_vec(r, counters_.delivery_hops);
+  counters_.evicted_policy = r.u64();
+  counters_.evicted_kb = r.u64();
+  counters_.admission_shed = r.u64();
+  counters_.duplicates_suppressed = r.u64();
+  counters_.dedup_refused = r.u64();
+  counters_.spilled_bundles = r.u64();
+  counters_.recalled_bundles = r.u64();
   counters_.node_crashes = r.u64();
   counters_.node_reboots = r.u64();
   counters_.station_outages = r.u64();
@@ -1044,7 +1095,7 @@ void Network::load_tail_sections(persist::Reader& r) {
     p.size_kb = r.u32();
     p.logical = r.u32();
     const std::uint8_t state = r.u8();
-    if (p.id != i || state > static_cast<std::uint8_t>(PacketState::kLostFault)) {
+    if (p.id != i || state > static_cast<std::uint8_t>(PacketState::kEvicted)) {
       throw persist::FormatError("checkpoint packet table row is malformed");
     }
     p.state = static_cast<PacketState>(state);
@@ -1430,6 +1481,10 @@ std::uint32_t Network::ledger_slot(PacketId pid) const {
 void Network::ledger_erase(PacketId pid) {
   const std::uint32_t slot = ledger_slot(pid);
   if (slot == kNoLedgerSlot) return;
+  // Retiring the retry also retires its forward-pending retention (a
+  // no-op when the packet already left its store, or for unbounded
+  // stores where retention never mattered).
+  set_holder_retention(packets_[pid], Retention::kNone);
   ledger_index_[pid] = kNoLedgerSlot;
   const auto last = static_cast<std::uint32_t>(ledger_.size() - 1);
   if (slot != last) {
@@ -1452,6 +1507,9 @@ bool Network::transfer_interrupted(PacketId pid) {
   }
   if (faults_->draw_transfer_failure()) {
     ++counters_.transfers_interrupted;
+    // A pending retry pins the bundle in its current store: eviction
+    // policies never pick forward-pending victims (docs/bounded-store.md).
+    set_holder_retention(packets_[pid], Retention::kForwardPending);
     if (slot == kNoLedgerSlot) {
       if (ledger_index_.size() < packets_.size()) {
         ledger_index_.resize(packets_.size(), kNoLedgerSlot);
@@ -1526,9 +1584,85 @@ std::span<const PacketId> Network::node_packets(NodeId node) const {
   return nodes_[node].buffer.packets();
 }
 
-const Buffer& Network::node_buffer(NodeId node) const {
+const BundleStore& Network::node_buffer(NodeId node) const {
   DTN_ASSERT(node < nodes_.size());
   return nodes_[node].buffer;
+}
+
+const BundleStore& Network::station_store(LandmarkId l) const {
+  DTN_ASSERT(l < stations_.size());
+  return stations_[l].storage;
+}
+
+// -- bounded-store admission (docs/bounded-store.md) --------------------
+
+Admit Network::store_admit(BundleStore& store, Packet& p, Retention retention,
+                           bool allow_spill, bool check_dedup) {
+  BundleStore::AdmitRequest req;
+  req.pid = p.id;
+  req.size_kb = p.size_kb;
+  req.logical = p.logical;
+  req.retention = retention;
+  req.expected_delay = p.expected_delay;
+  req.deadline = p.deadline();
+  req.check_dedup = check_dedup;
+  req.allow_spill = allow_spill;
+  // Function-local victim list: it only ever allocates when a policy
+  // actually evicts, and per-shard store events are totally ordered so
+  // no shared scratch is needed.
+  std::vector<PacketId> evicted;
+  const Admit verdict = store.admit(req, &evicted);
+  finalize_evictions(evicted);
+  if (verdict == Admit::kSpilled) ++ctr().spilled_bundles;
+  if (verdict == Admit::kRefusedDuplicate) ++ctr().dedup_refused;
+  return verdict;
+}
+
+void Network::finalize_evictions(std::vector<PacketId>& victims) {
+  for (const PacketId vid : victims) {
+    Packet& v = packets_[vid];
+    DTN_ASSERT(!is_terminal(v.state));
+    // The store already dropped the entry; only the packet table and
+    // the retry ledger still reference the victim.
+    ledger_erase(vid);
+    v.state = logical_delivered_[v.logical] != 0 ? PacketState::kObsoleteCopy
+                                                 : PacketState::kEvicted;
+    ++ctr().evicted_policy;
+    ctr().evicted_kb += v.size_kb;
+  }
+  victims.clear();
+}
+
+void Network::station_remove(LandmarkId l, PacketId pid,
+                             std::uint32_t size_kb) {
+  std::vector<PacketId> recalled;  // allocates only when a recall fires
+  stations_[l].storage.remove(pid, size_kb, &recalled);
+  ctr().recalled_bundles += recalled.size();
+}
+
+bool Network::suppress_delivered_copy(Packet& p) {
+  if (logical_delivered_[p.logical] == 0) return false;
+  // Duplicate-delivery suppression: another copy of this logical packet
+  // already reached the destination, so retire this one at the
+  // admission point instead of letting it keep consuming buffers.
+  detach_from_holder(p);
+  ledger_erase(p.id);
+  p.state = PacketState::kObsoleteCopy;
+  ++ctr().duplicates_suppressed;
+  return true;
+}
+
+void Network::set_holder_retention(Packet& p, Retention r) {
+  switch (p.state) {
+    case PacketState::kAtStation:
+      stations_[p.holder].storage.set_retention_if_held(p.id, r);
+      break;
+    case PacketState::kOnNode:
+      nodes_[p.holder].buffer.set_retention_if_held(p.id, r);
+      break;
+    default:
+      break;  // origin-queue and terminal packets carry no store entry
+  }
 }
 
 void Network::detach_from_holder(Packet& p) {
@@ -1541,7 +1675,7 @@ void Network::detach_from_holder(Packet& p) {
       break;
     }
     case PacketState::kAtStation:
-      stations_[p.holder].storage.remove(p.id, p.size_kb);
+      station_remove(p.holder, p.id, p.size_kb);
       break;
     case PacketState::kOnNode:
       nodes_[p.holder].buffer.remove(p.id, p.size_kb);
@@ -1571,6 +1705,7 @@ bool Network::pickup_from_origin(NodeId node, PacketId pid) {
   DTN_ASSERT(p.state == PacketState::kAtOrigin);
   DTN_ASSERT(nodes_[node].location == p.holder);
   if (drop_if_expired(pid)) return false;
+  if (suppress_delivered_copy(p)) return false;
   if (node_down(node)) {
     ++ctr().transfers_blocked_fault;
     return false;
@@ -1585,7 +1720,11 @@ bool Network::pickup_from_origin(NodeId node, PacketId pid) {
     return true;
   }
   auto& origin = stations_[p.holder].origin;
-  if (!nodes_[node].buffer.add(pid, p.size_kb)) {
+  // First pickup of source data: no dedup check (a carrier must be
+  // able to take a fresh original even if it relayed a copy before).
+  if (store_admit(nodes_[node].buffer, p, Retention::kNone,
+                  /*allow_spill=*/false,
+                  /*check_dedup=*/false) != Admit::kStored) {
     ++ctr().refused_buffer;
     return false;
   }
@@ -1605,6 +1744,7 @@ bool Network::station_to_node(LandmarkId l, NodeId node, PacketId pid) {
   DTN_ASSERT(p.holder == l);
   DTN_ASSERT(nodes_[node].location == l);
   if (drop_if_expired(pid)) return false;
+  if (suppress_delivered_copy(p)) return false;
   if (station_down(l) || node_down(node)) {
     ++ctr().transfers_blocked_fault;
     return false;
@@ -1618,11 +1758,15 @@ bool Network::station_to_node(LandmarkId l, NodeId node, PacketId pid) {
     note_station_activity(l);
     return true;
   }
-  if (!nodes_[node].buffer.add(pid, p.size_kb)) {
+  // Station dispatch onto a carrier: no dedup check — refusing the
+  // single-copy backbone's forward path would strand packets.
+  if (store_admit(nodes_[node].buffer, p, Retention::kNone,
+                  /*allow_spill=*/false,
+                  /*check_dedup=*/false) != Admit::kStored) {
     ++ctr().refused_buffer;
     return false;
   }
-  stations_[l].storage.remove(pid, p.size_kb);
+  station_remove(l, pid, p.size_kb);
   p.state = PacketState::kOnNode;
   p.holder = node;
   ++p.hops;
@@ -1638,28 +1782,36 @@ bool Network::node_to_station(NodeId node, PacketId pid) {
   const LandmarkId l = nodes_[node].location;
   DTN_ASSERT(l != kNoLandmark);
   if (drop_if_expired(pid)) return false;
+  if (suppress_delivered_copy(p)) return false;
   if (node_down(node) || station_down(l)) {
     ++ctr().transfers_blocked_fault;
     return false;
   }
   if (transfer_interrupted(pid)) return false;
+  const bool delivers =
+      (p.dst == l && p.dst_node == trace::kNoNode) ||
+      (p.dst_node != trace::kNoNode && nodes_[p.dst_node].location == l);
+  if (delivers) {
+    nodes_[node].buffer.remove(pid, p.size_kb);
+    ++p.hops;
+    ++ctr().packet_forwards;
+    deliver(pid);
+    note_station_activity(l);
+    return true;
+  }
+  // Admission first: a bounded station may evict per policy, spill the
+  // incoming bundle, or refuse it — refusal leaves the packet on the
+  // carrier (unbounded stations always admit, the §V-A.1 default).
+  const Admit verdict =
+      store_admit(stations_[l].storage, p, Retention::kNone,
+                  /*allow_spill=*/true, /*check_dedup=*/false);
+  if (verdict != Admit::kStored && verdict != Admit::kSpilled) {
+    ++ctr().refused_buffer;
+    return false;
+  }
   nodes_[node].buffer.remove(pid, p.size_kb);
   ++p.hops;
   ++ctr().packet_forwards;
-  if (p.dst == l && p.dst_node == trace::kNoNode) {
-    deliver(pid);
-    note_station_activity(l);
-    return true;
-  }
-  if (p.dst_node != trace::kNoNode &&
-      nodes_[p.dst_node].location == l) {
-    // The destination node is connected right here: hand over.
-    deliver(pid);
-    note_station_activity(l);
-    return true;
-  }
-  const bool ok = stations_[l].storage.add(pid, p.size_kb);
-  DTN_ASSERT(ok);  // stations are unbounded
   p.state = PacketState::kAtStation;
   p.holder = l;
   p.station_path.push_back(l);
@@ -1675,6 +1827,7 @@ bool Network::node_to_node(NodeId from, NodeId to, PacketId pid) {
   DTN_ASSERT(nodes_[from].location != kNoLandmark);
   DTN_ASSERT(nodes_[from].location == nodes_[to].location);
   if (drop_if_expired(pid)) return false;
+  if (suppress_delivered_copy(p)) return false;
   if (node_down(from) || node_down(to)) {
     ++ctr().transfers_blocked_fault;
     return false;
@@ -1687,8 +1840,13 @@ bool Network::node_to_node(NodeId from, NodeId to, PacketId pid) {
     deliver(pid);
     return true;
   }
-  if (!nodes_[to].buffer.add(pid, p.size_kb)) {
-    ++ctr().refused_buffer;
+  // Node-to-node relaying is where copies multiply, so the dedup set
+  // applies here: a receiver that already saw this logical refuses it.
+  const Admit verdict =
+      store_admit(nodes_[to].buffer, p, Retention::kNone,
+                  /*allow_spill=*/false, /*check_dedup=*/true);
+  if (verdict != Admit::kStored) {
+    if (verdict == Admit::kRefusedCapacity) ++ctr().refused_buffer;
     return false;
   }
   nodes_[from].buffer.remove(pid, p.size_kb);
@@ -1703,30 +1861,33 @@ PacketId Network::replicate_node_to_node(NodeId from, NodeId to,
   // Replication grows the packet table mid-run; only the serial engine
   // may do that (shard_safe routers are single-copy by contract).
   DTN_ASSERT(!sharded_run_);
-  const Packet& src = packet(pid);
+  Packet& src = packet(pid);
   DTN_ASSERT(src.state == PacketState::kOnNode);
   DTN_ASSERT(src.holder == from);
   DTN_ASSERT(from != to);
   DTN_ASSERT(nodes_[from].location != kNoLandmark);
   DTN_ASSERT(nodes_[from].location == nodes_[to].location);
-  if (logical_delivered_[src.logical] != 0) return kNoPacket;
+  // An already-delivered logical is not just skipped: the offered copy
+  // itself retires (duplicate-delivery suppression).
+  if (suppress_delivered_copy(src)) return kNoPacket;
   if (drop_if_expired(pid)) return kNoPacket;
   if (node_down(from) || node_down(to)) {
     ++ctr().transfers_blocked_fault;
     return kNoPacket;
   }
   if (transfer_interrupted(pid)) return kNoPacket;
-  if (!nodes_[to].buffer.has_space(src.size_kb)) {
-    ++ctr().refused_buffer;
-    return kNoPacket;
-  }
   Packet copy = src;  // inherits deadline, routing state, path record
   copy.id = static_cast<PacketId>(packets_.size());
   copy.state = PacketState::kOnNode;
   copy.holder = to;
   ++copy.hops;
-  const bool ok = nodes_[to].buffer.add(copy.id, copy.size_kb);
-  DTN_ASSERT(ok);
+  const Admit verdict =
+      store_admit(nodes_[to].buffer, copy, Retention::kNone,
+                  /*allow_spill=*/false, /*check_dedup=*/true);
+  if (verdict != Admit::kStored) {
+    if (verdict == Admit::kRefusedCapacity) ++ctr().refused_buffer;
+    return kNoPacket;
+  }
   packets_.push_back(std::move(copy));
   logical_delivered_.push_back(0);  // indexed per packet row; unused for copies
   ++ctr().packet_forwards;
@@ -1789,6 +1950,13 @@ void Network::validate_invariants() const {
       DTN_ASSERT(packets_[pid].holder == l);
       ++buffered;
     }
+    // Spilled bundles are still live station-held packets; only their
+    // bytes moved to disk.
+    for (const PacketId pid : stations_[l].storage.spilled_ids()) {
+      DTN_ASSERT(packets_[pid].state == PacketState::kAtStation);
+      DTN_ASSERT(packets_[pid].holder == l);
+      ++buffered;
+    }
     for (const PacketId pid : stations_[l].origin) {
       DTN_ASSERT(packets_[pid].state == PacketState::kAtOrigin);
       DTN_ASSERT(packets_[pid].holder == l);
@@ -1819,6 +1987,8 @@ void Network::audit(sim::AuditReport& report) const {
   audit_present_sets(report);
   report.set_context("network.buffer_accounting");
   audit_buffer_accounting(report);
+  report.set_context("network.bundle_store");
+  audit_bundle_stores(report);
   report.set_context("router.state");
   router_.audit(*this, report);
   report.set_context("network.fault_state");
@@ -1953,7 +2123,7 @@ void Network::audit_buffer_accounting(sim::AuditReport& report) const {
   // must be unique across all buffers, and bounded buffers must respect
   // their capacity.
   std::vector<std::uint8_t> held(packets_.size(), 0);
-  const auto audit_one = [&](const Buffer& buf, const std::string& what) {
+  const auto audit_one = [&](const BundleStore& buf, const std::string& what) {
     std::uint64_t bytes = 0;
     for (const PacketId pid : buf.packets()) {
       if (pid >= packets_.size()) {
@@ -1976,6 +2146,26 @@ void Network::audit_buffer_accounting(sim::AuditReport& report) const {
       report.fail(what + ": used_kb " + std::to_string(buf.used_kb()) +
                   " exceeds capacity " + std::to_string(buf.capacity_kb()));
     }
+    // Spilled bundles participate in the cross-store uniqueness check
+    // and must sum to the store's spilled-byte accounting.
+    std::uint64_t spilled_bytes = 0;
+    for (const PacketId pid : buf.spilled_ids()) {
+      if (pid >= packets_.size()) {
+        report.fail(what + " spill index holds an out-of-range packet id");
+        continue;
+      }
+      if (held[pid] != 0) {
+        report.fail("packet " + std::to_string(pid) +
+                    " held by more than one buffer (" + what + " spill)");
+      }
+      held[pid] = 1;
+      spilled_bytes += packets_[pid].size_kb;
+    }
+    if (spilled_bytes != buf.spilled_kb()) {
+      report.fail(what + ": spilled_kb " + std::to_string(buf.spilled_kb()) +
+                  " but spilled packets sum to " +
+                  std::to_string(spilled_bytes) + " kB");
+    }
   };
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     audit_one(nodes_[n].buffer, "node " + std::to_string(n) + " buffer");
@@ -1983,6 +2173,56 @@ void Network::audit_buffer_accounting(sim::AuditReport& report) const {
   for (std::size_t l = 0; l < stations_.size(); ++l) {
     audit_one(stations_[l].storage,
               "station " + std::to_string(l) + " storage");
+  }
+}
+
+void Network::audit_bundle_stores(sim::AuditReport& report) const {
+  // Each store re-derives its own pool, retained-count, dedup-set and
+  // spill-index invariants (BundleStore::audit); the network-level part
+  // cross-checks retention constraints against the packet table and the
+  // fault ledger.
+  const auto check_retention = [&](const BundleStore& store, bool is_station,
+                                   std::uint32_t where,
+                                   const std::string& what) {
+    for (const PacketId pid : store.packets()) {
+      switch (store.retention(pid)) {
+        case Retention::kNone:
+          break;
+        case Retention::kDispatchPending:
+          // Only source data at its origin station is dispatch-pending.
+          if (!is_station) {
+            report.fail(what + ": node-held packet " + std::to_string(pid) +
+                        " marked dispatch-pending");
+          } else if (packets_[pid].src != static_cast<LandmarkId>(where)) {
+            report.fail(what + ": packet " + std::to_string(pid) +
+                        " dispatch-pending away from its origin " +
+                        std::to_string(packets_[pid].src));
+          }
+          break;
+        case Retention::kForwardPending:
+          // Forward-pending means a retry is live in the fault ledger.
+          if (ledger_slot(pid) == kNoLedgerSlot) {
+            report.fail(what + ": packet " + std::to_string(pid) +
+                        " forward-pending without a ledger entry");
+          }
+          break;
+      }
+    }
+  };
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const std::string what = "node " + std::to_string(n);
+    nodes_[n].buffer.audit(report, what);
+    check_retention(nodes_[n].buffer, false, static_cast<std::uint32_t>(n),
+                    what);
+    if (nodes_[n].buffer.spilled_count() != 0) {
+      report.fail(what + ": node stores never spill");
+    }
+  }
+  for (std::size_t l = 0; l < stations_.size(); ++l) {
+    const std::string what = "station " + std::to_string(l);
+    stations_[l].storage.audit(report, what);
+    check_retention(stations_[l].storage, true, static_cast<std::uint32_t>(l),
+                    what);
   }
 }
 
@@ -2019,6 +2259,46 @@ bool Network::debug_corrupt_for_test(Corruption kind, int delta) {
       counters_.packets_lost_fault = static_cast<std::uint64_t>(
           static_cast<std::int64_t>(counters_.packets_lost_fault) + delta);
       return true;
+    case Corruption::kStoreRetention:
+      if (stations_.empty()) return false;
+      // The bug class this simulates: an eviction (or retention flip)
+      // updated entry metadata but not the retained-count cache.
+      stations_.front().storage.debug_corrupt_retained_for_test(delta);
+      return true;
+    case Corruption::kStoreSpillBytes:
+      if (stations_.empty()) return false;
+      // The bug class this simulates: a recall freed the index row but
+      // accounted the wrong byte size.
+      stations_.front().storage.debug_corrupt_spilled_kb_for_test(delta);
+      return true;
+    case Corruption::kStoreDedupOrder:
+      // The bug class this simulates: an unsorted insert broke the
+      // binary-search precondition of the dedup set.
+      for (auto& node : nodes_) {
+        if (node.buffer.dedup_seen_count() == 0) continue;
+        node.buffer.debug_corrupt_dedup_order_for_test(delta);
+        return true;
+      }
+      for (auto& station : stations_) {
+        if (station.storage.dedup_seen_count() == 0) continue;
+        station.storage.debug_corrupt_dedup_order_for_test(delta);
+        return true;
+      }
+      return false;
+    case Corruption::kStorePoolSize:
+      // The bug class this simulates: a swap-erase left the metadata
+      // slab disagreeing with the Buffer's byte accounting.
+      for (auto& node : nodes_) {
+        if (node.buffer.count() == 0) continue;
+        node.buffer.debug_corrupt_pool_size_for_test(delta);
+        return true;
+      }
+      for (auto& station : stations_) {
+        if (station.storage.count() == 0) continue;
+        station.storage.debug_corrupt_pool_size_for_test(delta);
+        return true;
+      }
+      return false;
   }
   return false;
 }
@@ -2044,10 +2324,21 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
   p.size_kb = cfg_.packet_size_kb;
   p.holder = src;
   if (router_.uses_stations()) {
-    p.state = PacketState::kAtStation;
-    p.station_path.push_back(src);
-    const bool ok = stations_[src].storage.add(p.id, p.size_kb);
-    DTN_ASSERT(ok);
+    // Source data enters dispatch-pending: a bounded origin station may
+    // evict relayed traffic (or spill) to make room, but never sheds
+    // another packet's source data for it.  When nothing can make room
+    // the new packet itself is shed — graceful load shedding, the
+    // overload regime's intended failure mode (docs/bounded-store.md).
+    const Admit verdict =
+        store_admit(stations_[src].storage, p, Retention::kDispatchPending,
+                    /*allow_spill=*/true, /*check_dedup=*/false);
+    if (verdict == Admit::kStored || verdict == Admit::kSpilled) {
+      p.state = PacketState::kAtStation;
+      p.station_path.push_back(src);
+    } else {
+      p.state = PacketState::kEvicted;
+      ++ctr().admission_shed;
+    }
   } else {
     p.state = PacketState::kAtOrigin;
     stations_[src].origin.push_back(p.id);
@@ -2063,16 +2354,19 @@ PacketId Network::generate_packet(LandmarkId src, LandmarkId dst, double ttl,
   // run_sharded rejects node-addressed workloads, so this global flag
   // is only ever written on the serial path.
   if (dst_node != trace::kNoNode) any_node_addressed_ = true;
+  // A shed packet never entered any store: it counts as generated
+  // (offered load) but is invisible to the router and the handover scan.
+  Packet& placed = packets_[pid];
+  if (is_terminal(placed.state)) return pid;
   // A node-addressed packet whose destination node is connected at the
   // source right now is handed over on the spot.
-  Packet& placed = packets_[pid];
   if (placed.dst_node != trace::kNoNode &&
       placed.dst_node < nodes_.size() &&
       nodes_[placed.dst_node].location == src &&
       !node_down(placed.dst_node) &&
       (placed.state != PacketState::kAtStation || !station_down(src))) {
     if (placed.state == PacketState::kAtStation) {
-      stations_[src].storage.remove(pid, placed.size_kb);
+      station_remove(src, pid, placed.size_kb);
     } else {
       // The packet was appended to the origin queue just above, so it
       // is the tail: removing it is a pop, no scan or shift.
@@ -2128,7 +2422,7 @@ void Network::deliver_node_addressed(NodeId arriving, LandmarkId l) {
     for (const PacketId pid : ready) {
       Packet& p = packets_[pid];
       if (p.expired(now)) continue;
-      stations_[l].storage.remove(pid, p.size_kb);
+      station_remove(l, pid, p.size_kb);
       ++p.hops;
       ++ctr().packet_forwards;
       deliver(pid);
@@ -2188,7 +2482,7 @@ void Network::drop_expired() {
         break;
       }
       case PacketState::kAtStation:
-        stations_[p.holder].storage.remove(p.id, p.size_kb);
+        station_remove(p.holder, p.id, p.size_kb);
         break;
       case PacketState::kOnNode:
         nodes_[p.holder].buffer.remove(p.id, p.size_kb);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/buffer.hpp"
+#include "net/bundle_store.hpp"
 #include "util/annotations.hpp"
 #include "net/packet.hpp"
 #include "net/router.hpp"
@@ -47,6 +48,12 @@ struct WorkloadConfig {
   std::uint32_t packet_size_kb = 1;
   /// Per-node memory in kB (0 = unbounded).
   std::uint64_t node_memory_kb = 2000;
+  /// Bounded-store behaviour (src/net/bundle_store.hpp,
+  /// docs/bounded-store.md): station capacity, eviction policy,
+  /// received-id dedup, spill-to-disk.  The default bounds nothing and
+  /// enables nothing — replays stay bit-identical to the unbounded
+  /// §V-A.1 model.
+  BundleStoreConfig store;
   /// Fraction of the trace used as an initialization phase before any
   /// packet is generated (paper: first 1/4, routers warm up on it).
   double warmup_fraction = 0.25;
@@ -120,6 +127,23 @@ struct RunCounters {
   std::vector<double> delivery_delays;
   /// Forwarding operations each delivered packet took (path length).
   std::vector<std::uint32_t> delivery_hops;
+
+  // -- bounded-store counters (docs/bounded-store.md; all zero with the
+  //    default unbounded, policy-off store configuration) ---------------
+  /// Victims dropped by an eviction policy to admit an incoming bundle.
+  std::uint64_t evicted_policy = 0;
+  std::uint64_t evicted_kb = 0;
+  /// Generated packets shed at admission because their origin station
+  /// was full (graceful load shedding; they still count as generated).
+  std::uint64_t admission_shed = 0;
+  /// Copies of an already-delivered logical packet retired at a
+  /// transfer admission point instead of being re-admitted.
+  std::uint64_t duplicates_suppressed = 0;
+  /// Admissions refused by a store's received-id dedup set.
+  std::uint64_t dedup_refused = 0;
+  /// Bundles spilled to / recalled from a station's disk backend.
+  std::uint64_t spilled_bundles = 0;
+  std::uint64_t recalled_bundles = 0;
 
   // -- resilience counters (all zero unless a FaultPlan is attached) ----
   std::uint64_t node_crashes = 0;
@@ -216,7 +240,8 @@ class Network {
   [[nodiscard]] std::span<const PacketId> origin_packets(LandmarkId l) const;
   [[nodiscard]] std::span<const PacketId> station_packets(LandmarkId l) const;
   [[nodiscard]] std::span<const PacketId> node_packets(NodeId node) const;
-  [[nodiscard]] const Buffer& node_buffer(NodeId node) const;
+  [[nodiscard]] const BundleStore& node_buffer(NodeId node) const;
+  [[nodiscard]] const BundleStore& station_store(LandmarkId l) const;
 
   // -- faults (meaningful only when WorkloadConfig::faults is set) ------
   /// Is `node` currently crashed (radio dead)?  Always false without a
@@ -246,8 +271,9 @@ class Network {
   /// Station -> node at the same landmark.  False if no space.
   bool station_to_node(LandmarkId l, NodeId node, PacketId pid);
   /// Node -> station of the landmark the node is at; delivers if it is
-  /// the destination.  Stations are unbounded, so this fails (false)
-  /// only on TTL expiry or an injected fault.
+  /// the destination.  Stations are unbounded by default (then this
+  /// fails only on TTL expiry or an injected fault); a bounded station
+  /// store may also refuse admission, leaving the packet on the node.
   bool node_to_station(NodeId node, PacketId pid);
   /// Node -> node, both at the same landmark.  False if no space.
   bool node_to_node(NodeId from, NodeId to, PacketId pid);
@@ -296,6 +322,14 @@ class Network {
     kLedgerIndex,
     /// Skew the packets_lost_fault counter away from the recount.
     kFaultLossCounter,
+    /// Skew the first non-empty store's retained-count cache.
+    kStoreRetention,
+    /// Skew the first spilling station's spilled-byte accounting.
+    kStoreSpillBytes,
+    /// Break the first non-empty dedup set's sorted-unique invariant.
+    kStoreDedupOrder,
+    /// Skew one pooled entry's slab size against the byte accounting.
+    kStorePoolSize,
   };
   /// Seed `kind` by skewing the targeted counter by `delta`; returns
   /// false when no eligible state exists (e.g. no node is present
@@ -471,16 +505,18 @@ class Network {
   void audit_fault_state(sim::AuditReport& report) const;
 
   struct NodeState {
-    Buffer buffer;
+    BundleStore buffer;
     LandmarkId location = kNoLandmark;
     LandmarkId previous = kNoLandmark;
     std::vector<trace::Visit> history;  // completed visits
 
-    explicit NodeState(std::uint64_t capacity_kb) : buffer(capacity_kb) {}
+    NodeState() = default;
   };
 
   struct StationState {
-    Buffer storage{0};               // unbounded central station
+    /// Central station store; unbounded per §V-A.1 unless
+    /// WorkloadConfig::store bounds it (docs/bounded-store.md).
+    BundleStore storage;
     std::vector<PacketId> origin;    // passive origin queue (baselines)
     /// Nodes currently associated, in arrival order (routers observe
     /// this order through nodes_at/on_contact, so it is part of the
@@ -490,6 +526,30 @@ class Network {
 
   void audit_present_sets(sim::AuditReport& report) const;
   void audit_buffer_accounting(sim::AuditReport& report) const;
+  /// The "network.bundle_store" check: every store re-derives its pool
+  /// accounting, retained cache, dedup set and spill index.
+  void audit_bundle_stores(sim::AuditReport& report) const;
+
+  // -- bounded-store admission (docs/bounded-store.md) ------------------
+  /// Admission wrapper the transfer and generation paths funnel
+  /// through: builds the AdmitRequest from the packet table (retention,
+  /// expected delay, deadline), lets the store evict or spill per
+  /// policy, retires eviction victims and counts every outcome.  True
+  /// when `p` ended up in the store (memory or spill).
+  Admit store_admit(BundleStore& store, Packet& p, Retention retention,
+                    bool allow_spill, bool check_dedup);
+  /// Retire eviction victims: each leaves circulation as kEvicted (or
+  /// kObsoleteCopy when its logical was already delivered).
+  void finalize_evictions(std::vector<PacketId>& victims);
+  /// Station-store removal wrapper: counts the spill recalls the freed
+  /// space triggers.
+  void station_remove(LandmarkId l, PacketId pid, std::uint32_t size_kb);
+  /// A transfer admission point saw a copy of an already-delivered
+  /// logical packet: retire it instead of re-admitting (satellite:
+  /// duplicate-delivery suppression).  True when retired.
+  bool suppress_delivered_copy(Packet& p);
+  /// Update the retention constraint on the store holding `p`, if any.
+  void set_holder_retention(Packet& p, Retention r);
 
   const trace::Trace& trace_;
   Router& router_;

@@ -37,6 +37,10 @@ enum class PacketState : std::uint8_t {
   /// Destroyed by an injected fault (buffer loss in a node crash; see
   /// sim/fault_injector.hpp).
   kLostFault,
+  /// Dropped by a bounded store: chosen as an eviction-policy victim,
+  /// or shed at generation because its origin station was full
+  /// (src/net/bundle_store.hpp, docs/bounded-store.md).
+  kEvicted,
 };
 
 [[nodiscard]] constexpr bool is_terminal(PacketState s) {
@@ -45,7 +49,7 @@ enum class PacketState : std::uint8_t {
   // a live packet before the run ends.
   return s == PacketState::kUnborn || s == PacketState::kDelivered ||
          s == PacketState::kDroppedTtl || s == PacketState::kObsoleteCopy ||
-         s == PacketState::kLostFault;
+         s == PacketState::kLostFault || s == PacketState::kEvicted;
 }
 
 struct Packet {

@@ -42,6 +42,10 @@ void EpidemicRouter::infect_one_way(net::Network& net, net::NodeId from,
     const net::Packet& p = net.packet(pid);
     if (net.logical_delivered(p.logical)) continue;
     if (net.node_holds_logical(to, p.logical)) continue;
+    // Received-id dedup (always false when the store's dedup is off):
+    // skip peers that already carried this logical, before spending a
+    // replication on an admission the store would refuse.
+    if (net.node_buffer(to).seen_logical(p.logical)) continue;
     if (!net.node_buffer(to).has_space(p.size_kb)) continue;
     (void)net.replicate_node_to_node(from, to, pid);
   }

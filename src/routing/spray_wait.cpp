@@ -59,6 +59,10 @@ void SprayAndWaitRouter::spray_one_way(net::Network& net, net::NodeId from,
     if (t <= 1) continue;  // wait phase: direct delivery only
     if (net.logical_delivered(p.logical)) continue;
     if (net.node_holds_logical(to, p.logical)) continue;
+    // Received-id dedup (always false when the store's dedup is off):
+    // do not split tickets toward a peer that already carried this
+    // logical — the store would refuse the copy anyway.
+    if (net.node_buffer(to).seen_logical(p.logical)) continue;
     const net::PacketId copy = net.replicate_node_to_node(from, to, pid);
     if (copy == net::kNoPacket) continue;
     const std::uint32_t given = cfg_.binary ? t / 2 : 1;

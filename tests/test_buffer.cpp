@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
+#include "persist/serializer.hpp"
+
 namespace dtn::net {
 namespace {
 
@@ -57,6 +62,46 @@ TEST(Buffer, PacketsSpanReflectsContents) {
   ASSERT_TRUE(b.add(5, 1));
   const auto span = b.packets();
   ASSERT_EQ(span.size(), 2u);
+}
+
+// Loads a Buffer image with the given capacity/byte accounting and no
+// ids (such states can only enter through a checkpoint, which is
+// exactly where adversarial values come from).
+Buffer buffer_from_image(std::uint64_t capacity_kb, std::uint64_t used_kb) {
+  persist::Writer w;
+  w.begin_section("buffer");
+  w.u64(capacity_kb);
+  w.u64(used_kb);
+  w.u64(0);  // id count
+  w.end_section();
+  w.finish();
+  auto bytes = w.buffer();
+  persist::Reader r(std::move(bytes));
+  r.expect_section("buffer");
+  Buffer b;
+  b.load(r);
+  r.end_section();
+  r.finish();
+  return b;
+}
+
+TEST(Buffer, HasSpaceDoesNotWrapNearUint64Max) {
+  // Regression: has_space compared `used_kb_ + size_kb <= capacity_kb_`,
+  // which wraps for capacities near UINT64_MAX and admitted into a full
+  // buffer.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const Buffer b = buffer_from_image(kMax, kMax - 1);
+  EXPECT_FALSE(b.unbounded());
+  EXPECT_TRUE(b.has_space(1));
+  EXPECT_FALSE(b.has_space(2));  // wrapped to "fits" before the fix
+  EXPECT_FALSE(b.has_space(std::numeric_limits<std::uint32_t>::max()));
+}
+
+TEST(Buffer, HasSpaceRejectsOverfullAccounting) {
+  // used_kb beyond capacity (corrupt image): nothing fits, and the old
+  // wrapping comparison must not resurrect space.
+  const Buffer b = buffer_from_image(10, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(b.has_space(1));
 }
 
 TEST(BufferDeath, RemovingAbsentPacketRejected) {

@@ -217,7 +217,7 @@ TEST(NetworkAudit, HealthyRunPassesAllChecks) {
   DtnFlowRouter router;
   Network net(trace, router, chain_workload());
   net.run();
-  EXPECT_EQ(net.auditor().checks_registered(), 6u);
+  EXPECT_EQ(net.auditor().checks_registered(), 7u);
   AuditReport report;
   net.audit(report);
   EXPECT_TRUE(report.ok()) << report.to_string();
